@@ -1,0 +1,143 @@
+// Experiment E9 — supporting microbenchmarks (google-benchmark): field,
+// point, hash and full-scalar-multiplication throughput of the software
+// layer underlying every model in this repository.
+#include <benchmark/benchmark.h>
+
+#include "baseline/p256.hpp"
+#include "baseline/x25519.hpp"
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+#include "hash/sha256.hpp"
+
+namespace {
+
+using namespace fourq;
+using field::Fp;
+using field::Fp2;
+
+Fp2 rand_fp2(Rng& rng) {
+  return Fp2(Fp::from_u256(rng.next_u256()), Fp::from_u256(rng.next_u256()));
+}
+
+void BM_FpMul(benchmark::State& state) {
+  Rng rng(1);
+  Fp a = Fp::from_u256(rng.next_u256()), b = Fp::from_u256(rng.next_u256());
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FpMul);
+
+void BM_FpInv(benchmark::State& state) {
+  Rng rng(2);
+  Fp a = Fp::from_u256(rng.next_u256());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inv());
+  }
+}
+BENCHMARK(BM_FpInv);
+
+void BM_Fp2MulKaratsuba(benchmark::State& state) {
+  Rng rng(3);
+  Fp2 a = rand_fp2(rng), b = rand_fp2(rng);
+  for (auto _ : state) {
+    a = Fp2::mul_karatsuba(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp2MulKaratsuba);
+
+void BM_Fp2MulSchoolbook(benchmark::State& state) {
+  Rng rng(4);
+  Fp2 a = rand_fp2(rng), b = rand_fp2(rng);
+  for (auto _ : state) {
+    a = Fp2::mul_schoolbook(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp2MulSchoolbook);
+
+void BM_Fp2Sqr(benchmark::State& state) {
+  Rng rng(5);
+  Fp2 a = rand_fp2(rng);
+  for (auto _ : state) {
+    a = a.sqr();
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp2Sqr);
+
+void BM_Fp2Inv(benchmark::State& state) {
+  Rng rng(6);
+  Fp2 a = rand_fp2(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.inv());
+}
+BENCHMARK(BM_Fp2Inv);
+
+void BM_PointDbl(benchmark::State& state) {
+  curve::PointR1 p = curve::to_r1(curve::deterministic_point(1));
+  for (auto _ : state) {
+    p = curve::dbl(p);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PointDbl);
+
+void BM_PointAdd(benchmark::State& state) {
+  curve::PointR1 p = curve::to_r1(curve::deterministic_point(2));
+  curve::PointR2 q = curve::to_r2(curve::to_r1(curve::deterministic_point(3)));
+  for (auto _ : state) {
+    p = curve::add(p, q);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PointAdd);
+
+void BM_FourQScalarMul(benchmark::State& state) {
+  Rng rng(7);
+  curve::Affine p = curve::deterministic_point(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::scalar_mul(rng.next_u256(), p));
+  }
+}
+BENCHMARK(BM_FourQScalarMul)->Unit(benchmark::kMicrosecond);
+
+void BM_FourQReferenceMul(benchmark::State& state) {
+  Rng rng(8);
+  curve::Affine p = curve::deterministic_point(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve::scalar_mul_reference(rng.next_u256(), p));
+  }
+}
+BENCHMARK(BM_FourQReferenceMul)->Unit(benchmark::kMicrosecond);
+
+void BM_P256ScalarMul(benchmark::State& state) {
+  Rng rng(9);
+  baseline::P256 c;
+  for (auto _ : state) {
+    U256 k = mod(rng.next_u256(), c.group_order());
+    benchmark::DoNotOptimize(c.scalar_mul_base(k));
+  }
+}
+BENCHMARK(BM_P256ScalarMul)->Unit(benchmark::kMicrosecond);
+
+void BM_X25519(benchmark::State& state) {
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::x25519_base(rng.next_u256()));
+  }
+}
+BENCHMARK(BM_X25519)->Unit(benchmark::kMicrosecond);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::Sha256::digest(data));
+  }
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Experiment E3 — paper Fig. 4: measured VDD sweep of maximum frequency,
+// SM latency, and SM energy, regenerated from the calibrated SOTB model.
+// The two measured anchor points are marked.
+#include <cstdio>
+
+#include "asic/simulator.hpp"
+#include "bench_util.hpp"
+#include "power/activity_energy.hpp"
+#include "power/sotb65.hpp"
+
+int main() {
+  using namespace fourq;
+  bench::print_header("E3 / Fig. 4 — supply-voltage sweep (calibrated 65nm SOTB model)");
+
+  // Cycle count from the scheduled paper-cost program.
+  trace::SmTraceOptions topt;
+  topt.endo = trace::EndoVariant::kPaperCost;
+  trace::SmTrace sm = trace::build_sm_trace(topt);
+  sched::CompileResult r = sched::compile_program(sm.program, {});
+  power::Sotb65Model model(r.sm.cycles());
+
+  std::printf("Program: %d cycles per scalar multiplication\n\n", r.sm.cycles());
+  std::printf("%8s %14s %16s %14s %s\n", "VDD [V]", "fmax [MHz]", "Latency [us]",
+              "Energy [uJ]", "");
+  bench::print_rule(64);
+  for (double v = 0.32; v <= 1.201; v += 0.04) {
+    auto op = model.at(v);
+    const char* mark = "";
+    if (v < 0.34) mark = "  <- paper: 857 us / 0.327 uJ (measured)";
+    if (v > 1.19) mark = "  <- paper: 10.1 us / 3.98 uJ (measured)";
+    std::printf("%8.2f %14.2f %16.2f %14.3f%s\n", v, op.fmax_mhz, op.latency_us,
+                op.energy_uj, mark);
+  }
+
+  std::printf("\nEnergy-optimal operating point: VDD = %.2f V (%.3f uJ/SM)\n",
+              model.energy_optimal_vdd(), model.energy_uj(model.energy_optimal_vdd()));
+  std::printf("Paper: lowest reported energy 0.327 uJ/SM at 0.32 V.\n");
+
+  // Per-unit energy attribution from the cycle-accurate activity record.
+  curve::Affine p = curve::deterministic_point(1);
+  trace::InputBindings b = bench::sm_bindings(sm, p);
+  U256 k(123456789);
+  curve::Decomposition dec = curve::decompose(k);
+  curve::RecodedScalar rec = curve::recode(dec.a);
+  asic::SimResult simres = asic::simulate(r.sm, b, trace::EvalContext{&rec, dec.k_was_even});
+  power::ActivityEnergyModel act(simres.stats, model);
+
+  std::printf("\nActivity-based energy attribution (uJ per SM):\n\n");
+  std::printf("%8s %10s %10s %10s %10s %10s %10s\n", "VDD [V]", "mult", "add/sub", "regfile",
+              "ctrl+clk", "leakage", "total");
+  bench::print_rule(76);
+  for (double v : {1.20, 0.80, 0.50, 0.32}) {
+    auto bd = act.breakdown(v);
+    std::printf("%8.2f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n", v, bd.mul_uj,
+                bd.addsub_uj, bd.rf_uj, bd.ctrl_uj, bd.leak_uj, bd.total_uj());
+  }
+  std::printf("\nThe multiplier dominates switching energy at all voltages; leakage\n"
+              "integrated over the 85x longer runtime takes over below ~0.4 V —\n"
+              "why the measured energy optimum sits at the lowest working voltage.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Experiment E7 — paper §III-C claims about automated global scheduling:
+//  (a) solver-based scheduling vs the no-ILP baseline;
+//  (b) global (whole-trace) scheduling vs hand-style blocked scheduling,
+//      which the paper argues gets stuck in local optima because each small
+//      block is drained before the next starts.
+#include <cstdio>
+
+#include "asic/looped.hpp"
+#include "bench_util.hpp"
+#include "curve/point.hpp"
+#include "sched/bnb.hpp"
+#include "sched/modulo.hpp"
+
+namespace fourq {
+namespace {
+
+// An n-iteration unrolled double-and-add chain with per-iteration table
+// operands as register-resident inputs (loop-only program, no prologue).
+trace::Program unrolled_loop(int iterations) {
+  using TVar = trace::Fp2Var;
+  trace::Tracer t;
+  curve::R1T<TVar> q;
+  q.X = t.input("Qx");
+  q.Y = t.input("Qy");
+  q.Z = t.input("Qz");
+  q.Ta = t.input("Ta");
+  q.Tb = t.input("Tb");
+  for (int i = 0; i < iterations; ++i) {
+    curve::R2T<TVar> e;
+    std::string n = std::to_string(i);
+    e.xpy = t.input("T.xpy" + n);
+    e.ymx = t.input("T.ymx" + n);
+    e.z2 = t.input("T.2z" + n);
+    e.dt2 = t.input("T.2dt" + n);
+    q = curve::add(curve::dbl(q), e);
+  }
+  t.mark_output(q.X, "Qx");
+  t.mark_output(q.Y, "Qy");
+  t.mark_output(q.Z, "Qz");
+  t.mark_output(q.Ta, "Ta");
+  t.mark_output(q.Tb, "Tb");
+  return t.take_program();
+}
+
+}  // namespace
+}  // namespace fourq
+
+int main() {
+  using namespace fourq;
+  using namespace fourq::sched;
+
+  bench::print_header("E7 / §III-C — scheduling ablation");
+
+  MachineConfig cfg;
+
+  // (a) Solvers on the loop body and on the full SM program.
+  std::printf("(a) Solver comparison, makespan in cycles\n\n");
+  std::printf("%-34s %14s %14s\n", "Scheduler", "loop body", "full SM");
+  bench::print_rule(66);
+
+  trace::LoopBodyTrace body = trace::build_loop_body_trace();
+  Problem prb = build_problem(body.program, cfg);
+
+  trace::SmTraceOptions topt;
+  topt.endo = trace::EndoVariant::kPaperCost;
+  trace::SmTrace sm = trace::build_sm_trace(topt);
+  Problem prf = build_problem(sm.program, cfg);
+
+  Schedule sb = sequential_schedule(prb);
+  Schedule sf = sequential_schedule(prf);
+  std::printf("%-34s %14d %14d\n", "sequential (no ILP)", sb.makespan, sf.makespan);
+
+  Schedule lb = list_schedule(prb);
+  Schedule lf = list_schedule(prf);
+  std::printf("%-34s %14d %14d\n", "critical-path list", lb.makespan, lf.makespan);
+
+  ListOptions mob;
+  mob.priority = ListOptions::Priority::kMobility;
+  std::printf("%-34s %14d %14d\n", "mobility (least-slack) list",
+              list_schedule(prb, mob).makespan, list_schedule(prf, mob).makespan);
+
+  AnnealOptions ab;
+  ab.iterations = 4000;
+  AnnealOptions af;
+  af.iterations = 250;
+  Schedule annb = anneal_schedule(prb, ab).schedule;
+  Schedule annf = anneal_schedule(prf, af).schedule;
+  std::printf("%-34s %14d %14d\n", "simulated annealing", annb.makespan, annf.makespan);
+
+  BnbOptions bo;
+  bo.node_limit = 10'000'000;
+  bo.upper_bound = annb.makespan + 1;
+  BnbResult bnbb = branch_and_bound(prb, bo);
+  std::printf("%-34s %14d %14s  %s\n", "branch & bound (body only)", bnbb.schedule.makespan,
+              "-", bnbb.proven_optimal ? "(optimal)" : "(budget)");
+  std::printf("\nPaper: automated solver scheduling replaces error-prone hand scheduling;\n"
+              "the loop body lands at 25 cycles (Table I).\n");
+
+  // (b) Global vs blocked scheduling of an unrolled loop segment.
+  std::printf("\n(b) Global vs blocked scheduling of N unrolled loop iterations\n\n");
+  std::printf("%6s %22s %22s %12s\n", "N", "blocked (N x body)", "global (one trace)",
+              "speedup");
+  bench::print_rule(68);
+  int body_ms = list_schedule(build_problem(body.program, cfg)).makespan;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    trace::Program u = unrolled_loop(n);
+    Problem pru = build_problem(u, cfg);
+    int global_ms = list_schedule(pru).makespan;
+    std::printf("%6d %22d %22d %11.2fx\n", n, body_ms * n, global_ms,
+                static_cast<double>(body_ms * n) / global_ms);
+  }
+  std::printf("\nPaper: dividing the trace into small hand-schedulable blocks loses the\n"
+              "cross-boundary overlap and yields local optima (§III-C).\n");
+
+  // (c) The real thing, built both ways: globally scheduled flat ROM vs a
+  // blocked controller that replays one scheduled body per digit.
+  std::printf("\n(c) Full SM: flat (global) controller vs blocked (looped) controller\n\n");
+  asic::LoopedSmOptions lopt;
+  asic::LoopedSm looped = asic::build_looped_sm(lopt);
+  sched::CompileResult flat = sched::compile_program(sm.program, {});
+
+  std::printf("%-26s %14s %14s %12s\n", "Controller", "cycles/SM", "ROM words", "RF size");
+  bench::print_rule(72);
+  std::printf("%-26s %14d %14d %12d\n", "flat (paper's approach)", flat.sm.cycles(),
+              flat.sm.cycles(), flat.sm.cfg.rf_size);
+  std::printf("%-26s %14d %14d %12d\n", "blocked/looped", looped.total_cycles(),
+              looped.rom_words(), looped.rf_size);
+  for (int u : {5, 13}) {
+    asic::LoopedSmOptions uo;
+    uo.body_unroll = u;
+    asic::LoopedSm lu = asic::build_looped_sm(uo);
+    std::string name = "blocked, body x" + std::to_string(u);
+    std::printf("%-26s %14d %14d %12d\n", name.c_str(), lu.total_cycles(), lu.rom_words(),
+                lu.rf_size);
+  }
+  std::printf("\n  blocked pays %.0f%% more cycles for a %.1fx smaller program ROM; body\n"
+              "  unrolling recovers the cross-iteration overlap inside each replay —\n"
+              "  the quantified version of the paper's global-scheduling argument.\n",
+              100.0 * (looped.total_cycles() - flat.sm.cycles()) / flat.sm.cycles(),
+              static_cast<double>(flat.sm.cycles()) / looped.rom_words());
+
+  // (d) Software-pipelining analysis: how fast could the loop go in steady
+  // state with rotating registers (iterative modulo scheduling)?
+  std::printf("\n(d) Modulo-scheduling analysis of the loop kernel\n\n");
+  {
+    Problem prk = build_problem(body.program, cfg);
+    std::vector<int> outs;
+    for (const auto& [id, name] : body.program.outputs) {
+      (void)name;
+      outs.push_back(id);
+    }
+    auto carried = body_carried_deps(prk, body.q_inputs, outs);
+    ModuloResult mr = modulo_schedule(prk, carried);
+    std::printf("  ResMII (15 muls / 1 multiplier)   : %d cycles\n", mr.res_mii);
+    std::printf("  RecMII (accumulator recurrence)   : %d cycles\n", mr.rec_mii);
+    std::printf("  achieved steady-state II          : %d cycles/iteration\n", mr.ii);
+    std::printf("  block schedule (no overlap)       : %d cycles/iteration\n",
+                list_schedule(prk).makespan);
+    std::printf("\n  The kernel is recurrence-limited: the accumulator's dependence cycle,\n"
+                "  not the multiplier, caps the steady state — context for why the paper's\n"
+                "  globally scheduled flat ROM (which overlaps across the *whole* program)\n"
+                "  is the stronger design than per-iteration pipelining.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Experiment E6 — software scalar-multiplication comparison across the
+// three curves of the paper's narrative (§I / [7]): FourQ ≈ 5x NIST P-256
+// and ≈ 2x Curve25519. Absolute numbers depend on this host; the ordering
+// and rough factors are the reproduced result.
+#include <chrono>
+#include <cstdio>
+
+#include "baseline/p256.hpp"
+#include "baseline/x25519.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+
+int main() {
+  using namespace fourq;
+  using Clock = std::chrono::steady_clock;
+
+  bench::print_header("E6 / §I — software scalar multiplication: FourQ vs P-256 vs Curve25519");
+
+  Rng rng(1001);
+  const int iters = 40;
+
+  // FourQ (our Alg. 1 path).
+  curve::Affine g{curve::candidate_generator_x(), curve::candidate_generator_y()};
+  uint64_t acc = 0;
+  volatile uint64_t sink = 0;
+  auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    U256 k = rng.next_u256();
+    curve::PointR1 q = curve::scalar_mul(k, g);
+    acc += q.X.re().lo();
+  }
+  double fourq_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count() / iters;
+
+  // NIST P-256 double-and-add.
+  baseline::P256 p256;
+  t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    U256 k = mod(rng.next_u256(), p256.group_order());
+    auto q = p256.scalar_mul_base(k);
+    acc += q.X.w[0];
+  }
+  double p256_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count() / iters;
+
+  // X25519 Montgomery ladder.
+  t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    U256 k = rng.next_u256();
+    U256 u = baseline::x25519_base(k);
+    acc += u.w[0];
+  }
+  sink = acc;
+  double x255_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count() / iters;
+
+  std::printf("%-14s %14s %14s %12s\n", "Curve", "latency [us]", "ops/sec", "vs FourQ");
+  bench::print_rule(60);
+  std::printf("%-14s %14.1f %14.0f %12s\n", "FourQ", fourq_us, 1e6 / fourq_us, "1.00x");
+  std::printf("%-14s %14.1f %14.0f %11.2fx\n", "Curve25519", x255_us, 1e6 / x255_us,
+              x255_us / fourq_us);
+  std::printf("%-14s %14.1f %14.0f %11.2fx\n", "NIST P-256", p256_us, 1e6 / p256_us,
+              p256_us / fourq_us);
+  std::printf("\nPaper ([7]): FourQ ~5x faster than P-256, ~2x faster than Curve25519.\n");
+  std::printf("(Our FourQ path pays 192 extra doublings for the endomorphism substitute,\n"
+              "so its software advantage is a lower bound on the real curve's.)\n");
+  (void)sink;
+  return 0;
+}

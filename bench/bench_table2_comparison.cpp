@@ -1,0 +1,115 @@
+// Experiment E2 — paper Table II: comparison to prior art.
+//
+// Compiles the paper-cost SM program, derives latency/throughput/energy at
+// the two measured voltages from the calibrated SOTB model, and prints our
+// rows next to the published prior-art rows, with the paper's headline
+// ratios (15.5x vs FourQ-on-FPGA [10], 3.66x vs P-256 ASIC [5], 5.14x
+// energy vs the ECDSA generator [17]).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "power/area.hpp"
+#include "power/sotb65.hpp"
+
+int main() {
+  using namespace fourq;
+
+  bench::print_header("E2 / Table II — comparison to prior art");
+
+  // Compile the SM program with the solver flow (paper-cost endomorphism
+  // phase for program-length fidelity).
+  trace::SmTraceOptions topt;
+  topt.endo = trace::EndoVariant::kPaperCost;
+  trace::SmTrace sm = trace::build_sm_trace(topt);
+
+  sched::CompileOptions copt;
+  copt.solver = sched::Solver::kAnneal;
+  copt.anneal.iterations = 400;
+  sched::CompileResult r = sched::compile_program(sm.program, copt);
+  int cycles = r.sm.cycles();
+
+  power::Sotb65Model model(cycles);
+  power::AreaOptions aopt;
+  aopt.rom_words = cycles;
+  power::AreaBreakdown area = power::estimate_area(aopt);
+
+  std::printf("Scheduled SM program: %d cycles (%zu microinstructions, RF pressure %d)\n",
+              cycles, r.problem.nodes.size(), r.register_pressure);
+  std::printf("Area model: %.0f kGE (paper: 1400 kGE)\n\n", area.total_kge());
+
+  std::printf("%-26s %-12s %7s %13s %16s %12s %14s\n", "Design", "Curve", "VDD[V]",
+              "Latency[ms]", "Thruput[op/s]", "Energy[uJ]", "Lat*Area");
+  bench::print_rule(106);
+
+  auto row = [&](const char* name, const char* curve, double v, double lat_ms, double thr,
+                 double e, double lap) {
+    std::printf("%-26s %-12s %7.3f %13.4f %16.3g %12.3g %14.4g\n", name, curve, v, lat_ms,
+                thr, e, lap);
+  };
+
+  for (double v : {1.20, 0.32}) {
+    auto op = model.at(v);
+    row("Ours (model)", "FourQ", v, op.latency_us / 1000.0, 1e6 / op.latency_us,
+        op.energy_uj, area.total_kge() * op.latency_us / 1000.0);
+  }
+  std::printf("%-26s %-12s %7.3f %13.4f %16.3g %12.3g %14.4g\n", "Ours (paper, meas.)",
+              "FourQ", 1.20, 0.0101, 9.90e4, 3.98, 14.1);
+  std::printf("%-26s %-12s %7.3f %13.4f %16.3g %12.3g %14.4g\n", "Ours (paper, meas.)",
+              "FourQ", 0.32, 0.857, 1.0 / 0.857e-3, 0.327, 1200.0);
+  bench::print_rule(106);
+
+  // Published prior-art rows (Table II as printed).
+  struct Prior {
+    const char* name;
+    const char* curve;
+    double lat_ms, thr, energy_uj;  // energy < 0 = not reported
+  };
+  const Prior prior[] = {
+      {"[5]  NANGATE45 ASIC", "NIST P-256", 0.0370, 2.70e4, -1},
+      {"[18] 65nm SOTB ASIC", "Any", 0.0600, 1.67e4, 10.7},
+      {"[17] 65nm SOTB ASIC 1.1V", "Any", 0.325, 3080, 13.9},
+      {"[17] 65nm SOTB ASIC 0.3V", "Any", 2.30, 435, 1.68},
+      {"[19] Virtex-4", "NIST P-256", 0.495, 2020, -1},
+      {"[20] Virtex-5", "NIST P-256", 3.95, 253, -1},
+      {"[21] Virtex-5", "NIST P-256", 0.570, 1750, -1},
+      {"[22] Zynq-7020", "Curve25519", 0.397, 2520, -1},
+      {"[10] Zynq-7020 (FourQ)", "FourQ", 0.157, 6390, -1},
+  };
+  for (const Prior& p : prior) {
+    if (p.energy_uj < 0)
+      std::printf("%-26s %-12s %7s %13.4f %16.3g %12s %14s\n", p.name, p.curve, "-",
+                  p.lat_ms, p.thr, "-", "-");
+    else
+      std::printf("%-26s %-12s %7s %13.4f %16.3g %12.3g %14s\n", p.name, p.curve, "-",
+                  p.lat_ms, p.thr, p.energy_uj, "-");
+  }
+
+  // Multi-core scaling (Table II lists multi-core FPGA rows; our design,
+  // like the paper's, is single-core — these rows show the linear-scaling
+  // projection used by those comparisons).
+  bench::print_rule(106);
+  for (int cores : {2, 4, 11}) {
+    auto op = model.at(1.20);
+    std::printf("%-26s %-12s %7.3f %13.4f %16.3g %12.3g %14.4g\n",
+                ("Ours x" + std::to_string(cores) + " cores (proj.)").c_str(), "FourQ",
+                1.20, op.latency_us / 1000.0, cores * 1e6 / op.latency_us,
+                op.energy_uj, cores * area.total_kge() * op.latency_us / 1000.0);
+  }
+
+  // Headline ratios.
+  double ours_lat_ms = model.at(1.20).latency_us / 1000.0;
+  double ours_energy_lowv = model.at(0.32).energy_uj;
+  bench::print_rule(106);
+  std::printf("\nHeadline ratios (paper -> model):\n");
+  std::printf("  vs [10] FourQ FPGA latency   : paper 15.5x   model %.1fx\n",
+              0.157 / ours_lat_ms);
+  std::printf("  vs [5]  P-256 ASIC latency   : paper 3.66x   model %.2fx\n",
+              0.0370 / ours_lat_ms);
+  std::printf("  vs [17] ECDSA energy (0.3 V) : paper 5.14x   model %.2fx\n",
+              1.68 / ours_energy_lowv);
+  std::printf(
+      "\nNote: Table II's 0.32 V row prints 0.857 ms latency and 117 op/s, which\n"
+      "disagree by 10x; the latency-area product column (1400 kGE x 0.857 ms = 1200)\n"
+      "confirms the latency column, so the printed throughput is a paper typo.\n");
+  return 0;
+}

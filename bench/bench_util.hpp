@@ -1,0 +1,41 @@
+// Shared helpers for the experiment-reproduction binaries: fixed-width
+// table printing and the standard trace/compile shortcuts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "curve/scalarmul.hpp"
+#include "sched/compile.hpp"
+#include "trace/eval.hpp"
+#include "trace/sm_trace.hpp"
+
+namespace fourq::bench {
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+// Standard input bindings for an SM trace over base point `p`.
+inline trace::InputBindings sm_bindings(const trace::SmTrace& sm, const curve::Affine& p) {
+  trace::InputBindings b;
+  b.emplace_back(sm.in_zero, curve::Fp2());
+  b.emplace_back(sm.in_one, curve::Fp2::from_u64(1));
+  b.emplace_back(sm.in_two_d, curve::curve_2d());
+  b.emplace_back(sm.in_px, p.x);
+  b.emplace_back(sm.in_py, p.y);
+  for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+    b.emplace_back(sm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
+  return b;
+}
+
+}  // namespace fourq::bench

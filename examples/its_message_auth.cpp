@@ -1,0 +1,102 @@
+// The paper's motivating scenario (§I): message authentication for
+// intelligent transportation systems. A six-lane intersection produces a
+// flood of signed safety messages (the paper cites ~1000 verifications per
+// second from [5]); this example signs and verifies a simulated message
+// stream with Schnorr-on-FourQ and reports whether the software baseline —
+// and the modelled ASIC — keep up.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsa/schnorrq.hpp"
+#include "power/sotb65.hpp"
+#include "sched/compile.hpp"
+#include "trace/sm_trace.hpp"
+
+int main() {
+  using namespace fourq;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("ITS message authentication (paper §I scenario)\n");
+  std::printf("==============================================\n\n");
+
+  dsa::SchnorrQ scheme;
+  Rng rng(7);
+
+  // A small fleet of vehicles, each with its own key pair.
+  constexpr int kVehicles = 8;
+  std::vector<dsa::SchnorrQ::KeyPair> fleet;
+  for (int v = 0; v < kVehicles; ++v) fleet.push_back(scheme.keygen(rng));
+
+  // Generate a burst of CAM-style messages.
+  constexpr int kMessages = 64;
+  struct Msg {
+    int vehicle;
+    std::string body;
+    dsa::SchnorrQ::Signature sig;
+  };
+  std::vector<Msg> traffic;
+  auto t0 = Clock::now();
+  for (int i = 0; i < kMessages; ++i) {
+    int v = static_cast<int>(rng.next_below(kVehicles));
+    std::string body = "CAM{vehicle=" + std::to_string(v) + ",seq=" + std::to_string(i) +
+                       ",pos=(35.71,139.76),speed=12.4}";
+    traffic.push_back(Msg{v, body, scheme.sign(fleet[static_cast<size_t>(v)], body)});
+  }
+  double sign_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count() / kMessages;
+
+  // Verify the whole burst (one corrupted message injected).
+  traffic[kMessages / 2].body += " [tampered]";
+  int valid = 0, rejected = 0;
+  t0 = Clock::now();
+  for (const Msg& m : traffic) {
+    if (scheme.verify(fleet[static_cast<size_t>(m.vehicle)].pub, m.body, m.sig))
+      ++valid;
+    else
+      ++rejected;
+  }
+  double verify_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count() / kMessages;
+
+  std::printf("messages signed     : %d (%.0f us/sign, %.0f signs/s software)\n", kMessages,
+              sign_us, 1e6 / sign_us);
+  std::printf("messages verified   : %d valid, %d rejected (1 tampered injected)\n", valid,
+              rejected);
+  std::printf("verify rate (sw)    : %.0f msgs/s on this host\n", 1e6 / verify_us);
+
+  // Batch verification: one multi-scalar multiplication for the whole
+  // burst. The tampered message makes the batch fail, and per-item
+  // verification isolates it — the production pattern for message floods.
+  std::vector<dsa::SchnorrQ::BatchItem> batch;
+  for (const Msg& m : traffic)
+    batch.push_back({fleet[static_cast<size_t>(m.vehicle)].pub, m.body, m.sig});
+  t0 = Clock::now();
+  bool batch_ok = scheme.verify_batch(batch, rng);
+  double batch_us = std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+  std::printf("batch verify        : %s in %.0f us total (%.1f us/msg, %.1fx vs per-item)\n",
+              batch_ok ? "accepted (bug: tampered batch!)" : "rejected as expected",
+              batch_us, batch_us / kMessages, verify_us / (batch_us / kMessages));
+  batch.erase(batch.begin() + kMessages / 2);  // drop the tampered message
+  std::printf("batch w/o tampered  : %s\n\n",
+              scheme.verify_batch(batch, rng) ? "accepted" : "REJECTED (bug!)");
+
+  // What the modelled ASIC would sustain: a verification costs ~2 scalar
+  // multiplications (the dominant cost; hashing is negligible).
+  trace::SmTraceOptions topt;
+  topt.endo = trace::EndoVariant::kPaperCost;
+  sched::CompileResult r = sched::compile_program(trace::build_sm_trace(topt).program, {});
+  power::Sotb65Model chip(r.sm.cycles());
+  for (double v : {1.20, 0.32}) {
+    double sm_us = chip.latency_us(v);
+    double verifies_per_s = 1e6 / (2.0 * sm_us);
+    std::printf("ASIC @ %.2f V: %.1f us/SM -> ~%.0f verifies/s (%.2f uJ/SM)\n", v, sm_us,
+                verifies_per_s, chip.energy_uj(v));
+  }
+  std::printf("\nPaper target: ~1000 verifications/s for a congested six-lane road [5];\n"
+              "the 1.2 V operating point exceeds it by ~50x, leaving headroom for the\n"
+              "100 Mb/s networks the paper anticipates.\n");
+  return 0;
+}

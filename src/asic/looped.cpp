@@ -1,0 +1,400 @@
+#include "asic/looped.hpp"
+
+#include <numeric>
+
+#include "asic/machine_state.hpp"
+#include "common/check.hpp"
+#include "curve/point.hpp"
+#include "curve/scalar.hpp"
+
+namespace fourq::asic {
+
+using curve::kDigits;
+using trace::Fp2Var;
+using trace::Tracer;
+
+namespace {
+
+using TR1 = curve::R1T<Fp2Var>;
+using TR2 = curve::R2T<Fp2Var>;
+
+// Architectural register-file slot layout shared by the three segments.
+struct ArchLayout {
+  static constexpr int kZero = 0, kOne = 1, kTwoD = 2;
+  static constexpr int kEndoBase = 3;   // 6 slots
+  static constexpr int kPx = 9, kPy = 10;
+  static constexpr int kXpy = 11;       // +u, u < 8
+  static constexpr int kYmx = 19;
+  static constexpr int kZ2 = 27;
+  static constexpr int kDt2 = 35;
+  static constexpr int kNdt2 = 43;
+  static constexpr int kCorrOdd = 51;   // xpy, ymx, z2, dt2
+  static constexpr int kCorrEven = 55;  // xpy, ymx, z2, dt2
+  static constexpr int kBankA = 59;     // X, Y, Z, Ta, Tb
+  static constexpr int kBankB = 64;
+  static constexpr int kTempBase = 72;
+};
+
+struct EndoStubConsts {
+  std::array<Fp2Var, 6> c;
+};
+
+TR1 dbl_n(TR1 p, int n) {
+  for (int i = 0; i < n; ++i) p = curve::dbl(p);
+  return p;
+}
+
+// The same endomorphism-shaped stand-in used by the flat trace: tau /
+// phi-hat / psi-hat composition with placeholder constants. Re-traced here
+// with the prologue's own tracer (structure identical to sm_trace.cpp).
+std::array<Fp2Var, 3> stub_tau(Tracer& t, const TR1& p, const EndoStubConsts& k) {
+  Fp2Var t0 = sqr(p.X);
+  Fp2Var t1 = sqr(p.Y);
+  Fp2Var x = t.mul(p.X, p.Y);
+  Fp2Var z = t.mul(t0 + t1, k.c[0]);
+  return {x, t1 - t0, z};
+}
+
+TR1 stub_tau_dual(Tracer& t, const std::array<Fp2Var, 3>& w, const EndoStubConsts& k) {
+  Fp2Var t0 = sqr(w[0]);
+  Fp2Var ta = t0 - w[1];
+  Fp2Var tb = w[1] + w[2];
+  Fp2Var x = t.mul(w[0], k.c[1]);
+  Fp2Var y = t.mul(w[1], w[2]);
+  Fp2Var z = t.mul(tb, k.c[2]);
+  return TR1{x, y, z, ta, tb};
+}
+
+std::array<Fp2Var, 3> stub_phi_hat(Tracer& t, const std::array<Fp2Var, 3>& w,
+                                   const EndoStubConsts& k) {
+  Fp2Var t0 = sqr(w[0]);
+  Fp2Var t1 = sqr(w[1]);
+  Fp2Var t2 = t.mul(t0, k.c[3]);
+  Fp2Var t3 = t.mul(t1, k.c[4]);
+  Fp2Var t4 = t.mul(w[0], w[1]);
+  Fp2Var t5 = t.mul(w[2], k.c[5]);
+  Fp2Var x = t.mul(t4, t2 + t3);
+  Fp2Var y = t.mul(t5, t2 - t3);
+  Fp2Var z = t.mul(t0 + t1, w[2]);
+  return {x, y, z};
+}
+
+std::array<Fp2Var, 3> stub_psi_hat(Tracer& t, const std::array<Fp2Var, 3>& w,
+                                   const EndoStubConsts& k) {
+  Fp2Var t0 = t.conj(w[0]);
+  Fp2Var t1 = t.conj(w[1]);
+  Fp2Var t2 = t.conj(w[2]);
+  Fp2Var x = t.mul(t0, k.c[3]);
+  Fp2Var z = t.mul(t2, k.c[4]);
+  Fp2Var y = t.mul(t1, t2);
+  Fp2Var y2 = t.mul(y, k.c[5]);
+  Fp2Var x2 = t.mul(x, z);
+  return {x2, y2, t0 + t2};
+}
+
+Fp2Var sqr_n(Fp2Var x, int n) {
+  for (int i = 0; i < n; ++i) x = sqr(x);
+  return x;
+}
+
+Fp2Var fermat_inverse_chain(Tracer& t, Fp2Var n) {
+  Fp2Var t1 = n;
+  Fp2Var t2 = t.mul(sqr_n(t1, 1), t1);
+  Fp2Var t4 = t.mul(sqr_n(t2, 2), t2);
+  Fp2Var t8 = t.mul(sqr_n(t4, 4), t4);
+  Fp2Var t16 = t.mul(sqr_n(t8, 8), t8);
+  Fp2Var t32 = t.mul(sqr_n(t16, 16), t16);
+  Fp2Var t64 = t.mul(sqr_n(t32, 32), t32);
+  Fp2Var a = t.mul(sqr_n(t64, 32), t32);
+  Fp2Var b = t.mul(sqr_n(a, 16), t16);
+  Fp2Var c = t.mul(sqr_n(b, 8), t8);
+  Fp2Var d = t.mul(sqr_n(c, 4), t4);
+  Fp2Var e = t.mul(sqr_n(d, 1), t1);
+  return t.mul(sqr_n(e, 2), t1);
+}
+
+}  // namespace
+
+LoopedSm build_looped_sm(const LoopedSmOptions& opt) {
+  using L = ArchLayout;
+  FOURQ_CHECK_MSG(opt.cfg.rf_size >= L::kTempBase + 8,
+                  "looped controller needs a larger register file");
+  FOURQ_CHECK_MSG(opt.body_unroll >= 1 && kDigits % opt.body_unroll == 0,
+                  "body_unroll must divide the digit count (1, 5 or 13)");
+  FOURQ_CHECK(opt.body_unroll - 1 <= trace::kMaxCounterOffset);
+  LoopedSm out;
+  out.rf_size = opt.cfg.rf_size;
+  out.iterations = kDigits / opt.body_unroll;  // replays; the first replay's
+                                               // leading doubling hits the identity
+  out.body_unroll = opt.body_unroll;
+  for (int i = 0; i < 5; ++i) {
+    out.bank_a[static_cast<size_t>(i)] = L::kBankA + i;
+    out.bank_b[static_cast<size_t>(i)] = L::kBankB + i;
+  }
+
+  sched::CompileOptions copt;
+  copt.cfg = opt.cfg;
+  copt.solver = opt.solver;
+
+  // ---- Prologue: constants + table + correction candidates + Q0. ----------
+  {
+    Tracer t;
+    sched::PinSpec pins;
+    pins.temp_base = L::kTempBase;
+    auto pin = [&](const Fp2Var& v, int slot) { pins.pins.emplace_back(v.id, slot); };
+
+    Fp2Var zero = t.input("const.zero");
+    Fp2Var one = t.input("const.one");
+    Fp2Var two_d = t.input("const.2d");
+    Fp2Var px = t.input("P.x");
+    Fp2Var py = t.input("P.y");
+    pin(zero, L::kZero);
+    pin(one, L::kOne);
+    pin(two_d, L::kTwoD);
+    pin(px, L::kPx);
+    pin(py, L::kPy);
+    out.in_zero = zero.id;
+    out.in_one = one.id;
+    out.in_two_d = two_d.id;
+    out.in_px = px.id;
+    out.in_py = py.id;
+
+    TR1 p = curve::to_r1(curve::AffineT<Fp2Var>{px, py}, one);
+
+    TR1 p2, p3, p4;
+    if (opt.endo == trace::EndoVariant::kFunctional) {
+      p2 = dbl_n(p, 64);
+      p3 = dbl_n(p2, 64);
+      p4 = dbl_n(p3, 64);
+    } else {
+      EndoStubConsts k;
+      for (int i = 0; i < 6; ++i) {
+        Fp2Var c = t.input("endo.c" + std::to_string(i));
+        k.c[static_cast<size_t>(i)] = c;
+        pin(c, L::kEndoBase + i);
+        out.in_endo_consts.push_back(c.id);
+      }
+      auto w = stub_tau(t, p, k);
+      p2 = stub_tau_dual(t, stub_phi_hat(t, w, k), k);
+      p3 = stub_tau_dual(t, stub_psi_hat(t, w, k), k);
+      auto w2 = stub_tau(t, p2, k);
+      p4 = stub_tau_dual(t, stub_psi_hat(t, w2, k), k);
+    }
+
+    TR2 p2r = curve::to_r2(p2, two_d);
+    TR2 p3r = curve::to_r2(p3, two_d);
+    TR2 p4r = curve::to_r2(p4, two_d);
+    std::array<TR1, 8> t1;
+    t1[0] = p;
+    t1[1] = curve::add(t1[0], p2r);
+    t1[2] = curve::add(t1[0], p3r);
+    t1[3] = curve::add(t1[1], p3r);
+    for (int u = 0; u < 4; ++u)
+      t1[static_cast<size_t>(u + 4)] = curve::add(t1[static_cast<size_t>(u)], p4r);
+
+    for (int u = 0; u < 8; ++u) {
+      TR2 r2 = curve::to_r2(t1[static_cast<size_t>(u)], two_d);
+      Fp2Var ndt2 = t.sub(zero, r2.dt2);
+      pin(r2.xpy, L::kXpy + u);
+      pin(r2.ymx, L::kYmx + u);
+      pin(r2.z2, L::kZ2 + u);
+      pin(r2.dt2, L::kDt2 + u);
+      pin(ndt2, L::kNdt2 + u);
+      std::string su = std::to_string(u);
+      t.mark_output(r2.xpy, "T.xpy" + su);
+      t.mark_output(r2.ymx, "T.ymx" + su);
+      t.mark_output(r2.z2, "T.z2" + su);
+      t.mark_output(r2.dt2, "T.dt2" + su);
+      t.mark_output(ndt2, "T.ndt2" + su);
+    }
+
+    // Correction candidates. Odd: identity in R2 = (1, 1, 2, 0); computed
+    // with explicit ops so each lands in its own architectural slot.
+    Fp2Var co_xpy = t.add(one, zero, "corr.odd.xpy");
+    Fp2Var co_ymx = t.add(one, zero, "corr.odd.ymx");
+    Fp2Var co_z2 = t.add(one, one, "corr.odd.z2");
+    Fp2Var co_dt2 = t.add(zero, zero, "corr.odd.dt2");
+    pin(co_xpy, L::kCorrOdd + 0);
+    pin(co_ymx, L::kCorrOdd + 1);
+    pin(co_z2, L::kCorrOdd + 2);
+    pin(co_dt2, L::kCorrOdd + 3);
+    // Even: -P in R2 (swap xpy/ymx of to_r2(P), negate dt2).
+    TR2 pr2 = curve::to_r2(p, two_d);
+    Fp2Var ce_dt2 = t.sub(zero, pr2.dt2, "corr.even.dt2");
+    pin(pr2.ymx, L::kCorrEven + 0);  // xpy of -P
+    pin(pr2.xpy, L::kCorrEven + 1);  // ymx of -P
+    pin(pr2.z2, L::kCorrEven + 2);
+    pin(ce_dt2, L::kCorrEven + 3);
+    for (const Fp2Var& v : {co_xpy, co_ymx, co_z2, co_dt2, pr2.ymx, pr2.xpy, pr2.z2, ce_dt2})
+      t.mark_output(v, "corr." + std::to_string(v.id));
+
+    // Initial accumulator Q = identity, copied into bank A.
+    Fp2Var q0x = t.add(zero, zero, "Q0.X");
+    Fp2Var q0y = t.add(one, zero, "Q0.Y");
+    Fp2Var q0z = t.add(one, zero, "Q0.Z");
+    Fp2Var q0ta = t.add(zero, zero, "Q0.Ta");
+    Fp2Var q0tb = t.add(one, zero, "Q0.Tb");
+    const Fp2Var q0[5] = {q0x, q0y, q0z, q0ta, q0tb};
+    for (int i = 0; i < 5; ++i) {
+      pin(q0[i], L::kBankA + i);
+      t.mark_output(q0[i], "Q0." + std::to_string(i));
+    }
+
+    out.prologue = sched::compile_block(t.take_program(), copt, pins).sm;
+  }
+
+  // ---- Body: one dbl+add replayed per digit (counter-indexed reads). ------
+  {
+    Tracer t;
+    sched::PinSpec pins;
+    pins.temp_base = L::kTempBase;
+    auto pin = [&](const Fp2Var& v, int slot) { pins.pins.emplace_back(v.id, slot); };
+
+    TR1 q;
+    q.X = t.input("Qx");
+    q.Y = t.input("Qy");
+    q.Z = t.input("Qz");
+    q.Ta = t.input("Ta");
+    q.Tb = t.input("Tb");
+    const Fp2Var qin[5] = {q.X, q.Y, q.Z, q.Ta, q.Tb};
+    for (int i = 0; i < 5; ++i) pin(qin[i], L::kBankA + i);
+
+    std::vector<Fp2Var> xpy(8), ymx(8), z2(8), dt2(8), ndt2(8);
+    for (int u = 0; u < 8; ++u) {
+      std::string su = std::to_string(u);
+      xpy[static_cast<size_t>(u)] = t.input("T.xpy" + su);
+      ymx[static_cast<size_t>(u)] = t.input("T.ymx" + su);
+      z2[static_cast<size_t>(u)] = t.input("T.z2" + su);
+      dt2[static_cast<size_t>(u)] = t.input("T.dt2" + su);
+      ndt2[static_cast<size_t>(u)] = t.input("T.ndt2" + su);
+      pin(xpy[static_cast<size_t>(u)], L::kXpy + u);
+      pin(ymx[static_cast<size_t>(u)], L::kYmx + u);
+      pin(z2[static_cast<size_t>(u)], L::kZ2 + u);
+      pin(dt2[static_cast<size_t>(u)], L::kDt2 + u);
+      pin(ndt2[static_cast<size_t>(u)], L::kNdt2 + u);
+    }
+
+    TR1 r = q;
+    for (int o = 0; o < opt.body_unroll; ++o) {
+      int iter = trace::counter_iter_with_offset(o);
+      std::string tag = "@i-" + std::to_string(o);
+      TR2 sel;
+      sel.xpy = t.digit_select({xpy, ymx}, iter, "T.xpy" + tag);
+      sel.ymx = t.digit_select({ymx, xpy}, iter, "T.ymx" + tag);
+      sel.z2 = t.digit_select({z2, z2}, iter, "T.z2" + tag);
+      sel.dt2 = t.digit_select({dt2, ndt2}, iter, "T.dt2" + tag);
+      r = curve::add(curve::dbl(r), sel);
+    }
+    const Fp2Var qout[5] = {r.X, r.Y, r.Z, r.Ta, r.Tb};
+    const char* names[5] = {"Qx", "Qy", "Qz", "Ta", "Tb"};
+    for (int i = 0; i < 5; ++i) {
+      pin(qout[i], L::kBankB + i);
+      t.mark_output(qout[i], names[i]);
+    }
+    out.body = sched::compile_block(t.take_program(), copt, pins).sm;
+  }
+
+  // ---- Epilogue: correction addition + normalisation. ----------------------
+  {
+    Tracer t;
+    sched::PinSpec pins;
+    pins.temp_base = L::kTempBase;
+    auto pin = [&](const Fp2Var& v, int slot) { pins.pins.emplace_back(v.id, slot); };
+
+    TR1 q;
+    q.X = t.input("Qx");
+    q.Y = t.input("Qy");
+    q.Z = t.input("Qz");
+    q.Ta = t.input("Ta");
+    q.Tb = t.input("Tb");
+    const Fp2Var qin[5] = {q.X, q.Y, q.Z, q.Ta, q.Tb};
+    // The 65th body replay writes bank B (see simulate_looped).
+    for (int i = 0; i < 5; ++i) pin(qin[i], L::kBankB + i);
+
+    Fp2Var co[4], ce[4];
+    const char* coord[4] = {"xpy", "ymx", "z2", "dt2"};
+    for (int i = 0; i < 4; ++i) {
+      co[i] = t.input(std::string("corr.odd.") + coord[i]);
+      ce[i] = t.input(std::string("corr.even.") + coord[i]);
+      pin(co[i], L::kCorrOdd + i);
+      pin(ce[i], L::kCorrEven + i);
+    }
+    TR2 corr;
+    corr.xpy = t.correction_select(co[0], ce[0], "corr.xpy");
+    corr.ymx = t.correction_select(co[1], ce[1], "corr.ymx");
+    corr.z2 = t.correction_select(co[2], ce[2], "corr.z2");
+    corr.dt2 = t.correction_select(co[3], ce[3], "corr.dt2");
+    TR1 final_q = curve::add(q, corr);
+
+    Fp2Var zc = t.conj(final_q.Z, "conj(Z)");
+    Fp2Var n = t.mul(final_q.Z, zc, "norm");
+    Fp2Var ninv = fermat_inverse_chain(t, n);
+    Fp2Var zi = t.mul(zc, ninv, "zinv");
+    t.mark_output(t.mul(final_q.X, zi, "x.affine"), "x");
+    t.mark_output(t.mul(final_q.Y, zi, "y.affine"), "y");
+
+    out.epilogue = sched::compile_block(t.take_program(), copt, pins).sm;
+  }
+
+  return out;
+}
+
+SimResult simulate_looped(const LoopedSm& sm, const trace::InputBindings& inputs,
+                          const trace::EvalContext& base_ctx) {
+  detail::MachineState m(sm.prologue.cfg, sm.rf_size, &base_ctx);
+
+  // Bind prologue inputs.
+  for (const auto& [op_id, reg] : sm.prologue.preload) {
+    bool bound = false;
+    for (const auto& [id, v] : inputs) {
+      if (id == op_id) {
+        m.preload(reg, v);
+        bound = true;
+        break;
+      }
+    }
+    FOURQ_CHECK_MSG(bound, "prologue input op " + std::to_string(op_id) + " not bound");
+  }
+
+  detail::RegTranslate identity;
+  detail::RegTranslate swapped(static_cast<size_t>(sm.rf_size));
+  std::iota(swapped.begin(), swapped.end(), 0);
+  for (int i = 0; i < 5; ++i) {
+    std::swap(swapped[static_cast<size_t>(sm.bank_a[static_cast<size_t>(i)])],
+              swapped[static_cast<size_t>(sm.bank_b[static_cast<size_t>(i)])]);
+  }
+
+  int t = 0;
+  trace::EvalContext ctx = base_ctx;
+
+  for (int i = 0; i < sm.prologue.cycles(); ++i, ++t)
+    m.step(sm.prologue.rom[static_cast<size_t>(i)], sm.prologue.select_maps, t, identity, ctx);
+  FOURQ_CHECK(m.pipelines_empty());
+
+  for (int j = 0; j < sm.iterations; ++j) {
+    // Top digit of this replay's group (the body reads counter, counter-1,
+    // ..., counter-(unroll-1)).
+    ctx.counter_iter = curve::kDigits - 1 - j * sm.body_unroll;
+    const detail::RegTranslate& tr = (j % 2 == 0) ? identity : swapped;
+    for (int i = 0; i < sm.body.cycles(); ++i, ++t)
+      m.step(sm.body.rom[static_cast<size_t>(i)], sm.body.select_maps, t, tr, ctx);
+    FOURQ_CHECK(m.pipelines_empty());
+  }
+
+  // The final accumulator sits in physical bank B when the last replay used
+  // the identity translation (even last index), bank A otherwise.
+  const detail::RegTranslate& epi_tr =
+      ((sm.iterations - 1) % 2 == 0) ? identity : swapped;
+  ctx.counter_iter = -1;
+  for (int i = 0; i < sm.epilogue.cycles(); ++i, ++t)
+    m.step(sm.epilogue.rom[static_cast<size_t>(i)], sm.epilogue.select_maps, t, epi_tr, ctx);
+  FOURQ_CHECK(m.pipelines_empty());
+
+  SimResult res;
+  res.stats = m.stats();
+  res.stats.cycles = t;
+  for (const auto& [name, reg] : sm.epilogue.outputs) res.outputs[name] = m.peek(reg);
+  return res;
+}
+
+}  // namespace fourq::asic

@@ -1,0 +1,182 @@
+#include "asic/machine_state.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fourq::asic::detail {
+
+using field::Fp2;
+using sched::CtrlWord;
+using sched::SelectMap;
+using sched::SrcSel;
+using trace::OpKind;
+using trace::SelKind;
+
+MachineState::MachineState(const sched::MachineConfig& cfg, int rf_slots,
+                           const trace::EvalContext* /*ctx*/)
+    : cfg_(cfg),
+      rf_(static_cast<size_t>(rf_slots)),
+      mul_due_(static_cast<size_t>(cfg.num_multipliers)),
+      add_due_(static_cast<size_t>(cfg.num_addsubs)),
+      mul_last_issue_(static_cast<size_t>(cfg.num_multipliers), -1) {}
+
+int MachineState::xlat(int reg, const RegTranslate& translate) const {
+  if (translate.empty()) return reg;
+  FOURQ_CHECK(reg >= 0 && reg < static_cast<int>(translate.size()));
+  return translate[static_cast<size_t>(reg)];
+}
+
+Fp2 MachineState::peek(int reg) const {
+  FOURQ_CHECK(reg >= 0 && reg < static_cast<int>(rf_.size()));
+  const auto& v = rf_[static_cast<size_t>(reg)];
+  FOURQ_CHECK_MSG(v.has_value(), "peek of uninitialised register r" + std::to_string(reg));
+  return *v;
+}
+
+bool MachineState::pipelines_empty() const {
+  for (const auto& p : mul_due_)
+    if (!p.empty()) return false;
+  for (const auto& p : add_due_)
+    if (!p.empty()) return false;
+  return true;
+}
+
+Fp2 MachineState::read_reg(int reg) {
+  FOURQ_CHECK(reg >= 0 && reg < static_cast<int>(rf_.size()));
+  const auto& v = rf_[static_cast<size_t>(reg)];
+  FOURQ_CHECK_MSG(v.has_value(), "read of uninitialised register r" + std::to_string(reg));
+  ++stats_.rf_reads;
+  ++reads_this_cycle_;
+  return *v;
+}
+
+int MachineState::resolve_indexed_reg(const SrcSel& src, const std::vector<SelectMap>& maps,
+                                      const trace::EvalContext& ctx) const {
+  const SelectMap& m = maps[static_cast<size_t>(src.map)];
+  if (m.kind == SelKind::kCorrection) {
+    bool even = (src.iter == 1) ? ctx.k2_was_even : ctx.k_was_even;
+    return m.reg[0][even ? 1 : 0];
+  }
+  int iter = src.iter;
+  if (trace::is_counter_iter(iter)) {
+    FOURQ_CHECK_MSG(ctx.counter_iter >= 0, "counter-driven read without counter value");
+    iter = ctx.counter_iter - trace::counter_offset(iter);
+  }
+  const curve::RecodedScalar* rec = ctx.recoded;
+  if (iter >= trace::kStream2IterBase) {
+    iter -= trace::kStream2IterBase;
+    rec = ctx.recoded2;
+  }
+  FOURQ_CHECK_MSG(rec != nullptr, "indexed read without recoded digits");
+  FOURQ_CHECK(iter >= 0 && iter < curve::kDigits);
+  int digit = rec->digit[static_cast<size_t>(iter)];
+  int variant = rec->sign[static_cast<size_t>(iter)] > 0 ? 0 : 1;
+  return m.reg[static_cast<size_t>(variant)][static_cast<size_t>(digit)];
+}
+
+Fp2 MachineState::resolve(const SrcSel& src, const std::vector<SelectMap>& maps, int t,
+                          const RegTranslate& translate, const trace::EvalContext& ctx) {
+  switch (src.kind) {
+    case SrcSel::Kind::kReg:
+      return read_reg(xlat(src.reg, translate));
+    case SrcSel::Kind::kIndexed:
+      return read_reg(xlat(resolve_indexed_reg(src, maps, ctx), translate));
+    case SrcSel::Kind::kMulBus: {
+      FOURQ_CHECK(src.unit >= 0 && src.unit < static_cast<int>(mul_due_.size()));
+      auto& due = mul_due_[static_cast<size_t>(src.unit)];
+      auto it = due.find(t);
+      FOURQ_CHECK_MSG(it != due.end(), "multiplier bus empty at forwarding cycle");
+      ++stats_.forwarded_operands;
+      return it->second;
+    }
+    case SrcSel::Kind::kAddBus: {
+      FOURQ_CHECK(src.unit >= 0 && src.unit < static_cast<int>(add_due_.size()));
+      auto& due = add_due_[static_cast<size_t>(src.unit)];
+      auto it = due.find(t);
+      FOURQ_CHECK_MSG(it != due.end(), "adder bus empty at forwarding cycle");
+      ++stats_.forwarded_operands;
+      return it->second;
+    }
+    case SrcSel::Kind::kNone:
+      break;
+  }
+  FOURQ_CHECK_MSG(false, "unresolvable operand source");
+}
+
+void MachineState::step(const CtrlWord& w, const std::vector<SelectMap>& maps, int t,
+                        const RegTranslate& translate, const trace::EvalContext& ctx) {
+  reads_this_cycle_ = 0;
+
+  // 1. Operand fetch + issue (reads observe the RF before this cycle's
+  //    writebacks land).
+  FOURQ_CHECK_MSG(static_cast<int>(w.mul.size()) <= cfg_.num_multipliers,
+                  "more multiplier issues than instances");
+  for (size_t slot = 0; slot < w.mul.size(); ++slot) {
+    const auto& u = w.mul[slot];
+    FOURQ_CHECK(u.unit >= 0 && u.unit < static_cast<int>(mul_due_.size()));
+    size_t inst = static_cast<size_t>(u.unit);
+    // Initiation interval: the instance must have been idle long enough.
+    FOURQ_CHECK_MSG(mul_last_issue_[inst] < 0 ||
+                        t - mul_last_issue_[inst] >= cfg_.mul_ii,
+                    "multiplier issued during its initiation interval");
+    mul_last_issue_[inst] = t;
+    Fp2 a = resolve(u.a, maps, t, translate, ctx);
+    Fp2 b = resolve(u.b, maps, t, translate, ctx);
+    int due = t + cfg_.mul_latency;
+    auto& pipe = mul_due_[inst];
+    FOURQ_CHECK_MSG(pipe.find(due) == pipe.end(), "multiplier pipeline collision");
+    pipe.emplace(due, Fp2::mul_karatsuba(a, b));
+    ++stats_.mul_issues;
+  }
+  FOURQ_CHECK_MSG(static_cast<int>(w.addsub.size()) <= cfg_.num_addsubs,
+                  "more adder issues than instances");
+  for (size_t slot = 0; slot < w.addsub.size(); ++slot) {
+    const auto& u = w.addsub[slot];
+    size_t inst = static_cast<size_t>(u.unit);
+    FOURQ_CHECK(u.unit >= 0 && inst < add_due_.size());
+    Fp2 a = resolve(u.a, maps, t, translate, ctx);
+    Fp2 r;
+    switch (u.op) {
+      case OpKind::kAdd:
+        r = a + resolve(u.b, maps, t, translate, ctx);
+        break;
+      case OpKind::kSub:
+        r = a - resolve(u.b, maps, t, translate, ctx);
+        break;
+      case OpKind::kConj:
+        r = a.conj();
+        break;
+      default:
+        FOURQ_CHECK_MSG(false, "invalid adder/subtractor opcode");
+    }
+    int due = t + cfg_.addsub_latency;
+    auto& pipe = add_due_[inst];
+    FOURQ_CHECK_MSG(pipe.find(due) == pipe.end(), "adder pipeline collision");
+    pipe.emplace(due, r);
+    ++stats_.addsub_issues;
+  }
+
+  FOURQ_CHECK_MSG(reads_this_cycle_ <= cfg_.rf_read_ports,
+                  "read-port limit exceeded at cycle " + std::to_string(t));
+  stats_.max_reads_in_cycle = std::max(stats_.max_reads_in_cycle, reads_this_cycle_);
+
+  // 2. Writebacks (end of cycle).
+  FOURQ_CHECK_MSG(static_cast<int>(w.writebacks.size()) <= cfg_.rf_write_ports,
+                  "write-port limit exceeded");
+  for (const auto& wb : w.writebacks) {
+    auto& pipes = wb.from_mul ? mul_due_ : add_due_;
+    FOURQ_CHECK(wb.unit >= 0 && wb.unit < static_cast<int>(pipes.size()));
+    auto& due = pipes[static_cast<size_t>(wb.unit)];
+    auto it = due.find(t);
+    FOURQ_CHECK_MSG(it != due.end(), "writeback with no result due");
+    rf_[static_cast<size_t>(xlat(wb.reg, translate))] = it->second;
+    ++stats_.rf_writes;
+  }
+
+  // 3. Bus values expire after their cycle.
+  for (auto& pipe : mul_due_) pipe.erase(t);
+  for (auto& pipe : add_due_) pipe.erase(t);
+}
+
+}  // namespace fourq::asic::detail

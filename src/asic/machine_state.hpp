@@ -1,0 +1,53 @@
+// Internal datapath state machine shared by the flat simulator
+// (simulator.cpp) and the looped-controller simulator (looped.cpp):
+// register file, per-instance unit pipelines, port accounting, and
+// execution of one control word. Not part of the public API.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "asic/simulator.hpp"
+
+namespace fourq::asic::detail {
+
+// Optional register-index translation (the looped controller's bank swap).
+using RegTranslate = std::vector<int>;  // identity when empty
+
+class MachineState {
+ public:
+  MachineState(const sched::MachineConfig& cfg, int rf_slots,
+               const trace::EvalContext* ctx);
+
+  // Executes one control word at absolute cycle t. `translate` remaps every
+  // register index (empty = identity). `ctx` may change between calls (the
+  // loop counter advances).
+  void step(const sched::CtrlWord& w, const std::vector<sched::SelectMap>& maps, int t,
+            const RegTranslate& translate, const trace::EvalContext& ctx);
+
+  void preload(int reg, const field::Fp2& v) { rf_[static_cast<size_t>(reg)] = v; }
+  field::Fp2 peek(int reg) const;
+  bool pipelines_empty() const;
+
+  SimStats& stats() { return stats_; }
+  const SimStats& stats() const { return stats_; }
+
+ private:
+  int xlat(int reg, const RegTranslate& translate) const;
+  field::Fp2 read_reg(int reg);
+  field::Fp2 resolve(const sched::SrcSel& src, const std::vector<sched::SelectMap>& maps,
+                     int t, const RegTranslate& translate, const trace::EvalContext& ctx);
+  int resolve_indexed_reg(const sched::SrcSel& src,
+                          const std::vector<sched::SelectMap>& maps,
+                          const trace::EvalContext& ctx) const;
+
+  sched::MachineConfig cfg_;
+  std::vector<std::optional<field::Fp2>> rf_;
+  std::vector<std::map<int, field::Fp2>> mul_due_, add_due_;
+  std::vector<int> mul_last_issue_;  // per instance, for II enforcement
+  SimStats stats_;
+  int reads_this_cycle_ = 0;
+};
+
+}  // namespace fourq::asic::detail

@@ -1,0 +1,234 @@
+#include "asic/romfile.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fourq::asic {
+
+using sched::CompiledSm;
+using sched::CtrlWord;
+using sched::SrcSel;
+using sched::UnitCtrl;
+using sched::WbCtrl;
+using trace::OpKind;
+using trace::SelKind;
+
+namespace {
+
+const char* opkind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kConj: return "conj";
+    case OpKind::kMul: return "mul";
+    default: return "?";
+  }
+}
+
+std::string src_str(const SrcSel& s) {
+  switch (s.kind) {
+    case SrcSel::Kind::kReg:
+      return "r" + std::to_string(s.reg);
+    case SrcSel::Kind::kMulBus:
+      return "Mbus" + std::to_string(s.unit);
+    case SrcSel::Kind::kAddBus:
+      return "Sbus" + std::to_string(s.unit);
+    case SrcSel::Kind::kIndexed:
+      return "T[" + std::to_string(s.map) + "]@" + std::to_string(s.iter);
+    case SrcSel::Kind::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+int bits_for(int n) { return n <= 1 ? 1 : static_cast<int>(std::ceil(std::log2(n))); }
+
+// --- serialisation helpers -------------------------------------------------
+
+void write_src(std::ostream& os, const SrcSel& s) {
+  os << static_cast<int>(s.kind) << ' ' << s.reg << ' ' << s.map << ' ' << s.iter << ' '
+     << s.unit;
+}
+
+SrcSel read_src(std::istream& is) {
+  SrcSel s;
+  int kind;
+  is >> kind >> s.reg >> s.map >> s.iter >> s.unit;
+  s.kind = static_cast<SrcSel::Kind>(kind);
+  return s;
+}
+
+}  // namespace
+
+std::string disassemble(const CompiledSm& sm, int from, int count) {
+  std::ostringstream os;
+  int end = count < 0 ? sm.cycles() : std::min(sm.cycles(), from + count);
+  for (int t = from; t < end; ++t) {
+    const CtrlWord& w = sm.rom[static_cast<size_t>(t)];
+    os << "c" << t << ":";
+    for (size_t i = 0; i < w.mul.size(); ++i)
+      os << "  MUL" << w.mul[i].unit << " " << src_str(w.mul[i].a) << ", "
+         << src_str(w.mul[i].b);
+    for (size_t i = 0; i < w.addsub.size(); ++i)
+      os << "  " << opkind_name(w.addsub[i].op) << w.addsub[i].unit << " "
+         << src_str(w.addsub[i].a)
+         << (w.addsub[i].op == OpKind::kConj ? "" : ", " + src_str(w.addsub[i].b));
+    for (const WbCtrl& wb : w.writebacks)
+      os << "  wb r" << wb.reg << "<-" << (wb.from_mul ? "M" : "S") << wb.unit;
+    os << '\n';
+  }
+  return os.str();
+}
+
+RomStats rom_stats(const CompiledSm& sm) {
+  RomStats st;
+  st.words = sm.cycles();
+  st.mul_issue_slots = sm.cfg.num_multipliers;
+  st.addsub_issue_slots = sm.cfg.num_addsubs;
+  st.writeback_slots = sm.cfg.rf_write_ports;
+  // Source selector: 2 kind bits + max(reg addr, map index + digit slot).
+  int reg_bits = bits_for(sm.cfg.rf_size);
+  int map_bits = bits_for(static_cast<int>(sm.select_maps.size())) +
+                 bits_for(std::max(1, sm.iterations));
+  st.src_bits = 2 + std::max(reg_bits, map_bits);
+  int unit_bits = 2;  // opcode per addsub slot
+  int per_mul = 1 + 2 * st.src_bits;             // valid + two sources
+  int per_add = 1 + unit_bits + 2 * st.src_bits; // valid + op + two sources
+  int per_wb = 1 + 1 + reg_bits;                 // valid + class + target
+  st.word_bits = st.mul_issue_slots * per_mul + st.addsub_issue_slots * per_add +
+                 st.writeback_slots * per_wb;
+  st.total_kbits = static_cast<double>(st.words) * st.word_bits / 1000.0;
+  return st;
+}
+
+void save_rom(const CompiledSm& sm, std::ostream& os) {
+  os << "fourq-rom 2\n";
+  os << sm.cfg.mul_latency << ' ' << sm.cfg.mul_ii << ' ' << sm.cfg.addsub_latency << ' '
+     << sm.cfg.num_multipliers << ' ' << sm.cfg.num_addsubs << ' ' << sm.cfg.rf_read_ports
+     << ' ' << sm.cfg.rf_write_ports << ' ' << sm.cfg.rf_size << ' '
+     << (sm.cfg.forwarding ? 1 : 0) << '\n';
+  os << sm.rf_slots << ' ' << sm.iterations << '\n';
+
+  os << "preload " << sm.preload.size() << '\n';
+  for (const auto& [op, reg] : sm.preload) os << op << ' ' << reg << '\n';
+
+  os << "outputs " << sm.outputs.size() << '\n';
+  for (const auto& [name, reg] : sm.outputs) os << name << ' ' << reg << '\n';
+
+  os << "maps " << sm.select_maps.size() << '\n';
+  for (const auto& m : sm.select_maps) {
+    os << static_cast<int>(m.kind) << ' ' << m.reg.size() << '\n';
+    for (const auto& variant : m.reg) {
+      os << variant.size();
+      for (int r : variant) os << ' ' << r;
+      os << '\n';
+    }
+  }
+
+  os << "rom " << sm.rom.size() << '\n';
+  for (const CtrlWord& w : sm.rom) {
+    os << w.mul.size() << ' ' << w.addsub.size() << ' ' << w.writebacks.size() << '\n';
+    for (const UnitCtrl& u : w.mul) {
+      os << static_cast<int>(u.op) << ' ' << u.unit << ' ';
+      write_src(os, u.a);
+      os << ' ';
+      write_src(os, u.b);
+      os << '\n';
+    }
+    for (const UnitCtrl& u : w.addsub) {
+      os << static_cast<int>(u.op) << ' ' << u.unit << ' ';
+      write_src(os, u.a);
+      os << ' ';
+      write_src(os, u.b);
+      os << '\n';
+    }
+    for (const WbCtrl& wb : w.writebacks)
+      os << wb.reg << ' ' << (wb.from_mul ? 1 : 0) << ' ' << wb.unit << '\n';
+  }
+}
+
+CompiledSm load_rom(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  FOURQ_CHECK_MSG(magic == "fourq-rom" && version == 2, "bad ROM file header");
+
+  CompiledSm sm;
+  int fwd = 0;
+  is >> sm.cfg.mul_latency >> sm.cfg.mul_ii >> sm.cfg.addsub_latency >>
+      sm.cfg.num_multipliers >> sm.cfg.num_addsubs >> sm.cfg.rf_read_ports >>
+      sm.cfg.rf_write_ports >> sm.cfg.rf_size >> fwd;
+  sm.cfg.forwarding = fwd != 0;
+  is >> sm.rf_slots >> sm.iterations;
+
+  std::string tag;
+  size_t n = 0;
+  is >> tag >> n;
+  FOURQ_CHECK(tag == "preload");
+  for (size_t i = 0; i < n; ++i) {
+    int op, reg;
+    is >> op >> reg;
+    sm.preload.emplace_back(op, reg);
+  }
+
+  is >> tag >> n;
+  FOURQ_CHECK(tag == "outputs");
+  for (size_t i = 0; i < n; ++i) {
+    std::string name;
+    int reg;
+    is >> name >> reg;
+    sm.outputs.emplace_back(name, reg);
+  }
+
+  is >> tag >> n;
+  FOURQ_CHECK(tag == "maps");
+  for (size_t i = 0; i < n; ++i) {
+    sched::SelectMap m;
+    int kind;
+    size_t variants;
+    is >> kind >> variants;
+    m.kind = static_cast<SelKind>(kind);
+    for (size_t v = 0; v < variants; ++v) {
+      size_t cnt;
+      is >> cnt;
+      std::vector<int> regs(cnt);
+      for (auto& r : regs) is >> r;
+      m.reg.push_back(std::move(regs));
+    }
+    sm.select_maps.push_back(std::move(m));
+  }
+
+  is >> tag >> n;
+  FOURQ_CHECK(tag == "rom");
+  sm.rom.resize(n);
+  for (auto& w : sm.rom) {
+    size_t nm, na, nw;
+    is >> nm >> na >> nw;
+    auto read_unit = [&]() {
+      UnitCtrl u;
+      int op;
+      is >> op >> u.unit;
+      u.op = static_cast<OpKind>(op);
+      u.a = read_src(is);
+      u.b = read_src(is);
+      return u;
+    };
+    for (size_t i = 0; i < nm; ++i) w.mul.push_back(read_unit());
+    for (size_t i = 0; i < na; ++i) w.addsub.push_back(read_unit());
+    for (size_t i = 0; i < nw; ++i) {
+      WbCtrl wb;
+      int from_mul;
+      is >> wb.reg >> from_mul >> wb.unit;
+      wb.from_mul = from_mul != 0;
+      w.writebacks.push_back(wb);
+    }
+  }
+  FOURQ_CHECK_MSG(static_cast<bool>(is), "truncated ROM file");
+  return sm;
+}
+
+}  // namespace fourq::asic

@@ -1,0 +1,34 @@
+// Microcode ROM tooling: human-readable disassembly, control-word size
+// accounting (ties the ROM block of the area model to the emitted
+// program), and a text serialisation format so compiled programs can be
+// stored and reloaded by host tooling (the "program ROM image" the paper's
+// flow ultimately produces).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/microcode.hpp"
+
+namespace fourq::asic {
+
+// Pretty listing of [from, from+count) control words (count < 0 = all).
+std::string disassemble(const sched::CompiledSm& sm, int from = 0, int count = -1);
+
+struct RomStats {
+  int words = 0;
+  int src_bits = 0;        // bits per operand source selector
+  int word_bits = 0;       // total control-word width
+  double total_kbits = 0;  // words * word_bits / 1000
+  int mul_issue_slots = 0;
+  int addsub_issue_slots = 0;
+  int writeback_slots = 0;
+};
+
+RomStats rom_stats(const sched::CompiledSm& sm);
+
+// Text serialisation (round-trips exactly; see tests).
+void save_rom(const sched::CompiledSm& sm, std::ostream& os);
+sched::CompiledSm load_rom(std::istream& is);
+
+}  // namespace fourq::asic

@@ -1,0 +1,37 @@
+#include "asic/simulator.hpp"
+
+#include "asic/machine_state.hpp"
+#include "common/check.hpp"
+
+namespace fourq::asic {
+
+SimResult simulate(const sched::CompiledSm& sm, const trace::InputBindings& inputs,
+                   const trace::EvalContext& ctx) {
+  detail::MachineState m(sm.cfg, sm.rf_slots, &ctx);
+
+  // Preload inputs into their allocated registers.
+  for (const auto& [op_id, reg] : sm.preload) {
+    bool bound = false;
+    for (const auto& [id, v] : inputs) {
+      if (id == op_id) {
+        m.preload(reg, v);
+        bound = true;
+        break;
+      }
+    }
+    FOURQ_CHECK_MSG(bound, "input op " + std::to_string(op_id) + " not bound");
+  }
+
+  detail::RegTranslate identity;  // empty = no translation
+  for (int t = 0; t < sm.cycles(); ++t)
+    m.step(sm.rom[static_cast<size_t>(t)], sm.select_maps, t, identity, ctx);
+  FOURQ_CHECK_MSG(m.pipelines_empty(), "results left in flight after the last ROM word");
+
+  SimResult res;
+  res.stats = m.stats();
+  res.stats.cycles = sm.cycles();
+  for (const auto& [name, reg] : sm.outputs) res.outputs[name] = m.peek(reg);
+  return res;
+}
+
+}  // namespace fourq::asic

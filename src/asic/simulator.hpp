@@ -1,0 +1,44 @@
+// Cycle-accurate model of the cryptoprocessor datapath (paper Fig. 1):
+// register file + pipelined F_{p^2} multiplier + F_{p^2} adder/subtractor +
+// forwarding buses, sequenced by the microcode ROM emitted by the
+// scheduler.
+//
+// The simulator is intentionally an independent re-implementation of the
+// timing rules (it executes control words; it never looks at the schedule):
+// agreement with the trace interpreter on every output is the
+// functional-equivalence check between "RTL" and golden model.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sched/microcode.hpp"
+#include "trace/eval.hpp"
+
+namespace fourq::asic {
+
+struct SimStats {
+  int cycles = 0;
+  int mul_issues = 0;
+  int addsub_issues = 0;
+  int rf_reads = 0;           // port-consuming reads
+  int forwarded_operands = 0; // operands taken from a unit output bus
+  int rf_writes = 0;
+  int max_reads_in_cycle = 0;
+  double mul_utilisation() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(mul_issues) / cycles;
+  }
+};
+
+struct SimResult {
+  std::map<std::string, field::Fp2> outputs;
+  SimStats stats;
+};
+
+// Executes the compiled program. `inputs` binds input-op ids to values
+// (same bindings as the trace interpreter); `ctx` supplies the recoded
+// digits and the even-k flag for indexed reads.
+SimResult simulate(const sched::CompiledSm& sm, const trace::InputBindings& inputs,
+                   const trace::EvalContext& ctx);
+
+}  // namespace fourq::asic

@@ -1,0 +1,265 @@
+#include "asic/verilog.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fourq::asic {
+
+using sched::CtrlWord;
+using sched::SrcSel;
+using sched::UnitCtrl;
+using sched::WbCtrl;
+using trace::OpKind;
+
+namespace {
+
+constexpr int kKindBits = 3, kRegBits = 8, kMapBits = 10, kIterBits = 8, kUnitBits = 2;
+constexpr int kSrcBits = kKindBits + kRegBits + kMapBits + kIterBits + kUnitBits;  // 31
+constexpr int kMulSlotBits = 1 + 2 * kSrcBits;
+constexpr int kAddSlotBits = 1 + 2 + 2 * kSrcBits;
+constexpr int kWbSlotBits = 1 + 1 + kUnitBits + kRegBits;
+
+// Iteration field encoding: 0..189 are literal digit positions; 190..253
+// encode counter-relative reads (190 + offset); 255 is "none".
+constexpr uint64_t kIterNone = (1u << kIterBits) - 1;
+constexpr uint64_t kIterCounterBase = 190;
+
+struct BitWriter {
+  std::vector<uint64_t>& out;
+  int pos = 0;
+  void put(uint64_t v, int bits) {
+    FOURQ_CHECK(bits > 0 && bits <= 64);
+    FOURQ_CHECK_MSG(bits == 64 || v < (uint64_t{1} << bits), "field overflows its width");
+    int word = pos / 64, off = pos % 64;
+    if (word >= static_cast<int>(out.size())) out.resize(static_cast<size_t>(word) + 1, 0);
+    out[static_cast<size_t>(word)] |= v << off;
+    if (off + bits > 64) {
+      out.resize(static_cast<size_t>(word) + 2, 0);
+      out[static_cast<size_t>(word) + 1] |= v >> (64 - off);
+    }
+    pos += bits;
+  }
+};
+
+struct BitReader {
+  const std::vector<uint64_t>& in;
+  int pos = 0;
+  uint64_t get(int bits) {
+    uint64_t v = 0;
+    int word = pos / 64, off = pos % 64;
+    v = in[static_cast<size_t>(word)] >> off;
+    if (off + bits > 64 && word + 1 < static_cast<int>(in.size()))
+      v |= in[static_cast<size_t>(word) + 1] << (64 - off);
+    pos += bits;
+    if (bits < 64) v &= (uint64_t{1} << bits) - 1;
+    return v;
+  }
+};
+
+void pack_src(BitWriter& w, const SrcSel& s) {
+  w.put(static_cast<uint64_t>(s.kind), kKindBits);
+  w.put(static_cast<uint64_t>(s.reg < 0 ? 0 : s.reg), kRegBits);
+  w.put(static_cast<uint64_t>(s.map < 0 ? 0 : s.map), kMapBits);
+  uint64_t iter;
+  if (trace::is_counter_iter(s.iter))
+    iter = kIterCounterBase + static_cast<uint64_t>(trace::counter_offset(s.iter));
+  else if (s.iter < 0)
+    iter = kIterNone;
+  else {
+    FOURQ_CHECK_MSG(s.iter < static_cast<int>(kIterCounterBase),
+                    "literal iteration index overflows packed field");
+    iter = static_cast<uint64_t>(s.iter);
+  }
+  w.put(iter, kIterBits);
+  w.put(static_cast<uint64_t>(s.unit), kUnitBits);
+}
+
+SrcSel unpack_src(BitReader& r) {
+  SrcSel s;
+  s.kind = static_cast<SrcSel::Kind>(r.get(kKindBits));
+  s.reg = static_cast<int>(r.get(kRegBits));
+  s.map = static_cast<int>(r.get(kMapBits));
+  uint64_t iter = r.get(kIterBits);
+  if (iter == kIterNone)
+    s.iter = -1;
+  else if (iter >= kIterCounterBase)
+    s.iter = trace::counter_iter_with_offset(static_cast<int>(iter - kIterCounterBase));
+  else
+    s.iter = static_cast<int>(iter);
+  s.unit = static_cast<int>(r.get(kUnitBits));
+  // Normalise don't-care fields so round-trips compare cleanly.
+  if (s.kind != SrcSel::Kind::kReg) s.reg = s.kind == SrcSel::Kind::kNone ? -1 : s.reg;
+  if (s.kind == SrcSel::Kind::kNone) {
+    s.reg = -1;
+    s.map = -1;
+    s.iter = -1;
+    s.unit = 0;
+  } else if (s.kind == SrcSel::Kind::kReg) {
+    s.map = -1;
+    s.iter = -1;
+    s.unit = 0;
+  } else if (s.kind == SrcSel::Kind::kMulBus || s.kind == SrcSel::Kind::kAddBus) {
+    s.reg = -1;
+    s.map = -1;
+    s.iter = -1;
+  } else if (s.kind == SrcSel::Kind::kIndexed) {
+    s.reg = -1;
+    s.unit = 0;
+  }
+  return s;
+}
+
+}  // namespace
+
+PackedRom pack_rom(const sched::CompiledSm& sm) {
+  PackedRom rom;
+  rom.word_bits = sm.cfg.num_multipliers * kMulSlotBits +
+                  sm.cfg.num_addsubs * kAddSlotBits +
+                  sm.cfg.rf_write_ports * kWbSlotBits;
+  for (const CtrlWord& w : sm.rom) {
+    std::vector<uint64_t> packed;
+    BitWriter bw{packed};
+    // Slots are positional by instance: emit per-instance, valid when an
+    // issue with that unit index exists.
+    for (int inst = 0; inst < sm.cfg.num_multipliers; ++inst) {
+      const UnitCtrl* u = nullptr;
+      for (const auto& c : w.mul)
+        if (c.unit == inst) u = &c;
+      bw.put(u != nullptr ? 1 : 0, 1);
+      pack_src(bw, u != nullptr ? u->a : SrcSel{});
+      pack_src(bw, u != nullptr ? u->b : SrcSel{});
+    }
+    for (int inst = 0; inst < sm.cfg.num_addsubs; ++inst) {
+      const UnitCtrl* u = nullptr;
+      for (const auto& c : w.addsub)
+        if (c.unit == inst) u = &c;
+      bw.put(u != nullptr ? 1 : 0, 1);
+      uint64_t op = 0;
+      if (u != nullptr) {
+        op = u->op == OpKind::kAdd ? 0 : u->op == OpKind::kSub ? 1 : 2;
+      }
+      bw.put(op, 2);
+      pack_src(bw, u != nullptr ? u->a : SrcSel{});
+      pack_src(bw, u != nullptr ? u->b : SrcSel{});
+    }
+    FOURQ_CHECK(static_cast<int>(w.writebacks.size()) <= sm.cfg.rf_write_ports);
+    for (int slot = 0; slot < sm.cfg.rf_write_ports; ++slot) {
+      if (slot < static_cast<int>(w.writebacks.size())) {
+        const WbCtrl& wb = w.writebacks[static_cast<size_t>(slot)];
+        bw.put(1, 1);
+        bw.put(wb.from_mul ? 1 : 0, 1);
+        bw.put(static_cast<uint64_t>(wb.unit), kUnitBits);
+        bw.put(static_cast<uint64_t>(wb.reg), kRegBits);
+      } else {
+        bw.put(0, 1 + 1 + kUnitBits + kRegBits);
+      }
+    }
+    FOURQ_CHECK(bw.pos == rom.word_bits);
+    packed.resize(static_cast<size_t>((rom.word_bits + 63) / 64), 0);
+    rom.words.push_back(std::move(packed));
+  }
+  return rom;
+}
+
+CtrlWord unpack_word(const PackedRom& rom, const sched::MachineConfig& cfg, int cycle) {
+  CtrlWord w;
+  BitReader br{rom.words[static_cast<size_t>(cycle)]};
+  for (int inst = 0; inst < cfg.num_multipliers; ++inst) {
+    bool valid = br.get(1) != 0;
+    SrcSel a = unpack_src(br);
+    SrcSel b = unpack_src(br);
+    if (valid) {
+      UnitCtrl u;
+      u.op = OpKind::kMul;
+      u.unit = inst;
+      u.a = a;
+      u.b = b;
+      w.mul.push_back(u);
+    }
+  }
+  for (int inst = 0; inst < cfg.num_addsubs; ++inst) {
+    bool valid = br.get(1) != 0;
+    uint64_t op = br.get(2);
+    SrcSel a = unpack_src(br);
+    SrcSel b = unpack_src(br);
+    if (valid) {
+      UnitCtrl u;
+      u.op = op == 0 ? OpKind::kAdd : op == 1 ? OpKind::kSub : OpKind::kConj;
+      u.unit = inst;
+      u.a = a;
+      u.b = b;
+      if (u.op == OpKind::kConj) u.b = SrcSel{};
+      w.addsub.push_back(u);
+    }
+  }
+  for (int slot = 0; slot < cfg.rf_write_ports; ++slot) {
+    bool valid = br.get(1) != 0;
+    bool from_mul = br.get(1) != 0;
+    int unit = static_cast<int>(br.get(kUnitBits));
+    int reg = static_cast<int>(br.get(kRegBits));
+    if (valid) w.writebacks.push_back(WbCtrl{reg, from_mul, unit});
+  }
+  return w;
+}
+
+std::string emit_verilog(const sched::CompiledSm& sm, const std::string& module_name) {
+  PackedRom rom = pack_rom(sm);
+  std::ostringstream os;
+  int aw = 1;
+  while ((1 << aw) < sm.cycles()) ++aw;
+
+  os << "// Generated by the fourq-asic flow. Control path is complete; the\n"
+     << "// arithmetic cores are behavioural placeholders (see verilog.hpp).\n"
+     << "module " << module_name << " (\n"
+     << "  input  wire         clk,\n"
+     << "  input  wire         rst_n,\n"
+     << "  input  wire         start,\n"
+     << "  input  wire [6:0]   digit_idx,   // from the recoding unit\n"
+     << "  input  wire         digit_sign,\n"
+     << "  input  wire         k_was_even,\n"
+     << "  output reg          done\n"
+     << ");\n\n";
+  os << "  localparam ROM_WORDS = " << sm.cycles() << ";\n";
+  os << "  localparam WORD_BITS = " << rom.word_bits << ";\n";
+  os << "  localparam RF_SLOTS  = " << sm.rf_slots << ";\n\n";
+  os << "  reg [253:0] rf [0:RF_SLOTS-1];\n";
+  os << "  reg [" << aw - 1 << ":0] pc;\n";
+  os << "  reg [WORD_BITS-1:0] ctrl;\n\n";
+  os << "  // Microcode ROM (packed layout: see asic/verilog.hpp).\n";
+  os << "  reg [WORD_BITS-1:0] rom [0:ROM_WORDS-1];\n";
+  os << "  initial begin\n";
+  for (int t = 0; t < sm.cycles(); ++t) {
+    os << "    rom[" << t << "] = " << rom.word_bits << "'h";
+    const auto& wv = rom.words[static_cast<size_t>(t)];
+    bool started = false;
+    char buf[17];
+    for (int c = static_cast<int>(wv.size()) - 1; c >= 0; --c) {
+      if (!started) {
+        std::snprintf(buf, sizeof buf, "%llx",
+                      static_cast<unsigned long long>(wv[static_cast<size_t>(c)]));
+        started = true;
+      } else {
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(wv[static_cast<size_t>(c)]));
+      }
+      os << buf;
+    }
+    os << ";\n";
+  }
+  os << "  end\n\n";
+  os << "  // Sequencer.\n";
+  os << "  always @(posedge clk or negedge rst_n) begin\n";
+  os << "    if (!rst_n) begin pc <= 0; done <= 1'b0; end\n";
+  os << "    else if (start) begin pc <= 0; done <= 1'b0; end\n";
+  os << "    else if (pc != ROM_WORDS-1) begin pc <= pc + 1'b1; ctrl <= rom[pc]; end\n";
+  os << "    else done <= 1'b1;\n";
+  os << "  end\n\n";
+  os << "  // Arithmetic cores (behavioural placeholders).\n";
+  os << "  // fp2_mul_core    u_mul    (.clk(clk), ...);\n";
+  os << "  // fp2_addsub_core u_addsub (.clk(clk), ...);\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace fourq::asic

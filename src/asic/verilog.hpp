@@ -1,0 +1,40 @@
+// RTL export: a Verilog skeleton of the cryptoprocessor (ROM + sequencer +
+// register file + unit ports) with the real scheduled microcode embedded
+// as a bit-packed ROM image.
+//
+// Scope, stated honestly: the arithmetic cores are emitted as behavioural
+// placeholders (`fp2_mul_core` / `fp2_addsub_core` module stubs) — the
+// functional sign-off of this repository lives in the C++ cycle-accurate
+// model, and the export exists for synthesis/floorplanning experiments and
+// for inspecting the control structure. The bit-packing itself is real and
+// tested: pack_rom/unpack_word round-trip exactly in C++.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/microcode.hpp"
+
+namespace fourq::asic {
+
+// Canonical packed control-word layout (fixed field widths, LSB first):
+//   per multiplier slot : valid(1) | srcA(31) | srcB(31)
+//   per addsub slot     : valid(1) | op(2) | srcA(31) | srcB(31)
+//   per writeback slot  : valid(1) | from_mul(1) | unit(2) | reg(8)
+// where src = kind(3) | reg(8) | map(10) | iter(8) | unit(2).
+struct PackedRom {
+  int word_bits = 0;
+  std::vector<std::vector<uint64_t>> words;  // [cycle][chunk of 64 bits]
+};
+
+PackedRom pack_rom(const sched::CompiledSm& sm);
+
+// Unpacks one packed word back into a control word (for verification).
+sched::CtrlWord unpack_word(const PackedRom& rom, const sched::MachineConfig& cfg,
+                            int cycle);
+
+// Emits the Verilog skeleton (one flat module + core stubs).
+std::string emit_verilog(const sched::CompiledSm& sm, const std::string& module_name);
+
+}  // namespace fourq::asic

@@ -1,0 +1,122 @@
+#include "asic/waveform.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace fourq::asic {
+
+using sched::CtrlWord;
+
+void write_vcd(const sched::CompiledSm& sm, std::ostream& os) {
+  os << "$date fourq-asic model $end\n";
+  os << "$timescale 1ns $end\n";
+  os << "$scope module sm_unit $end\n";
+  // Identifier codes: printable ASCII starting at '!'.
+  char next_code = '!';
+  std::map<std::string, char> codes;
+  auto advance = [&]() {
+    ++next_code;
+    // Avoid characters that collide with VCD syntax elements ('#'
+    // timestamps, '$' keywords, 'b'/'0'/'1' value prefixes).
+    while (next_code == '#' || next_code == '$' || next_code == 'b' ||
+           next_code == '0' || next_code == '1')
+      ++next_code;
+  };
+  auto declare = [&](const std::string& name, int width) {
+    codes[name] = next_code;
+    os << "$var wire " << width << ' ' << next_code << ' ' << name << " $end\n";
+    advance();
+  };
+  for (int i = 0; i < sm.cfg.num_multipliers; ++i)
+    declare("mul_issue" + std::to_string(i), 1);
+  for (int i = 0; i < sm.cfg.num_addsubs; ++i)
+    declare("addsub_issue" + std::to_string(i), 1);
+  declare("rf_reads", 3);
+  declare("rf_writes", 2);
+  declare("fwd_operands", 3);
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  auto emit_scalar = [&](const std::string& name, int v) {
+    os << (v ? '1' : '0') << codes[name] << '\n';
+  };
+  auto emit_bus = [&](const std::string& name, int v, int width) {
+    os << 'b';
+    for (int bit = width - 1; bit >= 0; --bit) os << ((v >> bit) & 1);
+    os << ' ' << codes[name] << '\n';
+  };
+
+  for (int t = 0; t < sm.cycles(); ++t) {
+    const CtrlWord& w = sm.rom[static_cast<size_t>(t)];
+    os << '#' << t << '\n';
+    std::map<int, bool> mul_on, add_on;
+    for (const auto& u : w.mul) mul_on[u.unit] = true;
+    for (const auto& u : w.addsub) add_on[u.unit] = true;
+    for (int i = 0; i < sm.cfg.num_multipliers; ++i)
+      emit_scalar("mul_issue" + std::to_string(i), mul_on.count(i) ? 1 : 0);
+    for (int i = 0; i < sm.cfg.num_addsubs; ++i)
+      emit_scalar("addsub_issue" + std::to_string(i), add_on.count(i) ? 1 : 0);
+
+    int reads = 0, fwd = 0;
+    auto count_src = [&](const sched::SrcSel& s) {
+      switch (s.kind) {
+        case sched::SrcSel::Kind::kReg:
+        case sched::SrcSel::Kind::kIndexed:
+          ++reads;
+          break;
+        case sched::SrcSel::Kind::kMulBus:
+        case sched::SrcSel::Kind::kAddBus:
+          ++fwd;
+          break;
+        case sched::SrcSel::Kind::kNone:
+          break;
+      }
+    };
+    for (const auto& u : w.mul) {
+      count_src(u.a);
+      count_src(u.b);
+    }
+    for (const auto& u : w.addsub) {
+      count_src(u.a);
+      if (u.op != trace::OpKind::kConj) count_src(u.b);
+    }
+    emit_bus("rf_reads", reads, 3);
+    emit_bus("rf_writes", static_cast<int>(w.writebacks.size()), 2);
+    emit_bus("fwd_operands", fwd, 3);
+  }
+  os << '#' << sm.cycles() << '\n';
+}
+
+void write_dot(const sched::Problem& pr, const sched::Schedule& s, std::ostream& os) {
+  FOURQ_CHECK(s.cycle.size() == pr.nodes.size());
+  os << "digraph schedule {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  // Rank groups per cycle.
+  std::map<int, std::vector<size_t>> by_cycle;
+  for (size_t i = 0; i < pr.nodes.size(); ++i)
+    by_cycle[s.cycle[i]].push_back(i);
+  for (const auto& [t, nodes] : by_cycle) {
+    os << "  { rank=same; \"c" << t << "\" [shape=plaintext];";
+    for (size_t i : nodes) os << " n" << i << ";";
+    os << " }\n";
+  }
+  // Invisible chain of cycle labels keeps ranks ordered.
+  int prev = -1;
+  for (const auto& [t, nodes] : by_cycle) {
+    (void)nodes;
+    if (prev >= 0) os << "  \"c" << prev << "\" -> \"c" << t << "\" [style=invis];\n";
+    prev = t;
+  }
+  for (size_t i = 0; i < pr.nodes.size(); ++i) {
+    const sched::Node& n = pr.nodes[i];
+    const char* unit = n.kind == trace::OpKind::kMul ? "MUL" : "A/S";
+    const char* color = n.kind == trace::OpKind::kMul ? "lightblue" : "lightyellow";
+    os << "  n" << i << " [label=\"" << unit << " v" << n.op_id << "\\n@c" << s.cycle[i]
+       << "\", style=filled, fillcolor=" << color << "];\n";
+  }
+  for (size_t i = 0; i < pr.nodes.size(); ++i)
+    for (int c : pr.consumers[i]) os << "  n" << i << " -> n" << c << ";\n";
+  os << "}\n";
+}
+
+}  // namespace fourq::asic

@@ -1,0 +1,27 @@
+// Artifact exporters for the compiled/scheduled design:
+//
+//  * VCD waveform of the datapath's per-cycle activity (issues, writebacks,
+//    port usage) — loadable in GTKWave; what a hardware engineer would
+//    inspect to eyeball multiplier occupancy;
+//  * Graphviz DOT of the scheduled dependency DAG (nodes ranked by issue
+//    cycle) — the visual counterpart of Table I.
+#pragma once
+
+#include <iosfwd>
+
+#include "sched/compile.hpp"
+
+namespace fourq::asic {
+
+// Writes a 4-state VCD trace of the ROM's control activity: signals
+// mul_issue[i], addsub_issue[i], rf_reads (bus width 3), rf_writes,
+// fwd_operands per cycle. Purely ROM-derived (scalar-independent, like the
+// hardware's timing).
+void write_vcd(const sched::CompiledSm& sm, std::ostream& os);
+
+// Writes the scheduled DAG: one node per microinstruction labelled with
+// its unit and issue cycle, edges for data dependencies, rank groups per
+// cycle. Intended for small programs (the Table I loop body).
+void write_dot(const sched::Problem& pr, const sched::Schedule& s, std::ostream& os);
+
+}  // namespace fourq::asic

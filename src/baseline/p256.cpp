@@ -1,0 +1,109 @@
+#include "baseline/p256.hpp"
+
+#include "common/check.hpp"
+
+namespace fourq::baseline {
+
+namespace {
+
+// FIPS 186-4 / SEC 2 domain parameters.
+const char* kP = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+const char* kN = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+const char* kB = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+const char* kGx = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+const char* kGy = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+}  // namespace
+
+P256::P256()
+    : fp_(U256::from_hex(kP)),
+      n_(U256::from_hex(kN)),
+      b_(fp_.to_monty(U256::from_hex(kB))),
+      a_(fp_.neg(fp_.to_monty(U256(3)))),
+      g_{U256::from_hex(kGx), U256::from_hex(kGy)} {
+  FOURQ_CHECK_MSG(on_curve(g_), "P-256 generator must satisfy the curve equation");
+}
+
+bool P256::on_curve(const Affine& p) const {
+  if (p.x >= fp_.modulus() || p.y >= fp_.modulus()) return false;
+  U256 x = fp_.to_monty(p.x), y = fp_.to_monty(p.y);
+  U256 lhs = fp_.sqr(y);
+  U256 rhs = fp_.add(fp_.add(fp_.mul(fp_.sqr(x), x), fp_.mul(a_, x)), b_);
+  return lhs == rhs;
+}
+
+P256::Jacobian P256::to_jacobian(const Affine& p) const {
+  return Jacobian{fp_.to_monty(p.x), fp_.to_monty(p.y), fp_.one()};
+}
+
+std::optional<P256::Affine> P256::to_affine(const Jacobian& p) const {
+  if (is_infinity(p)) return std::nullopt;
+  U256 zi = fp_.inv(p.Z);
+  U256 zi2 = fp_.sqr(zi);
+  U256 x = fp_.mul(p.X, zi2);
+  U256 y = fp_.mul(p.Y, fp_.mul(zi2, zi));
+  return Affine{fp_.from_monty(x), fp_.from_monty(y)};
+}
+
+P256::Jacobian P256::dbl(const Jacobian& p) const {
+  if (is_infinity(p) || p.Y.is_zero()) return infinity();
+  // a = -3 doubling: M = 3(X - Z^2)(X + Z^2).
+  U256 z2 = fp_.sqr(p.Z);
+  U256 m = fp_.mul(fp_.sub(p.X, z2), fp_.add(p.X, z2));
+  m = fp_.add(fp_.add(m, m), m);
+  U256 y2 = fp_.sqr(p.Y);
+  U256 s = fp_.mul(p.X, y2);
+  s = fp_.add(s, s);
+  s = fp_.add(s, s);  // S = 4XY^2
+  U256 x3 = fp_.sub(fp_.sqr(m), fp_.add(s, s));
+  U256 y4 = fp_.sqr(y2);
+  U256 y4_8 = y4;
+  for (int i = 0; i < 3; ++i) y4_8 = fp_.add(y4_8, y4_8);  // 8Y^4
+  U256 y3 = fp_.sub(fp_.mul(m, fp_.sub(s, x3)), y4_8);
+  U256 z3 = fp_.mul(p.Y, p.Z);
+  z3 = fp_.add(z3, z3);
+  return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::add(const Jacobian& p, const Jacobian& q) const {
+  if (is_infinity(p)) return q;
+  if (is_infinity(q)) return p;
+  U256 z1sq = fp_.sqr(p.Z), z2sq = fp_.sqr(q.Z);
+  U256 u1 = fp_.mul(p.X, z2sq);
+  U256 u2 = fp_.mul(q.X, z1sq);
+  U256 s1 = fp_.mul(p.Y, fp_.mul(z2sq, q.Z));
+  U256 s2 = fp_.mul(q.Y, fp_.mul(z1sq, p.Z));
+  U256 h = fp_.sub(u2, u1);
+  U256 r = fp_.sub(s2, s1);
+  if (h.is_zero()) {
+    if (r.is_zero()) return dbl(p);
+    return infinity();  // P + (-P)
+  }
+  U256 h2 = fp_.sqr(h);
+  U256 h3 = fp_.mul(h2, h);
+  U256 u1h2 = fp_.mul(u1, h2);
+  U256 x3 = fp_.sub(fp_.sub(fp_.sqr(r), h3), fp_.add(u1h2, u1h2));
+  U256 y3 = fp_.sub(fp_.mul(r, fp_.sub(u1h2, x3)), fp_.mul(s1, h3));
+  U256 z3 = fp_.mul(fp_.mul(p.Z, q.Z), h);
+  return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::scalar_mul(const U256& k, const Affine& p) const {
+  Jacobian base = to_jacobian(p);
+  Jacobian acc = infinity();
+  for (int i = k.top_bit(); i >= 0; --i) {
+    acc = dbl(acc);
+    if (k.bit(static_cast<unsigned>(i))) acc = add(acc, base);
+  }
+  return acc;
+}
+
+bool P256::equal(const Jacobian& a, const Jacobian& b) const {
+  if (is_infinity(a) || is_infinity(b)) return is_infinity(a) == is_infinity(b);
+  // Cross-multiply: X1 Z2^2 == X2 Z1^2 and Y1 Z2^3 == Y2 Z1^3.
+  U256 z1sq = fp_.sqr(a.Z), z2sq = fp_.sqr(b.Z);
+  if (fp_.mul(a.X, z2sq) != fp_.mul(b.X, z1sq)) return false;
+  return fp_.mul(a.Y, fp_.mul(z2sq, b.Z)) == fp_.mul(b.Y, fp_.mul(z1sq, a.Z));
+}
+
+}  // namespace fourq::baseline

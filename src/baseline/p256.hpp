@@ -1,0 +1,64 @@
+// NIST P-256 (secp256r1) — the baseline curve of the paper's headline
+// comparison (3.66x vs the P-256 ASIC of [5], Table II) and of the ECDSA
+// workflow in §II-A.
+//
+// Short Weierstrass y^2 = x^3 - 3x + b over the NIST prime, Jacobian
+// projective coordinates, generic Montgomery field arithmetic, classic
+// double-and-add scalar multiplication (the algorithm of §II-A).
+#pragma once
+
+#include <optional>
+
+#include "common/modint.hpp"
+#include "common/u256.hpp"
+
+namespace fourq::baseline {
+
+class P256 {
+ public:
+  P256();
+
+  // Affine point; infinity is represented by std::nullopt at the API edges.
+  struct Affine {
+    U256 x, y;  // plain (non-Montgomery) domain, canonical mod p
+    friend bool operator==(const Affine& a, const Affine& b) = default;
+  };
+
+  // Jacobian point in the Montgomery domain; Z == 0 encodes infinity.
+  struct Jacobian {
+    U256 X, Y, Z;
+  };
+
+  const U256& field_prime() const { return fp_.modulus(); }
+  const U256& group_order() const { return n_; }
+  Affine generator() const { return g_; }
+
+  bool on_curve(const Affine& p) const;
+
+  Jacobian to_jacobian(const Affine& p) const;
+  // Infinity input yields nullopt.
+  std::optional<Affine> to_affine(const Jacobian& p) const;
+
+  Jacobian infinity() const { return Jacobian{fp_.one(), fp_.one(), U256()}; }
+  bool is_infinity(const Jacobian& p) const { return p.Z.is_zero(); }
+
+  Jacobian dbl(const Jacobian& p) const;
+  Jacobian add(const Jacobian& p, const Jacobian& q) const;
+  // Left-to-right double-and-add, the §II-A reference algorithm.
+  Jacobian scalar_mul(const U256& k, const Affine& p) const;
+  Jacobian scalar_mul_base(const U256& k) const { return scalar_mul(k, g_); }
+
+  bool equal(const Jacobian& a, const Jacobian& b) const;
+
+  // Field accessors used by the ECDSA layer.
+  const Monty& field() const { return fp_; }
+
+ private:
+  Monty fp_;   // mod p arithmetic
+  U256 n_;     // group order
+  U256 b_;     // curve b, Montgomery domain
+  U256 a_;     // curve a = -3, Montgomery domain
+  Affine g_;
+};
+
+}  // namespace fourq::baseline

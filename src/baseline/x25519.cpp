@@ -1,0 +1,194 @@
+#include "baseline/x25519.hpp"
+
+#include "common/check.hpp"
+
+namespace fourq::baseline {
+
+namespace f25519 {
+
+namespace {
+
+const U256 kP =
+    U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed");
+
+U256 canonical(U256 r) {
+  while (r >= kP) {
+    U256 t;
+    fourq::sub(r, kP, t);
+    r = t;
+  }
+  return r;
+}
+
+}  // namespace
+
+const U256& prime() { return kP; }
+
+Fe25519 make(const U256& raw) { return Fe25519{mod(raw, kP)}; }
+Fe25519 zero() { return Fe25519{U256()}; }
+Fe25519 one() { return Fe25519{U256(1)}; }
+
+Fe25519 add(const Fe25519& a, const Fe25519& b) { return Fe25519{addmod(a.v, b.v, kP)}; }
+Fe25519 sub(const Fe25519& a, const Fe25519& b) { return Fe25519{submod(a.v, b.v, kP)}; }
+
+Fe25519 mul(const Fe25519& a, const Fe25519& b) {
+  U512 t = mul_wide(a.v, b.v);
+  // 2^256 ≡ 38: fold hi*38 into lo, twice; the second fold's high part is
+  // at most a few bits, so a final carry fold plus subtraction suffices.
+  U512 f1 = mul_wide(t.hi256(), U256(38));
+  U512 s;
+  fourq::add(f1, U512(t.lo256()), s);
+  U512 f2 = mul_wide(s.hi256(), U256(38));  // hi256 < 2^7
+  U512 s2;
+  fourq::add(f2, U512(s.lo256()), s2);
+  // s2 < 2^256 + 38^2: one more tiny fold via carry word.
+  U256 r = s2.lo256();
+  if (!s2.hi256().is_zero()) {
+    FOURQ_CHECK(s2.w[4] <= 1 && (s2.w[5] | s2.w[6] | s2.w[7]) == 0);
+    U256 t2;
+    uint64_t c = fourq::add(r, U256(38), t2);
+    FOURQ_CHECK(c == 0);
+    r = t2;
+  }
+  return Fe25519{canonical(r)};
+}
+
+Fe25519 sqr(const Fe25519& a) { return mul(a, a); }
+
+Fe25519 pow(const Fe25519& a, const U256& e) {
+  Fe25519 acc = one();
+  for (int i = e.top_bit(); i >= 0; --i) {
+    acc = sqr(acc);
+    if (e.bit(static_cast<unsigned>(i))) acc = mul(acc, a);
+  }
+  return acc;
+}
+
+Fe25519 inv(const Fe25519& a) {
+  FOURQ_CHECK_MSG(!a.v.is_zero(), "inverse of zero mod 2^255-19");
+  U256 e;
+  fourq::sub(kP, U256(2), e);
+  return pow(a, e);
+}
+
+std::optional<Fe25519> sqrt(const Fe25519& a) {
+  if (a.v.is_zero()) return zero();
+  // p ≡ 5 (mod 8): candidate = a^((p+3)/8); fix with sqrt(-1) if needed.
+  U256 e;
+  fourq::add(kP, U256(3), e);
+  e = shr(e, 3);
+  Fe25519 cand = pow(a, e);
+  if (sqr(cand) == a) return cand;
+  // sqrt(-1) = 2^((p-1)/4)
+  U256 e2;
+  fourq::sub(kP, U256(1), e2);
+  e2 = shr(e2, 2);
+  Fe25519 i = pow(Fe25519{U256(2)}, e2);
+  Fe25519 cand2 = mul(cand, i);
+  if (sqr(cand2) == a) return cand2;
+  return std::nullopt;
+}
+
+}  // namespace f25519
+
+using namespace f25519;
+
+U256 clamp_scalar(const U256& k) {
+  U256 c = k;
+  c.w[0] &= ~uint64_t{7};
+  c.set_bit(255, false);
+  c.set_bit(254, true);
+  return c;
+}
+
+Fe25519 ladder(const U256& k, const Fe25519& u) {
+  FOURQ_CHECK(!k.is_zero());
+  Fe25519 x1 = u;
+  Fe25519 x2 = one(), z2 = zero();
+  Fe25519 x3 = u, z3 = one();
+  const Fe25519 a24{U256(121665)};
+
+  for (int t = k.top_bit(); t >= 0; --t) {
+    bool kt = k.bit(static_cast<unsigned>(t));
+    if (kt) {
+      std::swap(x2, x3);
+      std::swap(z2, z3);
+    }
+    // One ladder step: (x2:z2) <- 2(x2:z2), (x3:z3) <- (x2:z2)+(x3:z3).
+    Fe25519 a = add(x2, z2), aa = sqr(a);
+    Fe25519 b = sub(x2, z2), bb = sqr(b);
+    Fe25519 e = sub(aa, bb);
+    Fe25519 c = add(x3, z3), d = sub(x3, z3);
+    Fe25519 da = mul(d, a), cb = mul(c, b);
+    x3 = sqr(add(da, cb));
+    z3 = mul(x1, sqr(sub(da, cb)));
+    x2 = mul(aa, bb);
+    z2 = mul(e, add(aa, mul(a24, e)));
+    if (kt) {
+      std::swap(x2, x3);
+      std::swap(z2, z3);
+    }
+  }
+  return mul(x2, inv(z2.v.is_zero() ? one() : z2));  // z2==0 -> point at infinity; u:=0
+}
+
+U256 x25519(const U256& scalar, const U256& u) {
+  // RFC 7748: mask the top bit of the incoming u-coordinate.
+  U256 um = u;
+  um.set_bit(255, false);
+  Fe25519 r = ladder(clamp_scalar(scalar), make(um));
+  return r.v;
+}
+
+U256 x25519_base(const U256& scalar) { return x25519(scalar, U256(9)); }
+
+bool on_curve25519(const MontPoint& p) {
+  if (p.inf) return true;
+  Fe25519 u2 = sqr(p.x);
+  Fe25519 rhs = add(add(mul(u2, p.x), mul(Fe25519{U256(486662)}, u2)), p.x);
+  return sqr(p.y) == rhs;
+}
+
+MontPoint mont_dbl(const MontPoint& p) {
+  if (p.inf || p.y.v.is_zero()) return MontPoint{};
+  // lambda = (3x^2 + 2Ax + 1) / 2y
+  Fe25519 three_x2 = mul(Fe25519{U256(3)}, sqr(p.x));
+  Fe25519 two_ax = mul(Fe25519{U256(2 * 486662ull)}, p.x);
+  Fe25519 num = add(add(three_x2, two_ax), one());
+  Fe25519 lam = mul(num, inv(add(p.y, p.y)));
+  Fe25519 x3 = sub(sub(sqr(lam), Fe25519{U256(486662)}), add(p.x, p.x));
+  Fe25519 y3 = sub(mul(lam, sub(p.x, x3)), p.y);
+  return MontPoint{false, x3, y3};
+}
+
+MontPoint mont_add(const MontPoint& p, const MontPoint& q) {
+  if (p.inf) return q;
+  if (q.inf) return p;
+  if (p.x == q.x) {
+    if (p.y == q.y) return mont_dbl(p);
+    return MontPoint{};  // P + (-P)
+  }
+  Fe25519 lam = mul(sub(q.y, p.y), inv(sub(q.x, p.x)));
+  Fe25519 x3 = sub(sub(sub(sqr(lam), Fe25519{U256(486662)}), p.x), q.x);
+  Fe25519 y3 = sub(mul(lam, sub(p.x, x3)), p.y);
+  return MontPoint{false, x3, y3};
+}
+
+MontPoint mont_scalar_mul(const U256& k, const MontPoint& p) {
+  MontPoint acc;
+  for (int i = k.top_bit(); i >= 0; --i) {
+    acc = mont_dbl(acc);
+    if (k.bit(static_cast<unsigned>(i))) acc = mont_add(acc, p);
+  }
+  return acc;
+}
+
+std::optional<MontPoint> lift_x(const Fe25519& u) {
+  Fe25519 u2 = sqr(u);
+  Fe25519 rhs = add(add(mul(u2, u), mul(Fe25519{U256(486662)}, u2)), u);
+  auto y = f25519::sqrt(rhs);
+  if (!y) return std::nullopt;
+  return MontPoint{false, u, *y};
+}
+
+}  // namespace fourq::baseline

@@ -1,0 +1,66 @@
+// Curve25519 / X25519 — the second comparison curve in Table II ([22]) and
+// in the software speed claims of §I (FourQ ≈ 2x Curve25519).
+//
+// Montgomery curve v^2 = u^3 + 486662 u^2 + u over 2^255 - 19, RFC 7748
+// x-only Montgomery ladder with the standard clamping, plus full affine
+// Montgomery-curve point arithmetic used as an independent test oracle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/u256.hpp"
+
+namespace fourq::baseline {
+
+// Field element mod 2^255 - 19, canonical in [0, p).
+struct Fe25519 {
+  U256 v;
+  friend bool operator==(const Fe25519&, const Fe25519&) = default;
+};
+
+namespace f25519 {
+const U256& prime();
+Fe25519 make(const U256& raw);  // reduces mod p
+Fe25519 zero();
+Fe25519 one();
+Fe25519 add(const Fe25519& a, const Fe25519& b);
+Fe25519 sub(const Fe25519& a, const Fe25519& b);
+// Pseudo-Mersenne multiplication: 2^256 ≡ 38 (mod p) folding.
+Fe25519 mul(const Fe25519& a, const Fe25519& b);
+Fe25519 sqr(const Fe25519& a);
+Fe25519 pow(const Fe25519& a, const U256& e);
+Fe25519 inv(const Fe25519& a);  // a != 0
+// Square root for p ≡ 5 (mod 8); nullopt when a is a non-residue.
+std::optional<Fe25519> sqrt(const Fe25519& a);
+}  // namespace f25519
+
+// RFC 7748 scalar clamp: clear bits 0-2 and 255, set bit 254.
+U256 clamp_scalar(const U256& k);
+
+// Raw (unclamped) Montgomery ladder computing the u-coordinate of [k]P from
+// the u-coordinate of P. Exposed for tests; k must be non-zero.
+Fe25519 ladder(const U256& k, const Fe25519& u);
+
+// X25519 function per RFC 7748 (scalar is clamped internally).
+U256 x25519(const U256& scalar, const U256& u);
+
+// Standard base point u = 9.
+U256 x25519_base(const U256& scalar);
+
+// --- Affine Montgomery-curve oracle (test-only, uses field inversions) ----
+
+struct MontPoint {  // nullopt-free: infinity flag
+  bool inf = true;
+  Fe25519 x, y;
+};
+
+bool on_curve25519(const MontPoint& p);
+MontPoint mont_add(const MontPoint& p, const MontPoint& q);
+MontPoint mont_dbl(const MontPoint& p);
+MontPoint mont_scalar_mul(const U256& k, const MontPoint& p);
+// Lifts a u-coordinate to a point when possible.
+std::optional<MontPoint> lift_x(const Fe25519& u);
+
+}  // namespace fourq::baseline

@@ -1,0 +1,62 @@
+#include "common/hexutil.hpp"
+
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace fourq {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument(std::string("invalid hex digit: ") + c);
+}
+
+}  // namespace
+
+void hex_to_words(const std::string& hex, uint64_t* words, int n) {
+  size_t start = 0;
+  if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) start = 2;
+  for (int i = 0; i < n; ++i) words[i] = 0;
+  int nibble = 0;  // counts nibbles from the least-significant end
+  for (size_t i = hex.size(); i > start; --i) {
+    char c = hex[i - 1];
+    if (c == '_' || c == ' ') continue;
+    int d = hex_digit(c);
+    if (d == 0) {
+      ++nibble;
+      continue;
+    }
+    int word = nibble / 16;
+    if (word >= n) throw std::overflow_error("hex literal too wide: " + hex);
+    words[word] |= static_cast<uint64_t>(d) << (4 * (nibble % 16));
+    ++nibble;
+  }
+}
+
+std::string words_to_hex(const uint64_t* words, int n) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(static_cast<size_t>(n) * 16, '0');
+  for (int i = 0; i < n; ++i) {
+    uint64_t w = words[i];
+    for (int j = 0; j < 16; ++j) {
+      out[out.size() - 1 - (static_cast<size_t>(i) * 16 + j)] = digits[(w >> (4 * j)) & 0xf];
+    }
+  }
+  return out;
+}
+
+std::string bytes_to_hex(const uint8_t* data, size_t len) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(len * 2, '0');
+  for (size_t i = 0; i < len; ++i) {
+    out[2 * i] = digits[data[i] >> 4];
+    out[2 * i + 1] = digits[data[i] & 0xf];
+  }
+  return out;
+}
+
+}  // namespace fourq

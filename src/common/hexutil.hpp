@@ -1,0 +1,21 @@
+// Hex <-> limb-array conversion helpers (big-endian hex strings,
+// little-endian 64-bit limb arrays).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fourq {
+
+// Parses a big-endian hex string (optional "0x" prefix) into `n` little-endian
+// 64-bit words. Throws on invalid characters or overflow.
+void hex_to_words(const std::string& hex, uint64_t* words, int n);
+
+// Renders `n` little-endian words as a fixed-width big-endian hex string
+// (lowercase, no prefix).
+std::string words_to_hex(const uint64_t* words, int n);
+
+// Parses a hex string into a byte vector (big-endian order as written).
+std::string bytes_to_hex(const uint8_t* data, size_t len);
+
+}  // namespace fourq

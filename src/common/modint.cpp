@@ -1,0 +1,134 @@
+#include "common/modint.hpp"
+
+#include "common/check.hpp"
+#include "common/u128.hpp"
+
+namespace fourq {
+
+U256 invmod(const U256& a, const U256& m) {
+  FOURQ_CHECK_MSG(m.is_odd(), "invmod requires an odd modulus");
+  FOURQ_CHECK(!a.is_zero());
+  // Binary extended GCD (odd modulus variant).
+  U256 u = mod(a, m), v = m;
+  U256 x1(1), x2;  // a*x1 == u (mod m), a*x2 == v (mod m)
+  while (!(u == U256(1)) && !(v == U256(1))) {
+    while (!u.is_odd()) {
+      u = shr(u, 1);
+      if (x1.is_odd()) {
+        U256 t;
+        uint64_t carry = add(x1, m, t);
+        x1 = shr(t, 1);
+        if (carry) x1.set_bit(255, true);
+      } else {
+        x1 = shr(x1, 1);
+      }
+    }
+    while (!v.is_odd()) {
+      v = shr(v, 1);
+      if (x2.is_odd()) {
+        U256 t;
+        uint64_t carry = add(x2, m, t);
+        x2 = shr(t, 1);
+        if (carry) x2.set_bit(255, true);
+      } else {
+        x2 = shr(x2, 1);
+      }
+    }
+    if (u >= v) {
+      U256 t;
+      sub(u, v, t);
+      u = t;
+      x1 = submod(mod(x1, m), mod(x2, m), m);
+    } else {
+      U256 t;
+      sub(v, u, t);
+      v = t;
+      x2 = submod(mod(x2, m), mod(x1, m), m);
+    }
+  }
+  U256 r = (u == U256(1)) ? x1 : x2;
+  return mod(r, m);
+}
+
+namespace {
+
+// -m0^{-1} mod 2^64 by Newton iteration (m0 odd).
+uint64_t neg_inv64(uint64_t m0) {
+  uint64_t inv = m0;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) inv *= 2 - m0 * inv;
+  return ~inv + 1;  // negate
+}
+
+}  // namespace
+
+Monty::Monty(const U256& modulus) : m_(modulus) {
+  FOURQ_CHECK_MSG(modulus.is_odd() && modulus > U256(2), "Monty requires an odd modulus > 2");
+  m_prime_ = neg_inv64(modulus.w[0]);
+  // R mod m: 2^256 mod m, computed as ((2^255 mod m) * 2) mod m.
+  U256 r = U256(1);
+  for (int i = 0; i < 256; ++i) r = addmod(r, r, m_);
+  r_mod_m_ = r;
+  // R^2 mod m by repeated doubling of R mod m, 256 more doublings.
+  U256 r2 = r_mod_m_;
+  for (int i = 0; i < 256; ++i) r2 = addmod(r2, r2, m_);
+  r2_mod_m_ = r2;
+}
+
+U256 Monty::mul(const U256& a, const U256& b) const {
+  // CIOS Montgomery multiplication, 4x64 limbs.
+  uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 s = static_cast<u128>(a.w[i]) * b.w[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(s);
+      carry = static_cast<uint64_t>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[4]) + carry;
+    t[4] = static_cast<uint64_t>(s);
+    t[5] = static_cast<uint64_t>(s >> 64);
+    // reduction step
+    uint64_t u = t[0] * m_prime_;
+    u128 s2 = static_cast<u128>(u) * m_.w[0] + t[0];
+    carry = static_cast<uint64_t>(s2 >> 64);
+    for (int j = 1; j < 4; ++j) {
+      u128 s3 = static_cast<u128>(u) * m_.w[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(s3);
+      carry = static_cast<uint64_t>(s3 >> 64);
+    }
+    u128 s4 = static_cast<u128>(t[4]) + carry;
+    t[3] = static_cast<uint64_t>(s4);
+    t[4] = t[5] + static_cast<uint64_t>(s4 >> 64);
+  }
+  U256 r(t[0], t[1], t[2], t[3]);
+  if (t[4] != 0 || r >= m_) {
+    U256 d;
+    fourq::sub(r, m_, d);
+    r = d;
+  }
+  return r;
+}
+
+U256 Monty::to_monty(const U256& a) const { return mul(mod(a, m_), r2_mod_m_); }
+
+U256 Monty::from_monty(const U256& a) const { return mul(a, U256(1)); }
+
+U256 Monty::pow(const U256& base, const U256& exponent) const {
+  U256 acc = one();
+  int top = exponent.top_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = sqr(acc);
+    if (exponent.bit(static_cast<unsigned>(i))) acc = mul(acc, base);
+  }
+  return acc;
+}
+
+U256 Monty::inv(const U256& a) const {
+  FOURQ_CHECK(!a.is_zero());
+  // inv(aR) = a^{-1} R: pull out of the domain, invert, push back.
+  U256 plain = from_monty(a);
+  return to_monty(invmod(plain, m_));
+}
+
+}  // namespace fourq

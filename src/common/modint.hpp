@@ -1,0 +1,46 @@
+// Montgomery arithmetic modulo an odd 256-bit modulus.
+//
+// Backs every "generic" modular domain in the repository: the FourQ subgroup
+// order N, the P-256 field and group order, and the Curve25519 field in its
+// generic form. Hot curve paths that deserve specialised reduction (the
+// Mersenne field F_p of FourQ, the pseudo-Mersenne 2^255-19) have dedicated
+// implementations; this class is the correctness anchor they are tested
+// against.
+#pragma once
+
+#include "common/u256.hpp"
+
+namespace fourq {
+
+// Modular inverse of a modulo odd m (gcd(a, m) must be 1), plain domain.
+U256 invmod(const U256& a, const U256& m);
+
+class Monty {
+ public:
+  // `modulus` must be odd and > 2.
+  explicit Monty(const U256& modulus);
+
+  const U256& modulus() const { return m_; }
+
+  // Conversions between plain and Montgomery domain.
+  U256 to_monty(const U256& a) const;
+  U256 from_monty(const U256& a) const;
+
+  // All operands and results below are in the Montgomery domain.
+  U256 one() const { return r_mod_m_; }
+  U256 mul(const U256& a, const U256& b) const;
+  U256 sqr(const U256& a) const { return mul(a, a); }
+  U256 add(const U256& a, const U256& b) const { return addmod(a, b, m_); }
+  U256 sub(const U256& a, const U256& b) const { return submod(a, b, m_); }
+  U256 neg(const U256& a) const { return submod(U256(), a, m_); }
+  U256 pow(const U256& base, const U256& exponent) const;
+  U256 inv(const U256& a) const;
+
+ private:
+  U256 m_;         // modulus
+  U256 r_mod_m_;   // R mod m, R = 2^256 (Montgomery one)
+  U256 r2_mod_m_;  // R^2 mod m (for to_monty)
+  uint64_t m_prime_;  // -m^{-1} mod 2^64
+};
+
+}  // namespace fourq

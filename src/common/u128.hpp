@@ -1,0 +1,32 @@
+// 64/128-bit building blocks: widening multiply and carry-propagating
+// add/sub primitives shared by the field and big-integer layers.
+#pragma once
+
+#include <cstdint>
+
+namespace fourq {
+
+using u128 = unsigned __int128;
+
+// 64x64 -> 128 widening multiply, split into (hi, lo).
+inline void mul64x64(uint64_t a, uint64_t b, uint64_t& hi, uint64_t& lo) {
+  u128 p = static_cast<u128>(a) * b;
+  lo = static_cast<uint64_t>(p);
+  hi = static_cast<uint64_t>(p >> 64);
+}
+
+// r = a + b + carry_in; returns carry_out.
+inline uint64_t addc64(uint64_t a, uint64_t b, uint64_t carry_in, uint64_t& r) {
+  u128 s = static_cast<u128>(a) + b + carry_in;
+  r = static_cast<uint64_t>(s);
+  return static_cast<uint64_t>(s >> 64);
+}
+
+// r = a - b - borrow_in; returns borrow_out (0 or 1).
+inline uint64_t subb64(uint64_t a, uint64_t b, uint64_t borrow_in, uint64_t& r) {
+  u128 d = static_cast<u128>(a) - b - borrow_in;
+  r = static_cast<uint64_t>(d);
+  return static_cast<uint64_t>((d >> 64) & 1);
+}
+
+}  // namespace fourq

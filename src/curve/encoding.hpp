@@ -1,0 +1,33 @@
+// Point encoding / compression for FourQ.
+//
+// A point (x, y) is encoded into 64 bytes uncompressed, or 32 bytes
+// compressed: the 254-bit y coordinate plus one sign bit for x (the curve
+// equation determines x up to sign: x^2 = (y^2 - 1) / (d y^2 + 1)).
+// Encodings are little-endian per F_p limb, matching the scalar layout.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "curve/point.hpp"
+
+namespace fourq::curve {
+
+using CompressedPoint = std::array<uint8_t, 32>;
+using UncompressedPoint = std::array<uint8_t, 64>;
+
+UncompressedPoint encode(const Affine& p);
+// Fails (nullopt) if either coordinate is non-canonical or the point is
+// not on the curve.
+std::optional<Affine> decode(const UncompressedPoint& bytes);
+
+CompressedPoint compress(const Affine& p);
+// Fails if y is non-canonical or no x exists for this y (off-curve).
+std::optional<Affine> decompress(const CompressedPoint& bytes);
+
+// Sign convention: the "sign" of x is the least-significant bit of the
+// real part of x, unless the real part is zero, in which case it is the
+// lsb of the imaginary part (so sign(-x) != sign(x) for x != 0).
+bool x_sign(const field::Fp2& x);
+
+}  // namespace fourq::curve

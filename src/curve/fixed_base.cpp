@@ -1,0 +1,30 @@
+#include "curve/fixed_base.hpp"
+
+namespace fourq::curve {
+
+FixedBaseMul::FixedBaseMul(const Affine& base) : base_(base) {
+  BasePoints bp = compute_base_points(base);
+  table_ = build_table(bp);
+  minus_base_ = neg_r2(to_r2(bp.p));
+}
+
+PointR1 FixedBaseMul::mul(const U256& k) const {
+  Decomposition dec = decompose(k);
+  RecodedScalar rec = recode(dec.a);
+
+  PointR1 q = identity();
+  for (int i = kDigits - 1; i >= 0; --i) {
+    if (i != kDigits - 1) q = dbl(q);
+    const PointR2& entry = table_[rec.digit[static_cast<size_t>(i)]];
+    q = add(q, rec.sign[static_cast<size_t>(i)] > 0 ? entry : neg_r2(entry));
+  }
+  PointR2 correction = dec.k_was_even ? minus_base_ : to_r2(identity());
+  return add(q, correction);
+}
+
+MulOpCounts FixedBaseMul::per_scalar_op_counts() {
+  // 64 doublings + 65 digit additions + 1 correction; no precomputation.
+  return MulOpCounts{kDigits - 1, kDigits + 1};
+}
+
+}  // namespace fourq::curve

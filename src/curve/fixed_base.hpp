@@ -1,0 +1,35 @@
+// Fixed-base scalar multiplication with cached precomputation.
+//
+// Protocols multiply the same base point over and over (the generator in
+// key generation and signing, a public key in repeated verifications). The
+// expensive scalar-independent phases of Algorithm 1 — the auxiliary
+// points [2^64]P/[2^128]P/[2^192]P and the 8-entry table — depend only on
+// P, so they are computed once here and reused per scalar. This mirrors
+// the ASIC's usage model: the host loads the table once, then streams
+// scalars (the ROM's per-scalar part is just the main loop + correction +
+// normalisation).
+#pragma once
+
+#include "curve/scalarmul.hpp"
+
+namespace fourq::curve {
+
+class FixedBaseMul {
+ public:
+  explicit FixedBaseMul(const Affine& base);
+
+  const Affine& base() const { return base_; }
+
+  // [k]P for any k in [0, 2^256), reusing the cached table.
+  PointR1 mul(const U256& k) const;
+
+  // Per-scalar operation counts (the amortised cost: loop + correction).
+  static MulOpCounts per_scalar_op_counts();
+
+ private:
+  Affine base_;
+  std::array<PointR2, 8> table_;
+  PointR2 minus_base_;  // for the uniform even-k correction
+};
+
+}  // namespace fourq::curve

@@ -1,0 +1,82 @@
+#include "curve/multiscalar.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace fourq::curve {
+
+std::vector<int8_t> wnaf(const U256& k, int width) {
+  FOURQ_CHECK(width >= 2 && width <= 7);
+  std::vector<int8_t> digits;
+  // Work in 512 bits: a negative digit adds up to 2^w - 1 to the residual,
+  // which can carry past bit 255 for scalars near 2^256.
+  U512 n(k);
+  const uint64_t window = uint64_t{1} << width;  // 2^w
+  const uint64_t half = window / 2;
+  while (!n.is_zero()) {
+    int8_t d = 0;
+    if (n.bit(0)) {
+      uint64_t mods = n.w[0] & (window - 1);  // n mod 2^w
+      U512 t;
+      if (mods >= half) {
+        // Negative digit: d = mods - 2^w; the residual grows by |d|.
+        d = static_cast<int8_t>(static_cast<int64_t>(mods) - static_cast<int64_t>(window));
+        U512 delta(U256(static_cast<uint64_t>(-static_cast<int64_t>(d))));
+        uint64_t carry = add(n, delta, t);
+        FOURQ_CHECK(carry == 0);
+      } else {
+        d = static_cast<int8_t>(mods);
+        uint64_t borrow = sub(n, U512(U256(mods)), t);
+        FOURQ_CHECK(borrow == 0);
+      }
+      n = t;
+    }
+    digits.push_back(d);
+    n = shr(n, 1);
+  }
+  return digits;
+}
+
+PointR1 multi_scalar_mul(const std::vector<ScalarPoint>& terms) {
+  constexpr int kWidth = 3;
+  constexpr int kTableSize = 1 << (kWidth - 1);  // odd multiples 1,3,5,7
+
+  struct Prepared {
+    std::array<PointR2, kTableSize> odd;  // [ (2j+1) P ]
+    std::vector<int8_t> naf;
+  };
+  std::vector<Prepared> prep;
+  size_t max_len = 0;
+  for (const ScalarPoint& t : terms) {
+    if (t.k.is_zero()) continue;
+    Prepared pr;
+    PointR1 p1 = to_r1(t.p);
+    PointR2 two_p = to_r2(dbl(p1));
+    PointR1 acc = p1;
+    pr.odd[0] = to_r2(p1);
+    for (int j = 1; j < kTableSize; ++j) {
+      acc = add(acc, two_p);
+      pr.odd[static_cast<size_t>(j)] = to_r2(acc);
+    }
+    pr.naf = wnaf(t.k, kWidth);
+    max_len = std::max(max_len, pr.naf.size());
+    prep.push_back(std::move(pr));
+  }
+
+  PointR1 q = identity();
+  for (int i = static_cast<int>(max_len) - 1; i >= 0; --i) {
+    q = dbl(q);
+    for (const Prepared& pr : prep) {
+      if (i >= static_cast<int>(pr.naf.size())) continue;
+      int d = pr.naf[static_cast<size_t>(i)];
+      if (d == 0) continue;
+      const PointR2& entry = pr.odd[static_cast<size_t>(std::abs(d) / 2)];
+      q = add(q, d > 0 ? entry : neg_r2(entry));
+    }
+  }
+  return q;
+}
+
+}  // namespace fourq::curve

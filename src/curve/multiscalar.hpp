@@ -1,0 +1,26 @@
+// Multi-scalar multiplication sum_i [k_i] P_i via interleaved width-w NAF
+// (Straus): one shared doubling chain, per-point odd-multiple tables.
+// Used by batch signature verification, where a single n-term MSM replaces
+// n+1 separate scalar multiplications.
+#pragma once
+
+#include <vector>
+
+#include "curve/point.hpp"
+
+namespace fourq::curve {
+
+struct ScalarPoint {
+  U256 k;
+  Affine p;
+};
+
+// Window width 3: per-point table {P, 3P, 5P, 7P}, signed digits.
+PointR1 multi_scalar_mul(const std::vector<ScalarPoint>& terms);
+
+// Width-w non-adjacent form of k: digits in {0, ±1, ±3, ..., ±(2^w - 1)},
+// at most one non-zero digit in any w consecutive positions. Exposed for
+// tests. digits[i] weights 2^i; result length <= 257.
+std::vector<int8_t> wnaf(const U256& k, int width);
+
+}  // namespace fourq::curve

@@ -1,0 +1,67 @@
+#include "curve/point.hpp"
+
+#include "common/check.hpp"
+
+namespace fourq::curve {
+
+Affine to_affine(const PointR1& p) {
+  FOURQ_CHECK_MSG(!p.Z.is_zero(), "point at infinity has no affine form");
+  Fp2 zi = p.Z.inv();
+  return Affine{p.X * zi, p.Y * zi};
+}
+
+bool equal(const PointR1& a, const PointR1& b) {
+  return a.X * b.Z == b.X * a.Z && a.Y * b.Z == b.Y * a.Z;
+}
+
+bool is_identity(const PointR1& p) { return p.X.is_zero() && p.Y == p.Z; }
+
+bool on_curve(const Affine& p) {
+  Fp2 x2 = p.x.sqr(), y2 = p.y.sqr();
+  return y2 - x2 == Fp2::from_u64(1) + curve_d() * x2 * y2;
+}
+
+bool on_curve(const PointR1& p) {
+  if (p.Z.is_zero()) return false;
+  if (p.Ta * p.Tb * p.Z != p.X * p.Y) return false;  // T == XY/Z
+  return on_curve(to_affine(p));
+}
+
+Affine affine_add(const Affine& p, const Affine& q) {
+  // a = -1 twisted Edwards addition law:
+  //   x3 = (x1 y2 + y1 x2) / (1 + d x1 x2 y1 y2)
+  //   y3 = (y1 y2 + x1 x2) / (1 - d x1 x2 y1 y2)
+  // Complete for this curve: the denominators never vanish.
+  Fp2 xx = p.x * q.x, yy = p.y * q.y;
+  Fp2 xy = p.x * q.y + p.y * q.x;
+  Fp2 dxxyy = curve_d() * xx * yy;
+  Fp2 one = Fp2::from_u64(1);
+  return Affine{xy * (one + dxxyy).inv(), (yy + xx) * (one - dxxyy).inv()};
+}
+
+PointR1 identity() { return identity_r1<Fp2>(Fp2(), Fp2::from_u64(1)); }
+
+PointR1 to_r1(const Affine& p) { return to_r1<Fp2>(p, Fp2::from_u64(1)); }
+
+PointR2 to_r2(const PointR1& p) { return to_r2<Fp2>(p, curve_2d()); }
+
+PointR2 neg_r2(const PointR2& p) { return neg_r2<Fp2>(p, Fp2()); }
+
+Affine deterministic_point(uint64_t seed) {
+  Fp2 one = Fp2::from_u64(1);
+  for (uint64_t j = 1;; ++j) {
+    Fp2 x = Fp2::from_u64(j, seed);
+    Fp2 x2 = x.sqr();
+    Fp2 den = one - curve_d() * x2;
+    if (den.is_zero()) continue;
+    Fp2 y2 = (one + x2) * den.inv();
+    Fp2 y;
+    if (y2.sqrt(y)) {
+      Affine p{x, y};
+      FOURQ_CHECK(on_curve(p));
+      return p;
+    }
+  }
+}
+
+}  // namespace fourq::curve

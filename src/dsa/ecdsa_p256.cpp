@@ -1,0 +1,70 @@
+#include "dsa/ecdsa_p256.hpp"
+
+#include "common/check.hpp"
+#include "hash/rfc6979.hpp"
+#include "hash/sha256.hpp"
+
+namespace fourq::dsa {
+
+EcdsaP256::EcdsaP256() : curve_(), n_(curve_.group_order()) {}
+
+U256 EcdsaP256::hash_z(const std::string& msg) const {
+  // §II-A step 1/3: e = HASH(m), z = L_n leftmost bits of e. L_n = 256 for
+  // P-256, so z is the whole digest, reduced mod n for the field arithmetic.
+  return mod(hash::digest_to_u256(hash::Sha256::digest(msg)), n_.modulus());
+}
+
+EcdsaP256::KeyPair EcdsaP256::keygen(Rng& rng) const {
+  U256 d = rng.next_mod_nonzero(n_.modulus());
+  auto q = curve_.to_affine(curve_.scalar_mul_base(d));
+  FOURQ_CHECK(q.has_value());
+  return KeyPair{d, *q};
+}
+
+EcdsaP256::Signature EcdsaP256::sign_with_nonce(const KeyPair& kp, const std::string& msg,
+                                                const U256& k) const {
+  FOURQ_CHECK(!k.is_zero() && k < n_.modulus());
+  U256 z = hash_z(msg);
+  // Step 3: (x1, y1) = [k]G.
+  auto p = curve_.to_affine(curve_.scalar_mul_base(k));
+  FOURQ_CHECK(p.has_value());
+  // Step 4: r = x1 mod n.
+  U256 r = mod(p->x, n_.modulus());
+  FOURQ_CHECK_MSG(!r.is_zero(), "r == 0: caller must retry with a new nonce");
+  // Step 5: s = k^{-1} (z + r*d) mod n.
+  U256 rd = n_.from_monty(n_.mul(n_.to_monty(r), n_.to_monty(kp.secret)));
+  U256 zrd = addmod(z, rd, n_.modulus());
+  U256 kinv = invmod(k, n_.modulus());
+  U256 s = n_.from_monty(n_.mul(n_.to_monty(kinv), n_.to_monty(zrd)));
+  FOURQ_CHECK_MSG(!s.is_zero(), "s == 0: caller must retry with a new nonce");
+  return Signature{r, s};
+}
+
+EcdsaP256::Signature EcdsaP256::sign(const KeyPair& kp, const std::string& msg) const {
+  // Exact RFC 6979 deterministic nonce (validated against the RFC's A.2.5
+  // vectors in test_rfc6979.cpp).
+  U256 k = hash::rfc6979_nonce(kp.secret, n_.modulus(), hash::Sha256::digest(msg));
+  return sign_with_nonce(kp, msg, k);
+}
+
+bool EcdsaP256::verify(const baseline::P256::Affine& pub, const std::string& msg,
+                       const Signature& sig) const {
+  // Step 1: r, s in [1, n-1].
+  if (sig.r.is_zero() || sig.s.is_zero()) return false;
+  if (sig.r >= n_.modulus() || sig.s >= n_.modulus()) return false;
+  if (!curve_.on_curve(pub)) return false;
+  // Step 2: w = s^{-1} mod n.
+  U256 w = invmod(sig.s, n_.modulus());
+  U256 z = hash_z(msg);
+  // Step 3: u1 = z*w, u2 = r*w.
+  U256 u1 = n_.from_monty(n_.mul(n_.to_monty(z), n_.to_monty(w)));
+  U256 u2 = n_.from_monty(n_.mul(n_.to_monty(sig.r), n_.to_monty(w)));
+  // Step 4: (x1, y1) = [u1]G + [u2]Q.
+  auto sum = curve_.add(curve_.scalar_mul_base(u1), curve_.scalar_mul(u2, pub));
+  auto aff = curve_.to_affine(sum);
+  if (!aff) return false;  // point at infinity -> invalid
+  // Step 5: valid iff r == x1 mod n.
+  return mod(aff->x, n_.modulus()) == sig.r;
+}
+
+}  // namespace fourq::dsa

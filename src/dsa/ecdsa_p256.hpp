@@ -1,0 +1,46 @@
+// ECDSA over NIST P-256, implementing the exact signature generation and
+// verification workflow enumerated in paper §II-A (steps 1-5 each side).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "baseline/p256.hpp"
+#include "common/modint.hpp"
+#include "common/rng.hpp"
+
+namespace fourq::dsa {
+
+class EcdsaP256 {
+ public:
+  EcdsaP256();
+
+  struct KeyPair {
+    U256 secret;               // d_A in [1, n-1]
+    baseline::P256::Affine pub;  // Q_A = [d_A]G
+  };
+
+  struct Signature {
+    U256 r, s;
+  };
+
+  KeyPair keygen(Rng& rng) const;
+
+  // Nonce k is derived deterministically from (secret, msg); a caller-
+  // provided nonce overload exists for tests of the k-reuse failure mode.
+  Signature sign(const KeyPair& kp, const std::string& msg) const;
+  Signature sign_with_nonce(const KeyPair& kp, const std::string& msg, const U256& k) const;
+
+  bool verify(const baseline::P256::Affine& pub, const std::string& msg,
+              const Signature& sig) const;
+
+  const baseline::P256& curve() const { return curve_; }
+
+ private:
+  U256 hash_z(const std::string& msg) const;
+
+  baseline::P256 curve_;
+  Monty n_;  // arithmetic mod the group order
+};
+
+}  // namespace fourq::dsa

@@ -1,0 +1,111 @@
+#include "field/fp.hpp"
+
+#include "common/check.hpp"
+#include "common/hexutil.hpp"
+
+namespace fourq::field {
+
+namespace {
+
+constexpr u128 kMask127 = (static_cast<u128>(1) << 127) - 1;
+
+}  // namespace
+
+Fp Fp::make_canonical(u128 v) {
+  // v < 2^128. Fold bit 127 once: result <= 2^127 (= p + 1).
+  v = (v & kMask127) + (v >> 127);
+  if (v >= P()) v -= P();
+  return Fp(v);
+}
+
+Fp Fp::from_words(uint64_t lo, uint64_t hi) {
+  return make_canonical((static_cast<u128>(hi) << 64) | lo);
+}
+
+Fp Fp::from_u256(const U256& v) { return reduce_wide(v); }
+
+Fp Fp::from_hex(const std::string& hex) {
+  uint64_t w[2];
+  hex_to_words(hex, w, 2);
+  return from_words(w[0], w[1]);
+}
+
+std::string Fp::to_hex() const {
+  uint64_t w[2] = {lo(), hi()};
+  return words_to_hex(w, 2);
+}
+
+Fp operator+(const Fp& a, const Fp& b) {
+  // a + b <= 2p - 2 < 2^128: single fold suffices.
+  return Fp::make_canonical(a.v_ + b.v_);
+}
+
+Fp operator-(const Fp& a, const Fp& b) {
+  u128 v = (a.v_ >= b.v_) ? a.v_ - b.v_ : a.v_ + Fp::P() - b.v_;
+  if (v >= Fp::P()) v -= Fp::P();
+  return Fp(v);
+}
+
+Fp Fp::operator-() const { return Fp() - *this; }
+
+U256 Fp::mul_wide(const Fp& a, const Fp& b) {
+  U256 x(a.lo(), a.hi(), 0, 0);
+  U256 y(b.lo(), b.hi(), 0, 0);
+  U512 p = fourq::mul_wide(x, y);
+  // Operands < 2^127 so the product < 2^254: top half beyond word 3 is zero.
+  FOURQ_CHECK((p.w[4] | p.w[5] | p.w[6] | p.w[7]) == 0);
+  return p.lo256();
+}
+
+Fp Fp::reduce_wide(const U256& v) {
+  // v = A + B*2^127 + C*2^254 with A, B < 2^127 and C < 4.
+  // 2^127 ≡ 1 and 2^254 ≡ 1 (mod p), so v ≡ A + B + C.
+  u128 a = (static_cast<u128>(v.w[1] & 0x7fffffffffffffffull) << 64) | v.w[0];
+  // B = bits [253:127]: bit 127 is the top bit of w[1], then w[2], then the
+  // low 62 bits of w[3].
+  u128 b = (v.w[1] >> 63);
+  b |= static_cast<u128>(v.w[2]) << 1;
+  b |= static_cast<u128>(v.w[3] & 0x3fffffffffffffffull) << 65;
+  u128 c = v.w[3] >> 62;
+  // a + b <= 2^128 - 2 fits in u128; adding c (< 4) could overflow, so fold
+  // a + b first and add c as a field element.
+  return make_canonical(a + b) + Fp(c);
+}
+
+Fp operator*(const Fp& a, const Fp& b) { return Fp::reduce_wide(Fp::mul_wide(a, b)); }
+
+Fp Fp::sqr_n(int n) const {
+  Fp r = *this;
+  for (int i = 0; i < n; ++i) r = r.sqr();
+  return r;
+}
+
+Fp Fp::pow(const U256& e) const {
+  Fp acc = Fp::from_u64(1);
+  int top = e.top_bit();
+  for (int i = top; i >= 0; --i) {
+    acc = acc.sqr();
+    if (e.bit(static_cast<unsigned>(i))) acc = acc * *this;
+  }
+  return acc;
+}
+
+Fp Fp::inv() const {
+  FOURQ_CHECK_MSG(!is_zero(), "inverse of zero in F_p");
+  // p - 2 = 2^127 - 3 = 0b111...1101 (bit 1 clear, all other low 127 bits set).
+  U256 e((static_cast<uint64_t>(-3)), ~0ull, 0, 0);
+  e.w[1] &= 0x7fffffffffffffffull;  // 2^127 - 3
+  return pow(e);
+}
+
+bool Fp::sqrt(Fp& root) const {
+  // p ≡ 3 (mod 4): candidate = x^((p+1)/4) = x^(2^125).
+  Fp cand = sqr_n(125);
+  if (cand.sqr() == *this) {
+    root = cand;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace fourq::field

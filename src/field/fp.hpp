@@ -1,0 +1,72 @@
+// Base field F_p with the Mersenne prime p = 2^127 - 1 (paper §II-B.2).
+//
+// Elements are kept canonical in [0, p). The Mersenne structure means
+// reduction is a shift-and-add fold (2^127 ≡ 1 mod p), never a division —
+// the property the paper's datapath is built around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/u128.hpp"
+#include "common/u256.hpp"
+
+namespace fourq::field {
+
+class Fp {
+ public:
+  // p = 2^127 - 1.
+  static constexpr u128 P() { return (static_cast<u128>(1) << 127) - 1; }
+
+  constexpr Fp() : v_(0) {}
+
+  // Value taken mod p.
+  static Fp from_u64(uint64_t v) { return Fp(static_cast<u128>(v)); }
+  static Fp from_words(uint64_t lo, uint64_t hi);
+  // Reduces an arbitrary 256-bit value mod p.
+  static Fp from_u256(const U256& v);
+  static Fp from_hex(const std::string& hex);
+
+  uint64_t lo() const { return static_cast<uint64_t>(v_); }
+  uint64_t hi() const { return static_cast<uint64_t>(v_ >> 64); }
+  u128 raw() const { return v_; }
+  U256 to_u256() const { return U256(lo(), hi(), 0, 0); }
+  std::string to_hex() const;
+
+  bool is_zero() const { return v_ == 0; }
+  bool is_odd() const { return (v_ & 1) != 0; }
+
+  friend bool operator==(const Fp& a, const Fp& b) { return a.v_ == b.v_; }
+  friend bool operator!=(const Fp& a, const Fp& b) { return a.v_ != b.v_; }
+
+  friend Fp operator+(const Fp& a, const Fp& b);
+  friend Fp operator-(const Fp& a, const Fp& b);
+  friend Fp operator*(const Fp& a, const Fp& b);
+  Fp operator-() const;
+
+  Fp sqr() const { return *this * *this; }
+  // Multiplicative inverse via Fermat (x^(p-2)); x must be non-zero.
+  Fp inv() const;
+  // x^(2^n) — n repeated squarings.
+  Fp sqr_n(int n) const;
+  // Square root when one exists (p ≡ 3 mod 4, so x^((p+1)/4)).
+  // Returns false if x is a non-residue.
+  bool sqrt(Fp& root) const;
+  Fp pow(const U256& e) const;
+
+  // The 254-bit product a*b as a U256, *without* modular reduction.
+  // This is the value the lazy-reduction datapath carries between units.
+  static U256 mul_wide(const Fp& a, const Fp& b);
+  // Mersenne fold of a 256-bit value into [0, p):
+  // interprets v = A + B*2^127 + C*2^254 and returns A + B + C mod p
+  // (paper Alg. 2, steps t9/t10).
+  static Fp reduce_wide(const U256& v);
+
+ private:
+  constexpr explicit Fp(u128 v) : v_(v) {}
+  static Fp make_canonical(u128 v);
+
+  u128 v_;
+};
+
+}  // namespace fourq::field

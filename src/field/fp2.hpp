@@ -1,0 +1,66 @@
+// Quadratic extension field F_{p^2} = F_p(i), i^2 = -1 (paper §II-B.1).
+//
+// Two multiplication algorithms are provided:
+//  * mul_schoolbook — 4 F_p multiplications (the conventional datapath the
+//    paper compares against, e.g. [15]);
+//  * mul_karatsuba  — the paper's Algorithm 2: 3 F_p multiplications with
+//    lazy reduction, implemented bit-exactly with the same wide (254/256-bit)
+//    intermediates and fold steps (t0..t10) the hardware uses.
+// operator* uses the Karatsuba path; tests assert both paths agree.
+#pragma once
+
+#include <string>
+
+#include "field/fp.hpp"
+
+namespace fourq::field {
+
+class Fp2 {
+ public:
+  constexpr Fp2() = default;
+  Fp2(const Fp& re, const Fp& im) : a_(re), b_(im) {}
+  static Fp2 from_u64(uint64_t re, uint64_t im = 0) {
+    return Fp2(Fp::from_u64(re), Fp::from_u64(im));
+  }
+  static Fp2 from_hex(const std::string& re_hex, const std::string& im_hex) {
+    return Fp2(Fp::from_hex(re_hex), Fp::from_hex(im_hex));
+  }
+
+  const Fp& re() const { return a_; }
+  const Fp& im() const { return b_; }
+  std::string to_hex() const { return a_.to_hex() + "+" + b_.to_hex() + "i"; }
+
+  bool is_zero() const { return a_.is_zero() && b_.is_zero(); }
+
+  friend bool operator==(const Fp2& x, const Fp2& y) { return x.a_ == y.a_ && x.b_ == y.b_; }
+  friend bool operator!=(const Fp2& x, const Fp2& y) { return !(x == y); }
+
+  friend Fp2 operator+(const Fp2& x, const Fp2& y) { return Fp2(x.a_ + y.a_, x.b_ + y.b_); }
+  friend Fp2 operator-(const Fp2& x, const Fp2& y) { return Fp2(x.a_ - y.a_, x.b_ - y.b_); }
+  Fp2 operator-() const { return Fp2(-a_, -b_); }
+  friend Fp2 operator*(const Fp2& x, const Fp2& y) { return mul_karatsuba(x, y); }
+
+  // Paper Algorithm 2 (Karatsuba + lazy reduction, 3 F_p muls).
+  static Fp2 mul_karatsuba(const Fp2& x, const Fp2& y);
+  // Conventional 4-mul F_{p^2} multiplication with eager reduction.
+  static Fp2 mul_schoolbook(const Fp2& x, const Fp2& y);
+
+  Fp2 sqr() const;
+  // Complex conjugate a - b*i.
+  Fp2 conj() const { return Fp2(a_, -b_); }
+  // Field norm a^2 + b^2 ∈ F_p.
+  Fp norm() const { return a_.sqr() + b_.sqr(); }
+  // Multiplicative inverse conj(x)/norm(x); x must be non-zero.
+  Fp2 inv() const;
+  // Square root in F_{p^2} when one exists.
+  bool sqrt(Fp2& root) const;
+
+  // Scale by a small integer (used by doubling/table formulas).
+  Fp2 dbl() const { return *this + *this; }
+
+ private:
+  Fp a_;  // real part
+  Fp b_;  // imaginary part
+};
+
+}  // namespace fourq::field

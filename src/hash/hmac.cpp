@@ -1,0 +1,54 @@
+#include "hash/hmac.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace fourq::hash {
+
+Sha256::Digest hmac_sha256(const uint8_t* key, size_t key_len, const uint8_t* msg,
+                           size_t msg_len) {
+  constexpr size_t kBlock = 64;
+  std::array<uint8_t, kBlock> k{};
+  if (key_len > kBlock) {
+    Sha256::Digest kd = Sha256::digest(key, key_len);
+    std::memcpy(k.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k.data(), key, key_len);
+  }
+
+  std::array<uint8_t, kBlock> ipad, opad;
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad.data(), ipad.size());
+  inner.update(msg, msg_len);
+  Sha256::Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad.data(), opad.size());
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finalize();
+}
+
+Sha256::Digest hmac_sha256(const std::string& key, const std::string& msg) {
+  return hmac_sha256(reinterpret_cast<const uint8_t*>(key.data()), key.size(),
+                     reinterpret_cast<const uint8_t*>(msg.data()), msg.size());
+}
+
+U256 derive_nonce(const U256& secret, const std::string& context, const std::string& msg,
+                  const U256& order) {
+  FOURQ_CHECK(!order.is_zero());
+  std::string key = secret.to_hex();
+  for (uint64_t counter = 0;; ++counter) {
+    std::string data = context + "\x00" + msg + "\x00" + U256(counter).to_hex();
+    U256 cand = mod(digest_to_u256(hmac_sha256(key, data)), order);
+    if (!cand.is_zero()) return cand;
+  }
+}
+
+}  // namespace fourq::hash

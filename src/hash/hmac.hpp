@@ -1,0 +1,21 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1), used for RFC 6979-style
+// deterministic nonce derivation in the signature schemes.
+#pragma once
+
+#include <string>
+
+#include "hash/sha256.hpp"
+
+namespace fourq::hash {
+
+Sha256::Digest hmac_sha256(const uint8_t* key, size_t key_len, const uint8_t* msg,
+                           size_t msg_len);
+Sha256::Digest hmac_sha256(const std::string& key, const std::string& msg);
+
+// RFC 6979-flavoured deterministic scalar derivation: repeatedly HMACs
+// (key = secret, msg = context || message || counter) until the candidate,
+// reduced mod `order`, is non-zero. Deterministic for fixed inputs.
+U256 derive_nonce(const U256& secret, const std::string& context, const std::string& msg,
+                  const U256& order);
+
+}  // namespace fourq::hash

@@ -1,0 +1,99 @@
+#include "hash/rfc6979.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "hash/hmac.hpp"
+
+namespace fourq::hash {
+
+namespace {
+
+// Big-endian fixed-length octets of v (rolen bytes).
+std::vector<uint8_t> int2octets(const U256& v, int rolen) {
+  std::vector<uint8_t> out(static_cast<size_t>(rolen), 0);
+  for (int i = 0; i < rolen; ++i) {
+    int byte_index = rolen - 1 - i;  // little-endian byte position
+    if (byte_index < 32)
+      out[static_cast<size_t>(i)] =
+          static_cast<uint8_t>(v.w[byte_index / 8] >> (8 * (byte_index % 8)));
+  }
+  return out;
+}
+
+// bits2int: leftmost qlen bits of the bit string (here blen == 256).
+U256 bits2int(const Sha256::Digest& b, int qlen) {
+  U256 v = digest_to_u256(b);
+  if (qlen < 256) v = shr(v, static_cast<unsigned>(256 - qlen));
+  return v;
+}
+
+U256 bits2int_bytes(const std::vector<uint8_t>& t, int qlen) {
+  // t holds ceil(qlen/8)*? bytes; take the leftmost 32 bytes then shift.
+  U256 v;
+  int take = std::min<int>(32, static_cast<int>(t.size()));
+  for (int i = 0; i < take; ++i) {
+    int byte_index = take - 1 - i;  // big-endian input
+    v.w[byte_index / 8] |= static_cast<uint64_t>(t[static_cast<size_t>(i)])
+                           << (8 * (byte_index % 8));
+  }
+  int blen = static_cast<int>(t.size()) * 8;
+  if (blen > qlen) {
+    // We only kept 256 bits; adjust for qlen < kept bits.
+    int kept = take * 8;
+    if (kept > qlen) v = shr(v, static_cast<unsigned>(kept - qlen));
+  }
+  return v;
+}
+
+}  // namespace
+
+U256 rfc6979_nonce(const U256& x, const U256& q, const Sha256::Digest& h1) {
+  FOURQ_CHECK(!q.is_zero() && x < q);
+  int qlen = q.top_bit() + 1;
+  int rolen = (qlen + 7) / 8;
+
+  // bits2octets(h1) = int2octets(bits2int(h1) mod q).
+  U256 z = bits2int(h1, qlen);
+  if (z >= q) {
+    U256 t;
+    sub(z, q, t);
+    z = t;
+  }
+  std::vector<uint8_t> x_oct = int2octets(x, rolen);
+  std::vector<uint8_t> h_oct = int2octets(z, rolen);
+
+  std::vector<uint8_t> v(32, 0x01), k(32, 0x00);
+  auto hmac = [&](const std::vector<uint8_t>& key, const std::vector<uint8_t>& msg) {
+    Sha256::Digest d = hmac_sha256(key.data(), key.size(), msg.data(), msg.size());
+    return std::vector<uint8_t>(d.begin(), d.end());
+  };
+  auto cat = [](std::initializer_list<const std::vector<uint8_t>*> parts) {
+    std::vector<uint8_t> out;
+    for (const auto* p : parts) out.insert(out.end(), p->begin(), p->end());
+    return out;
+  };
+
+  // Steps d-g of RFC 6979 §3.2.
+  std::vector<uint8_t> sep0{0x00}, sep1{0x01};
+  k = hmac(k, cat({&v, &sep0, &x_oct, &h_oct}));
+  v = hmac(k, v);
+  k = hmac(k, cat({&v, &sep1, &x_oct, &h_oct}));
+  v = hmac(k, v);
+
+  // Step h: generate candidates.
+  for (;;) {
+    std::vector<uint8_t> t;
+    while (static_cast<int>(t.size()) < rolen) {
+      v = hmac(k, v);
+      t.insert(t.end(), v.begin(), v.end());
+    }
+    t.resize(static_cast<size_t>(rolen));
+    U256 cand = bits2int_bytes(t, qlen);
+    if (!cand.is_zero() && cand < q) return cand;
+    k = hmac(k, cat({&v, &sep0}));
+    v = hmac(k, v);
+  }
+}
+
+}  // namespace fourq::hash

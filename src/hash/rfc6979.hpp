@@ -1,0 +1,16 @@
+// RFC 6979 deterministic ECDSA nonce generation (exact, HMAC-SHA-256
+// instantiation) — validated against the RFC's published A.2.5 P-256 test
+// vector. Used by the P-256 ECDSA signer; the FourQ schemes use the same
+// construction via their own order.
+#pragma once
+
+#include "common/u256.hpp"
+#include "hash/sha256.hpp"
+
+namespace fourq::hash {
+
+// k = RFC6979(x, q, H(m)) for a curve order q of at most 256 bits.
+// `x` is the private key (< q), `h1` the message digest.
+U256 rfc6979_nonce(const U256& x, const U256& q, const Sha256::Digest& h1);
+
+}  // namespace fourq::hash

@@ -1,0 +1,139 @@
+#include "hash/sha256.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/hexutil.hpp"
+
+namespace fourq::hash {
+
+namespace {
+
+constexpr std::array<uint32_t, 64> kK = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+uint32_t rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+Sha256::Sha256()
+    : h_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+         0x5be0cd19} {}
+
+void Sha256::process_block(const uint8_t* block) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (uint32_t(block[4 * i]) << 24) | (uint32_t(block[4 * i + 1]) << 16) |
+           (uint32_t(block[4 * i + 2]) << 8) | uint32_t(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int i = 0; i < 64; ++i) {
+    uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    uint32_t ch = (e & f) ^ (~e & g);
+    uint32_t t1 = h + s1 + ch + kK[static_cast<size_t>(i)] + w[i];
+    uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha256::absorb(const uint8_t* data, size_t len) {
+  while (len > 0) {
+    size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+void Sha256::update(const uint8_t* data, size_t len) {
+  FOURQ_CHECK_MSG(!finalized_, "Sha256 reused after finalize");
+  total_bits_ += static_cast<uint64_t>(len) * 8;
+  absorb(data, len);
+}
+
+Sha256::Digest Sha256::finalize() {
+  FOURQ_CHECK_MSG(!finalized_, "Sha256 reused after finalize");
+  finalized_ = true;
+  uint64_t bits = total_bits_;
+  // Padding: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit count.
+  std::array<uint8_t, 72> tail{};
+  tail[0] = 0x80;
+  size_t rem = (buffer_len_ + 1) % 64;
+  size_t zeros = (rem <= 56) ? 56 - rem : 56 + 64 - rem;
+  size_t n = 1 + zeros;
+  for (int i = 0; i < 8; ++i) tail[n++] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  absorb(tail.data(), n);
+  FOURQ_CHECK(buffer_len_ == 0);
+
+  Digest d;
+  for (int i = 0; i < 8; ++i) {
+    d[4 * i] = static_cast<uint8_t>(h_[static_cast<size_t>(i)] >> 24);
+    d[4 * i + 1] = static_cast<uint8_t>(h_[static_cast<size_t>(i)] >> 16);
+    d[4 * i + 2] = static_cast<uint8_t>(h_[static_cast<size_t>(i)] >> 8);
+    d[4 * i + 3] = static_cast<uint8_t>(h_[static_cast<size_t>(i)]);
+  }
+  return d;
+}
+
+Sha256::Digest Sha256::digest(const std::string& s) {
+  Sha256 h;
+  h.update(s);
+  return h.finalize();
+}
+
+Sha256::Digest Sha256::digest(const uint8_t* data, size_t len) {
+  Sha256 h;
+  h.update(data, len);
+  return h.finalize();
+}
+
+std::string digest_hex(const Sha256::Digest& d) { return bytes_to_hex(d.data(), d.size()); }
+
+U256 digest_to_u256(const Sha256::Digest& d) {
+  U256 r;
+  for (int word = 0; word < 4; ++word) {
+    uint64_t w = 0;
+    for (int b = 0; b < 8; ++b) w = (w << 8) | d[static_cast<size_t>(8 * word + b)];
+    r.w[3 - word] = w;  // big-endian digest -> little-endian limbs
+  }
+  return r;
+}
+
+}  // namespace fourq::hash

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4) — the hash the paper's ECDSA workflow (§II-A)
+// prescribes. Implemented from scratch; verified against the FIPS vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/u256.hpp"
+
+namespace fourq::hash {
+
+class Sha256 {
+ public:
+  using Digest = std::array<uint8_t, 32>;
+
+  Sha256();
+
+  void update(const uint8_t* data, size_t len);
+  void update(const std::string& s) {
+    update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  // Finalises and returns the digest; the object must not be reused after.
+  Digest finalize();
+
+  static Digest digest(const std::string& s);
+  static Digest digest(const uint8_t* data, size_t len);
+
+ private:
+  void process_block(const uint8_t* block);
+  // Raw block feeder used by update() and the padding in finalize().
+  void absorb(const uint8_t* data, size_t len);
+
+  std::array<uint32_t, 8> h_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_bits_ = 0;
+  bool finalized_ = false;
+};
+
+std::string digest_hex(const Sha256::Digest& d);
+
+// Interprets the digest as a big-endian 256-bit integer (the "leftmost bits
+// of e" step of §II-A with L_n = 256).
+U256 digest_to_u256(const Sha256::Digest& d);
+
+}  // namespace fourq::hash

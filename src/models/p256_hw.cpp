@@ -1,0 +1,82 @@
+#include "models/p256_hw.hpp"
+
+#include "common/check.hpp"
+#include "sched/list_scheduler.hpp"
+#include "trace/tracer.hpp"
+
+namespace fourq::models {
+
+using trace::Fp2Var;
+using trace::Tracer;
+
+namespace {
+
+// Jacobian point handles (values are symbolic; only the op structure and
+// dependencies matter for the cycle model).
+struct Jac {
+  Fp2Var X, Y, Z;
+};
+
+// a = -3 doubling: 4M + 4S + 8A (dbl-2001-b).
+Jac jac_dbl(const Jac& p) {
+  Fp2Var z2 = sqr(p.Z);
+  Fp2Var m = (p.X - z2) * (p.X + z2);
+  m = m + m + m;  // 3(X - Z^2)(X + Z^2)
+  Fp2Var y2 = sqr(p.Y);
+  Fp2Var s = p.X * y2;
+  s = s + s;
+  s = s + s;  // 4XY^2
+  Fp2Var x3 = sqr(m) - (s + s);
+  Fp2Var y4 = sqr(y2);
+  Fp2Var y48 = y4 + y4;
+  y48 = y48 + y48;
+  y48 = y48 + y48;  // 8Y^4
+  Fp2Var y3 = m * (s - x3) - y48;
+  Fp2Var z3 = p.Y * p.Z;
+  return Jac{x3, y3, z3 + z3};
+}
+
+// Mixed addition with an affine base point: 8M + 3S + 7A (madd-2007-bl).
+Jac jac_add_affine(const Jac& p, const Fp2Var& qx, const Fp2Var& qy) {
+  Fp2Var z2 = sqr(p.Z);
+  Fp2Var u2 = qx * z2;
+  Fp2Var s2 = qy * (z2 * p.Z);
+  Fp2Var h = u2 - p.X;
+  Fp2Var r = s2 - p.Y;
+  Fp2Var h2 = sqr(h);
+  Fp2Var h3 = h2 * h;
+  Fp2Var u1h2 = p.X * h2;
+  Fp2Var x3 = sqr(r) - h3 - (u1h2 + u1h2);
+  Fp2Var y3 = r * (u1h2 - x3) - p.Y * h3;
+  Fp2Var z3 = p.Z * h;
+  return Jac{x3, y3, z3};
+}
+
+}  // namespace
+
+P256HwResult model_p256_sm(const P256HwOptions& opt) {
+  FOURQ_CHECK(opt.bits > 0 && opt.bits <= 256);
+  Tracer t;
+  Fp2Var gx = t.input("G.x"), gy = t.input("G.y");
+
+  // Accumulator starts at the base point (top bit of the scalar is 1 for
+  // the order-of-magnitude model).
+  Jac q{gx, gy, t.input("one")};
+  FOURQ_CHECK(opt.add_every >= 1);
+  for (int i = 1; i < opt.bits; ++i) {
+    q = jac_dbl(q);
+    if (i % opt.add_every == 0) q = jac_add_affine(q, gx, gy);
+  }
+  t.mark_output(q.X, "X");
+  t.mark_output(q.Y, "Y");
+  t.mark_output(q.Z, "Z");
+
+  trace::Program program = t.take_program();
+  P256HwResult res;
+  res.ops = trace::count_ops(program);
+  sched::Problem pr = sched::build_problem(program, opt.cfg);
+  res.cycles = sched::list_schedule(pr).makespan;
+  return res;
+}
+
+}  // namespace fourq::models

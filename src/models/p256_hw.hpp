@@ -1,0 +1,45 @@
+// Structural hardware model of a conventional P-256 scalar-multiplication
+// ASIC (the [5]-class comparison design of Table II): Jacobian-coordinate
+// double-and-add over a single F_p datapath with a 256-bit Montgomery
+// multiplier of configurable pipeline depth and initiation interval, plus
+// a modular adder/subtractor.
+//
+// The point formulas are traced with the same machinery as the FourQ
+// program and scheduled by the same solver, so the FourQ-vs-P256 cycle
+// ratio emerges from the architectures rather than being quoted from the
+// paper. [5]'s own area/latency frontier (five configurations from 1030 to
+// 223 kGE) is mirrored by sweeping the multiplier's initiation interval:
+// smaller iterative multipliers take more cycles per product.
+#pragma once
+
+#include "sched/compile.hpp"
+#include "trace/ir.hpp"
+
+namespace fourq::models {
+
+struct P256HwOptions {
+  int bits = 256;     // scalar length
+  int add_every = 1;  // point addition every N doublings: 1 = uniform
+                      // double-and-always-add, 2 = plain double-and-add
+                      // average case, 4 = width-4 windowed recoding (the
+                      // window table build is not modelled — a few dozen
+                      // ops against thousands)
+  sched::MachineConfig cfg = [] {
+    sched::MachineConfig c;
+    c.mul_latency = 8;  // 256x256 Montgomery product, pipelined
+    c.mul_ii = 1;
+    c.rf_size = 96;
+    return c;
+  }();
+};
+
+struct P256HwResult {
+  trace::OpStats ops;  // field-op counts of the traced program
+  int cycles = 0;      // scheduled makespan
+};
+
+// Traces `bits` double-and-add iterations of Jacobian P-256 arithmetic and
+// schedules them on the configured datapath.
+P256HwResult model_p256_sm(const P256HwOptions& opt = {});
+
+}  // namespace fourq::models

@@ -1,0 +1,42 @@
+#include "power/activity_energy.hpp"
+
+#include "common/check.hpp"
+
+namespace fourq::power {
+
+namespace {
+
+double weighted_events(const asic::SimStats& a) {
+  return ActivityEnergyModel::kMulWeight * a.mul_issues +
+         ActivityEnergyModel::kAddsubWeight * a.addsub_issues +
+         ActivityEnergyModel::kRfAccessWeight * (a.rf_reads + a.rf_writes) +
+         ActivityEnergyModel::kCycleWeight * a.cycles;
+}
+
+}  // namespace
+
+ActivityEnergyModel::ActivityEnergyModel(const asic::SimStats& activity,
+                                         const Sotb65Model& chip)
+    : activity_(activity), chip_(chip) {
+  FOURQ_CHECK_MSG(activity.cycles == chip.cycles(),
+                  "activity record and chip model cover different programs");
+  double w = weighted_events(activity_);
+  FOURQ_CHECK(w > 0);
+  // Anchor: the chip-level switching energy at nominal voltage is
+  // distributed across the recorded events.
+  double vdd2 = Sotb65Model::kVNominal * Sotb65Model::kVNominal;
+  unit_scale_ = chip_.dynamic_uj(Sotb65Model::kVNominal) / (w * vdd2);
+}
+
+EnergyBreakdown ActivityEnergyModel::breakdown(double vdd) const {
+  EnergyBreakdown b;
+  double e = unit_scale_ * vdd * vdd;
+  b.mul_uj = e * kMulWeight * activity_.mul_issues;
+  b.addsub_uj = e * kAddsubWeight * activity_.addsub_issues;
+  b.rf_uj = e * kRfAccessWeight * (activity_.rf_reads + activity_.rf_writes);
+  b.ctrl_uj = e * kCycleWeight * activity_.cycles;
+  b.leak_uj = chip_.leakage_uj(vdd);
+  return b;
+}
+
+}  // namespace fourq::power

@@ -1,0 +1,44 @@
+// Activity-based energy attribution: distributes the calibrated chip-level
+// switching energy (Sotb65Model::dynamic_uj) over the datapath units using
+// the cycle-accurate simulator's event counts and per-event capacitance
+// weights derived from the area model (a 3-core 127-bit multiplier issue
+// toggles far more gates than a 254-bit addition or a register-file
+// access). Totals equal the calibrated model by construction; the value is
+// the per-unit split and its scaling with activity.
+#pragma once
+
+#include "asic/simulator.hpp"
+#include "power/sotb65.hpp"
+
+namespace fourq::power {
+
+struct EnergyBreakdown {
+  double mul_uj = 0;
+  double addsub_uj = 0;
+  double rf_uj = 0;
+  double ctrl_uj = 0;  // ROM fetch + sequencer + clock, per cycle
+  double leak_uj = 0;
+  double total_uj() const { return mul_uj + addsub_uj + rf_uj + ctrl_uj + leak_uj; }
+};
+
+class ActivityEnergyModel {
+ public:
+  // `activity` is the per-SM event record from the simulator; `chip` the
+  // calibrated voltage model for the same cycle count.
+  ActivityEnergyModel(const asic::SimStats& activity, const Sotb65Model& chip);
+
+  EnergyBreakdown breakdown(double vdd) const;
+
+  // Relative per-event switched-capacitance weights (exposed for tests).
+  static constexpr double kMulWeight = 1.00;    // one Fp2 Karatsuba issue
+  static constexpr double kAddsubWeight = 0.05; // one Fp2 add/sub issue
+  static constexpr double kRfAccessWeight = 0.03;
+  static constexpr double kCycleWeight = 0.06;  // ROM word fetch + clock tree
+
+ private:
+  asic::SimStats activity_;
+  const Sotb65Model& chip_;
+  double unit_scale_ = 0;  // uJ per weight unit per V^2 (calibrated)
+};
+
+}  // namespace fourq::power

@@ -1,0 +1,41 @@
+// Gate-equivalent area accounting for the datapath (paper Fig. 3: the SM
+// unit occupies 1.76 mm x 3.56 mm ~ 1400 kGE in a 65 nm SOTB process).
+//
+// Per-block estimates follow standard-cell first principles (array
+// multiplier cells, flop + port-mux costs for the multiported register
+// file, ROM bit density); the residual "sequencer + interface + clocking"
+// overhead factor is calibrated so the default configuration reproduces
+// the chip's reported complexity. Used by the Fig. 3 bench and the
+// datapath ablations (Karatsuba vs schoolbook, pipeline depth, RF ports).
+#pragma once
+
+#include "sched/machine.hpp"
+
+namespace fourq::power {
+
+struct AreaOptions {
+  sched::MachineConfig cfg;
+  int rom_words = 2500;        // microcode ROM depth
+  int ctrl_word_bits = 96;     // control word width
+  bool karatsuba = true;       // 3 F_p multipliers (vs 4 schoolbook)
+};
+
+struct AreaBreakdown {
+  double fp2_multiplier_kge = 0.0;
+  double fp2_addsub_kge = 0.0;
+  double register_file_kge = 0.0;
+  double rom_kge = 0.0;
+  double sequencer_kge = 0.0;
+  double other_kge = 0.0;  // interface, clocking, calibration residual
+  double total_kge() const {
+    return fp2_multiplier_kge + fp2_addsub_kge + register_file_kge + rom_kge +
+           sequencer_kge + other_kge;
+  }
+};
+
+AreaBreakdown estimate_area(const AreaOptions& opt = {});
+
+// The paper's reported complexity for the SM unit.
+inline constexpr double kPaperTotalKge = 1400.0;
+
+}  // namespace fourq::power

@@ -1,0 +1,104 @@
+#include "power/sotb65.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fourq::power {
+
+namespace {
+
+// EKV-like smooth conduction law parameters: thermal voltage at ~300 K and
+// a subthreshold slope factor typical of SOTB with forward body bias.
+constexpr double kPhiT = 0.0258;
+constexpr double kN = 1.3;
+constexpr double kTwoNPhiT = 2.0 * kN * kPhiT;
+
+// Leakage grows roughly exponentially with VDD (DIBL + body-bias tracking
+// VBP = 0.7*VDD per the paper's measurement setup).
+constexpr double kLeakSlopeV = 0.30;
+
+double q_of(double vdd, double vt) {
+  double x = (vdd - vt) / kTwoNPhiT;
+  // log1p(exp(x)) without overflow.
+  double q = x > 30.0 ? x : std::log1p(std::exp(x));
+  return q;
+}
+
+// Relative fmax shape: q^2 / V (inversion-charge-limited current over CV).
+double shape(double vdd, double vt) { return q_of(vdd, vt) * q_of(vdd, vt) / vdd; }
+
+}  // namespace
+
+Sotb65Model::Sotb65Model(int cycles) : cycles_(cycles) {
+  FOURQ_CHECK(cycles > 0);
+
+  // --- fmax calibration: find vt s.t. shape ratio equals the measured
+  // latency ratio between the two anchor voltages, then scale. -------------
+  const double target_ratio = kLatencyMinVUs / kLatencyNominalUs;  // f(1.2)/f(0.32)
+  double lo = 0.05, hi = 0.60;
+  for (int it = 0; it < 200; ++it) {
+    double mid = 0.5 * (lo + hi);
+    double r = shape(kVNominal, mid) / shape(kVMin, mid);
+    // Ratio grows with vt (deeper subthreshold at 0.32 V).
+    if (r < target_ratio)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  vt_ = 0.5 * (lo + hi);
+  double f_nominal_mhz = static_cast<double>(cycles_) / kLatencyNominalUs;  // cycles/us = MHz
+  fscale_ = f_nominal_mhz / shape(kVNominal, vt_);
+
+  // --- energy calibration: E(V) = ceff*V^2 + i0*exp((V-0.32)/s)*V*T(V),
+  // solved exactly at the two anchors (2x2 linear system; the anchor
+  // latencies are the measured ones, which the fmax law reproduces). --------
+  double t1 = kLatencyNominalUs;
+  double t2 = kLatencyMinVUs;
+  double a1 = kVNominal * kVNominal, b1 = std::exp((kVNominal - kVMin) / kLeakSlopeV) * kVNominal * t1;
+  double a2 = kVMin * kVMin, b2 = 1.0 * kVMin * t2;
+  double det = a1 * b2 - a2 * b1;
+  FOURQ_CHECK(std::abs(det) > 1e-9);
+  ceff_uj_ = (kEnergyNominalUj * b2 - kEnergyMinVUj * b1) / det;
+  i0_ = (a1 * kEnergyMinVUj - a2 * kEnergyNominalUj) / det;
+  FOURQ_CHECK_MSG(ceff_uj_ > 0 && i0_ > 0, "energy calibration produced non-physical params");
+}
+
+double Sotb65Model::charge_q(double vdd) const { return q_of(vdd, vt_); }
+
+double Sotb65Model::fmax_mhz(double vdd) const {
+  FOURQ_CHECK(vdd > 0.0);
+  return fscale_ * shape(vdd, vt_);
+}
+
+double Sotb65Model::latency_us(double vdd) const {
+  return static_cast<double>(cycles_) / fmax_mhz(vdd);
+}
+
+double Sotb65Model::dynamic_uj(double vdd) const { return ceff_uj_ * vdd * vdd; }
+
+double Sotb65Model::leakage_uj(double vdd) const {
+  return i0_ * std::exp((vdd - kVMin) / kLeakSlopeV) * vdd * latency_us(vdd);
+}
+
+double Sotb65Model::energy_uj(double vdd) const {
+  return dynamic_uj(vdd) + leakage_uj(vdd);
+}
+
+OperatingPoint Sotb65Model::at(double vdd) const {
+  return OperatingPoint{vdd, fmax_mhz(vdd), latency_us(vdd), energy_uj(vdd)};
+}
+
+double Sotb65Model::energy_optimal_vdd() const {
+  double best_v = kVMin, best_e = energy_uj(kVMin);
+  for (double v = 0.20; v <= kVNominal + 1e-9; v += 0.005) {
+    double e = energy_uj(v);
+    if (e < best_e) {
+      best_e = e;
+      best_v = v;
+    }
+  }
+  return best_v;
+}
+
+}  // namespace fourq::power

@@ -1,0 +1,63 @@
+// Calibrated analytical model of the fabricated 65 nm SOTB chip's
+// voltage/frequency/energy behaviour (paper Fig. 4, Table II).
+//
+// Substitution note (DESIGN.md §2): we have no silicon, so the measured
+// curves are regenerated from device-physics-shaped models anchored at the
+// paper's two measured operating points:
+//     1.20 V -> 10.1 us / 3.98 uJ per SM
+//     0.32 V -> 857 us (0.857 ms) / 0.327 uJ per SM
+// f_max uses an EKV-style inversion-charge law (smooth super- to
+// sub-threshold transition, which SOTB with forward body bias exhibits);
+// energy is CV^2 dynamic power plus exponentially voltage-dependent leakage
+// integrated over the run time. Both are calibrated per cycle count, so the
+// model composes with whatever cycle count the scheduler achieves.
+#pragma once
+
+namespace fourq::power {
+
+struct OperatingPoint {
+  double vdd = 0.0;          // V
+  double fmax_mhz = 0.0;     // MHz
+  double latency_us = 0.0;   // us per scalar multiplication
+  double energy_uj = 0.0;    // uJ per scalar multiplication
+};
+
+class Sotb65Model {
+ public:
+  // Calibrates the model for a program of `cycles` cycles per scalar
+  // multiplication, hitting the paper's two measured anchors exactly.
+  explicit Sotb65Model(int cycles);
+
+  int cycles() const { return cycles_; }
+
+  double fmax_mhz(double vdd) const;
+  double latency_us(double vdd) const;
+  double energy_uj(double vdd) const;
+  // Split of energy_uj into switching (CV^2) and leakage-over-runtime parts.
+  double dynamic_uj(double vdd) const;
+  double leakage_uj(double vdd) const;
+  double throughput_ops(double vdd) const { return 1e6 / latency_us(vdd); }
+  OperatingPoint at(double vdd) const;
+
+  // Paper anchor points.
+  static constexpr double kVNominal = 1.20;
+  static constexpr double kVMin = 0.32;
+  static constexpr double kLatencyNominalUs = 10.1;
+  static constexpr double kLatencyMinVUs = 857.0;
+  static constexpr double kEnergyNominalUj = 3.98;
+  static constexpr double kEnergyMinVUj = 0.327;
+
+  // Voltage of minimum energy per operation (searched numerically).
+  double energy_optimal_vdd() const;
+
+ private:
+  double charge_q(double vdd) const;  // EKV inversion charge term
+
+  int cycles_;
+  double vt_;      // effective threshold voltage of the fmax law
+  double fscale_;  // MHz scale factor
+  double ceff_uj_; // total switched capacitance energy per V^2 (uJ/V^2)
+  double i0_;      // leakage scale (uJ per us per V at 0.32 V)
+};
+
+}  // namespace fourq::power

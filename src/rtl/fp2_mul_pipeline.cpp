@@ -1,0 +1,96 @@
+#include "rtl/fp2_mul_pipeline.hpp"
+
+#include "common/check.hpp"
+
+namespace fourq::rtl {
+
+namespace {
+
+// p << 127 = 2^254 - 2^127 (the stage-2 sign fix, Alg. 2 step t7).
+const U256 kPShift127(0, 0x8000000000000000ull, 0xffffffffffffffffull, 0x3fffffffffffffffull);
+
+void check_width(const U256& v, int bits, const char* reg) {
+  FOURQ_CHECK_MSG(v.top_bit() < bits, std::string("register overflows its width: ") + reg);
+}
+
+// 128x128 -> 256 product of the unreduced digit sums.
+U256 mul_u128(u128 a, u128 b) {
+  U256 x(static_cast<uint64_t>(a), static_cast<uint64_t>(a >> 64), 0, 0);
+  U256 y(static_cast<uint64_t>(b), static_cast<uint64_t>(b >> 64), 0, 0);
+  return mul_wide(x, y).lo256();
+}
+
+}  // namespace
+
+Fp2MulPipeline::Stage1Out Fp2MulPipeline::stage1(const Fp2& x, const Fp2& y) {
+  Stage1Out out;
+  out.valid = true;
+  // Three F_p multiplier cores in parallel (the Karatsuba saving: 3, not 4).
+  out.t0 = Fp::mul_wide(x.re(), y.re());
+  out.t1 = Fp::mul_wide(x.im(), y.im());
+  u128 t2 = x.re().raw() + x.im().raw();  // lazy: no reduction, 128 bits
+  u128 t3 = y.re().raw() + y.im().raw();
+  out.t6 = mul_u128(t2, t3);
+  check_width(out.t0, StageWidths::kStage1T0, "t0");
+  check_width(out.t1, StageWidths::kStage1T1, "t1");
+  check_width(out.t6, StageWidths::kStage1T6, "t6");
+  return out;
+}
+
+Fp2MulPipeline::Stage2Out Fp2MulPipeline::stage2(const Stage1Out& s) {
+  Stage2Out out;
+  out.valid = true;
+  // t7 = t0 - t1, made non-negative by adding p<<127 when it underflows.
+  uint64_t borrow = sub(s.t0, s.t1, out.t7);
+  if (borrow != 0) {
+    U256 fixed;
+    uint64_t carry = add(out.t7, kPShift127, fixed);
+    FOURQ_CHECK(carry == 1);  // cancels the borrow exactly
+    out.t7 = fixed;
+  }
+  // t8 = t6 - (t0 + t1) >= 0 (Karatsuba middle term).
+  U256 t5;
+  uint64_t c = add(s.t0, s.t1, t5);
+  FOURQ_CHECK(c == 0);
+  uint64_t b2 = sub(s.t6, t5, out.t8);
+  FOURQ_CHECK_MSG(b2 == 0, "Karatsuba middle term must dominate");
+  check_width(out.t7, StageWidths::kStage2T7, "t7");
+  check_width(out.t8, StageWidths::kStage2T8, "t8");
+  return out;
+}
+
+Fp2 Fp2MulPipeline::stage3(const Stage2Out& s) {
+  // Mersenne folds + conditional subtract (Alg. 2 steps t9/t10/z0/z1).
+  return Fp2(Fp::reduce_wide(s.t7), Fp::reduce_wide(s.t8));
+}
+
+std::optional<Fp2> Fp2MulPipeline::clock(const std::optional<std::pair<Fp2, Fp2>>& in) {
+  // Shift the pipeline: stage 3 consumes the stage-2 register, and so on.
+  std::optional<Fp2> out;
+  if (s2_.valid) out = stage3(s2_);
+  s2_ = s1_.valid ? stage2(s1_) : Stage2Out{};
+  s1_ = in.has_value() ? stage1(in->first, in->second) : Stage1Out{};
+  return out;
+}
+
+std::array<std::optional<Fp2>, 2> Fp2MulPipeline::drain() {
+  std::array<std::optional<Fp2>, 2> out;
+  out[0] = clock(std::nullopt);
+  out[1] = clock(std::nullopt);
+  FOURQ_CHECK(!busy());
+  return out;
+}
+
+Fp2 addsub_unit(AddSubCmd cmd, const Fp2& a, const Fp2& b) {
+  switch (cmd) {
+    case AddSubCmd::kAdd:
+      return a + b;
+    case AddSubCmd::kSub:
+      return a - b;
+    case AddSubCmd::kConj:
+      return a.conj();
+  }
+  FOURQ_CHECK_MSG(false, "invalid addsub command");
+}
+
+}  // namespace fourq::rtl

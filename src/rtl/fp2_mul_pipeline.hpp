@@ -1,0 +1,82 @@
+// Stage-accurate structural model of the pipelined Karatsuba F_{p^2}
+// multiplier (paper Fig. 1(b) / Algorithm 2).
+//
+// The combinational work of Algorithm 2 is split across three pipeline
+// stages with explicit registered intermediates, exactly as a 3-stage
+// implementation would stage it:
+//
+//   stage 1: the three F_p partial products t0 = x0*y0, t1 = x1*y1,
+//            t6 = (x0+x1)*(y0+y1)   — registers: 2x254b + 1x256b
+//   stage 2: lazy-reduction accumulation t7 = t0 - t1 (+ p<<127 when
+//            negative), t8 = t6 - (t0 + t1)  — registers: 254b + 256b
+//   stage 3: Mersenne folds t9/t10 and the conditional final subtract —
+//            output register: 2x127b
+//
+// Every inter-stage register is width-checked each cycle; the paper's lazy
+// reduction is what keeps the stage-2 registers at 254/256 bits instead of
+// needing per-product reductions. The model is plugged into the unit
+// tests against field::Fp2::mul_karatsuba and can be swept for deeper
+// pipelining (the stage-3 fold can be split).
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "field/fp2.hpp"
+
+namespace fourq::rtl {
+
+using field::Fp;
+using field::Fp2;
+
+// Register widths (bits) of each pipeline boundary — the quantities a
+// floorplan would size (documented by the Fig. 3 area model).
+struct StageWidths {
+  static constexpr int kStage1T0 = 254;  // x0*y0
+  static constexpr int kStage1T1 = 254;  // x1*y1
+  static constexpr int kStage1T6 = 256;  // (x0+x1)*(y0+y1)
+  static constexpr int kStage2T7 = 254;  // t0 - t1 (+ p<<127)
+  static constexpr int kStage2T8 = 256;  // t6 - t5
+  static constexpr int kOutput = 254;    // c0, c1 canonical
+  static int total_flops() {
+    return kStage1T0 + kStage1T1 + kStage1T6 + kStage2T7 + kStage2T8 + kOutput;
+  }
+};
+
+class Fp2MulPipeline {
+ public:
+  // Clocks the pipeline once: `in` enters stage 1 (nullopt = bubble);
+  // returns the result leaving stage 3, if any. Latency 3, II 1.
+  std::optional<Fp2> clock(const std::optional<std::pair<Fp2, Fp2>>& in);
+
+  // Drains all in-flight operations (returns results in order).
+  std::array<std::optional<Fp2>, 2> drain();
+
+  bool busy() const { return s1_.valid || s2_.valid; }
+  static constexpr int kLatency = 3;
+
+ private:
+  struct Stage1Out {
+    bool valid = false;
+    U256 t0, t1, t6;  // widths asserted on capture
+  };
+  struct Stage2Out {
+    bool valid = false;
+    U256 t7, t8;
+  };
+
+  static Stage1Out stage1(const Fp2& x, const Fp2& y);
+  static Stage2Out stage2(const Stage1Out& s);
+  static Fp2 stage3(const Stage2Out& s);
+
+  Stage1Out s1_;
+  Stage2Out s2_;
+};
+
+// The companion F_{p^2} adder/subtractor unit (single-stage, Fig. 1(a)):
+// the `cmd` input matches the "cmd." column of the paper's Table I, with
+// the conjugate variant used by the normalisation phase.
+enum class AddSubCmd { kAdd, kSub, kConj };
+Fp2 addsub_unit(AddSubCmd cmd, const Fp2& a, const Fp2& b);
+
+}  // namespace fourq::rtl

@@ -1,0 +1,72 @@
+#include "sched/anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sched/validate.hpp"
+
+namespace fourq::sched {
+
+AnnealResult anneal_schedule(const Problem& pr, const AnnealOptions& opt) {
+  AnnealResult res;
+  size_t n = pr.nodes.size();
+  FOURQ_CHECK(n > 0);
+
+  // Start from critical-path priorities, scaled to leave room for nudges.
+  std::vector<int> rank(n);
+  for (size_t i = 0; i < n; ++i) rank[i] = pr.height[i] * 16;
+
+  ListOptions lo;
+  lo.rank = rank;
+  Schedule current = list_schedule(pr, lo);
+  res.initial_makespan = current.makespan;
+  res.evaluations = 1;
+
+  std::vector<int> best_rank = rank;
+  Schedule best = current;
+
+  Rng rng(opt.seed);
+  double t = opt.t_start;
+  const double cool = std::pow(opt.t_end / opt.t_start,
+                               1.0 / std::max(1, opt.iterations - 1));
+  int since_improvement = 0;
+
+  for (int it = 0; it < opt.iterations; ++it, t *= cool) {
+    std::vector<int> cand_rank = rank;
+    // Move: nudge a few random nodes' priorities (priority-space mutation
+    // keeps the decoder's feasibility guarantees intact).
+    int moves = 1 + static_cast<int>(rng.next_below(3));
+    for (int m = 0; m < moves; ++m) {
+      size_t i = static_cast<size_t>(rng.next_below(n));
+      int delta = static_cast<int>(rng.next_below(33)) - 16;
+      cand_rank[i] += delta;
+    }
+
+    lo.rank = cand_rank;
+    Schedule cand = list_schedule(pr, lo);
+    ++res.evaluations;
+
+    int d = cand.makespan - current.makespan;
+    if (d <= 0 || rng.next_double() < std::exp(-static_cast<double>(d) / std::max(t, 1e-9))) {
+      rank = std::move(cand_rank);
+      current = cand;
+      if (current.makespan < best.makespan) {
+        best = current;
+        best_rank = rank;
+        since_improvement = 0;
+      }
+    }
+    if (++since_improvement >= opt.restart_interval) {
+      rank = best_rank;
+      current = best;
+      since_improvement = 0;
+    }
+  }
+
+  require_valid(pr, best);
+  res.schedule = std::move(best);
+  return res;
+}
+
+}  // namespace fourq::sched

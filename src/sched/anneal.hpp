@@ -1,0 +1,32 @@
+// Simulated-annealing / iterated-local-search makespan refinement — the
+// in-house stand-in for the commercial CP solver the paper uses (IBM CP
+// Optimizer; see DESIGN.md §2).
+//
+// Genotype: a priority rank per node; phenotype: the list schedule it
+// decodes to. Moves perturb priorities; acceptance follows a geometric
+// cooling schedule. Deterministic for a fixed seed.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace fourq::sched {
+
+struct AnnealOptions {
+  int iterations = 2000;
+  double t_start = 4.0;   // initial temperature (cycles of makespan slack)
+  double t_end = 0.05;
+  uint64_t seed = 1;
+  // Restart from the best-so-far genotype when a move streak goes cold.
+  int restart_interval = 400;
+};
+
+struct AnnealResult {
+  Schedule schedule;
+  int initial_makespan = 0;  // critical-path list schedule
+  int evaluations = 0;
+};
+
+AnnealResult anneal_schedule(const Problem& pr, const AnnealOptions& opt = {});
+
+}  // namespace fourq::sched

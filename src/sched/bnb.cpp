@@ -1,0 +1,205 @@
+#include "sched/bnb.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+#include "sched/anneal.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/validate.hpp"
+
+namespace fourq::sched {
+
+namespace {
+
+struct Search {
+  const Problem& pr;
+  BnbOptions opt;
+  long nodes = 0;
+  bool budget_exhausted = false;
+
+  int best_makespan;
+  std::vector<int> best_cycle;
+
+  std::vector<int> cycle;          // per node, -1 unscheduled
+  std::vector<int> cycle_of_op;    // per op id
+  std::vector<int> pending_deps;   // unscheduled producer-node count
+  std::map<int, int> writes;       // writeback-port usage per cycle
+  int unscheduled;
+
+  explicit Search(const Problem& p, const BnbOptions& o)
+      : pr(p), opt(o), best_makespan(o.upper_bound), cycle(p.nodes.size(), -1),
+        cycle_of_op(p.program->ops.size(), -1), pending_deps(p.nodes.size(), 0),
+        unscheduled(static_cast<int>(p.nodes.size())) {
+    for (size_t i = 0; i < pr.nodes.size(); ++i)
+      for (const OperandReq& req : pr.nodes[i].operands)
+        for (int prod : req.producers)
+          if (pr.node_of_op[static_cast<size_t>(prod)] >= 0) ++pending_deps[i];
+  }
+
+  int reads_needed(const Node& n, int t) const {
+    int reads = 0;
+    for (const OperandReq& req : n.operands) {
+      if (req.is_select) {
+        ++reads;
+        continue;
+      }
+      int prod = req.producers[0];
+      int pn = pr.node_of_op[static_cast<size_t>(prod)];
+      if (pn < 0) {
+        ++reads;
+        continue;
+      }
+      int done = cycle_of_op[static_cast<size_t>(prod)] +
+                 latency(pr.cfg, pr.nodes[static_cast<size_t>(pn)].kind);
+      if (!(pr.cfg.forwarding && t == done)) ++reads;
+    }
+    return reads;
+  }
+
+  // Candidates of `unit` issueable at cycle t.
+  std::vector<int> candidates(int unit, int t) const {
+    std::vector<int> c;
+    for (size_t i = 0; i < pr.nodes.size(); ++i) {
+      if (cycle[i] >= 0 || pending_deps[i] > 0) continue;
+      if (unit_of(pr.nodes[i].kind) != unit) continue;
+      if (operand_ready_cycle(pr, static_cast<int>(i), cycle_of_op) > t) continue;
+      c.push_back(static_cast<int>(i));
+    }
+    // Prefer higher critical-path height first (better UBs early).
+    std::sort(c.begin(), c.end(), [&](int a, int b) {
+      return pr.height[static_cast<size_t>(a)] > pr.height[static_cast<size_t>(b)];
+    });
+    return c;
+  }
+
+  int lower_bound(int t) const {
+    int lb = t;  // empty-schedule floor
+    int muls_left = 0, adds_left = 0;
+    for (size_t i = 0; i < pr.nodes.size(); ++i) {
+      if (cycle[i] >= 0) continue;
+      lb = std::max(lb, t + pr.height[i]);
+      if (unit_of(pr.nodes[i].kind) == 0)
+        ++muls_left;
+      else
+        ++adds_left;
+    }
+    if (muls_left > 0) lb = std::max(lb, t + muls_left - 1 + pr.cfg.mul_latency);
+    if (adds_left > 0) lb = std::max(lb, t + adds_left - 1 + pr.cfg.addsub_latency);
+    // Completed part.
+    for (size_t i = 0; i < pr.nodes.size(); ++i)
+      if (cycle[i] >= 0) lb = std::max(lb, cycle[i] + latency(pr.cfg, pr.nodes[i].kind));
+    return lb + 1;  // makespan = last completion cycle + 1
+  }
+
+  bool write_port_free(int node, int t) const {
+    int wc = t + latency(pr.cfg, pr.nodes[static_cast<size_t>(node)].kind);
+    auto it = writes.find(wc);
+    return (it == writes.end() ? 0 : it->second) < pr.cfg.rf_write_ports;
+  }
+
+  void place(int node, int t, int delta) {
+    const Node& n = pr.nodes[static_cast<size_t>(node)];
+    writes[t + latency(pr.cfg, n.kind)] += delta;
+    if (delta > 0) {
+      cycle[static_cast<size_t>(node)] = t;
+      cycle_of_op[static_cast<size_t>(n.op_id)] = t;
+      unscheduled--;
+    } else {
+      cycle[static_cast<size_t>(node)] = -1;
+      cycle_of_op[static_cast<size_t>(n.op_id)] = -1;
+      unscheduled++;
+    }
+    for (size_t i = 0; i < pr.nodes.size(); ++i) {
+      for (const OperandReq& req : pr.nodes[i].operands)
+        for (int prod : req.producers)
+          if (prod == n.op_id) pending_deps[i] -= delta;
+    }
+  }
+
+  void dfs(int t) {
+    if (budget_exhausted) return;
+    if (++nodes > opt.node_limit) {
+      budget_exhausted = true;
+      return;
+    }
+    if (unscheduled == 0) {
+      int ms = makespan_of(pr, cycle);
+      if (best_makespan < 0 || ms < best_makespan) {
+        best_makespan = ms;
+        best_cycle = cycle;
+      }
+      return;
+    }
+    if (best_makespan >= 0 && lower_bound(t) >= best_makespan) return;
+
+    std::vector<int> mul_c = candidates(0, t);
+    std::vector<int> add_c = candidates(1, t);
+
+    // Enumerate (mul choice + none) x (addsub choice + none); skip the
+    // double-none branch unless something is merely not-yet-ready (advancing
+    // time is then the only move).
+    for (int mi = 0; mi <= static_cast<int>(mul_c.size()); ++mi) {
+      int m = (mi < static_cast<int>(mul_c.size())) ? mul_c[static_cast<size_t>(mi)] : -1;
+      int m_reads = 0;
+      if (m >= 0) {
+        m_reads = reads_needed(pr.nodes[static_cast<size_t>(m)], t);
+        if (m_reads > pr.cfg.rf_read_ports) continue;
+        if (!write_port_free(m, t)) continue;
+        place(m, t, +1);
+      }
+      std::vector<int> add_now = (m >= 0) ? candidates(1, t) : add_c;
+      for (int ai = 0; ai <= static_cast<int>(add_now.size()); ++ai) {
+        int a = (ai < static_cast<int>(add_now.size())) ? add_now[static_cast<size_t>(ai)] : -1;
+        if (m < 0 && a < 0) {
+          // Pure time-advance branch.
+          dfs(t + 1);
+          continue;
+        }
+        if (a >= 0) {
+          int a_reads = reads_needed(pr.nodes[static_cast<size_t>(a)], t);
+          if (m_reads + a_reads > pr.cfg.rf_read_ports) continue;
+          if (!write_port_free(a, t)) continue;
+          place(a, t, +1);
+        }
+        dfs(t + 1);
+        if (a >= 0) place(a, t, -1);
+        if (budget_exhausted) break;
+      }
+      if (m >= 0) place(m, t, -1);
+      if (budget_exhausted) break;
+    }
+  }
+};
+
+}  // namespace
+
+BnbResult branch_and_bound(const Problem& pr, const BnbOptions& opt) {
+  FOURQ_CHECK_MSG(pr.cfg.num_multipliers == 1 && pr.cfg.num_addsubs == 1,
+                  "branch & bound supports single-instance units only");
+  FOURQ_CHECK_MSG(pr.cfg.mul_ii == 1, "branch & bound supports fully pipelined units only");
+  BnbOptions o = opt;
+  if (o.upper_bound < 0) {
+    // Seed the UB with the critical-path list schedule.
+    o.upper_bound = list_schedule(pr).makespan + 1;  // +1: bound is exclusive
+  }
+  Search s(pr, o);
+  s.dfs(0);
+
+  BnbResult res;
+  if (s.best_cycle.empty()) {
+    // Node budget ran out before any leaf improved on the seed UB: fall
+    // back to the list schedule rather than failing.
+    FOURQ_CHECK(s.budget_exhausted);
+    res.schedule = list_schedule(pr);
+  } else {
+    res.schedule.cycle = s.best_cycle;
+    res.schedule.makespan = makespan_of(pr, s.best_cycle);
+  }
+  res.proven_optimal = !s.budget_exhausted;
+  res.nodes_explored = s.nodes;
+  require_valid(pr, res.schedule);
+  return res;
+}
+
+}  // namespace fourq::sched

@@ -1,0 +1,24 @@
+// Exact branch-and-bound scheduler for small blocks (tens of
+// microinstructions, e.g. the Table I loop body). Proves optimality of the
+// makespan the heuristic solvers reach, standing in for the paper's CP
+// optimizer on block-sized instances.
+#pragma once
+
+#include "sched/problem.hpp"
+
+namespace fourq::sched {
+
+struct BnbOptions {
+  long node_limit = 5'000'000;  // search-tree node budget
+  int upper_bound = -1;         // optional known UB (e.g. from list/SA)
+};
+
+struct BnbResult {
+  Schedule schedule;
+  bool proven_optimal = false;  // false if the node budget ran out
+  long nodes_explored = 0;
+};
+
+BnbResult branch_and_bound(const Problem& pr, const BnbOptions& opt = {});
+
+}  // namespace fourq::sched

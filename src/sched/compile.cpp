@@ -1,0 +1,48 @@
+#include "sched/compile.hpp"
+
+#include "sched/validate.hpp"
+
+namespace fourq::sched {
+
+namespace {
+
+Schedule run_solver(const Problem& pr, const CompileOptions& opt) {
+  switch (opt.solver) {
+    case Solver::kSequential:
+      return sequential_schedule(pr);
+    case Solver::kList:
+      return list_schedule(pr);
+    case Solver::kAnneal:
+      return anneal_schedule(pr, opt.anneal).schedule;
+    case Solver::kBnb:
+      return branch_and_bound(pr, opt.bnb).schedule;
+  }
+  return list_schedule(pr);
+}
+
+}  // namespace
+
+CompileResult compile_program(const trace::Program& p, const CompileOptions& opt) {
+  CompileResult res;
+  res.problem = build_problem(p, opt.cfg);
+  res.schedule = run_solver(res.problem, opt);
+  require_valid(res.problem, res.schedule);
+  res.register_pressure = register_pressure(res.problem, res.schedule);
+  res.alloc = allocate_registers(res.problem, res.schedule);
+  res.sm = emit_microcode(res.problem, res.schedule, res.alloc);
+  return res;
+}
+
+CompileResult compile_block(const trace::Program& p, const CompileOptions& opt,
+                            const PinSpec& spec) {
+  CompileResult res;
+  res.problem = build_problem(p, opt.cfg);
+  res.schedule = run_solver(res.problem, opt);
+  require_valid(res.problem, res.schedule);
+  res.register_pressure = register_pressure(res.problem, res.schedule);
+  res.alloc = allocate_registers_pinned(res.problem, res.schedule, spec);
+  res.sm = emit_microcode(res.problem, res.schedule, res.alloc);
+  return res;
+}
+
+}  // namespace fourq::sched

@@ -1,0 +1,214 @@
+#include "sched/list_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace fourq::sched {
+
+using trace::OpKind;
+
+namespace {
+
+// Issue-time availability of one operand. For plain operands the earliest
+// use is the forwarding cycle (producer issue + latency); selects and
+// inputs are register-file reads.
+int operand_avail(const Problem& pr, const OperandReq& req,
+                  const std::vector<int>& cycle_of_op) {
+  int avail = 0;
+  for (int prod : req.producers) {
+    int pn = pr.node_of_op[static_cast<size_t>(prod)];
+    if (pn < 0) continue;  // kInput: preloaded, available from cycle 0
+    int c = cycle_of_op[static_cast<size_t>(prod)];
+    FOURQ_CHECK_MSG(c >= 0, "operand producer not yet scheduled");
+    int done = c + latency(pr.cfg, pr.nodes[static_cast<size_t>(pn)].kind);
+    int ready = req.is_select || !pr.cfg.forwarding ? done + 1 : done;
+    avail = std::max(avail, ready);
+  }
+  return avail;
+}
+
+// Number of register-file read ports the node consumes when issued at t.
+int reads_at(const Problem& pr, const Node& n, int t, const std::vector<int>& cycle_of_op) {
+  int reads = 0;
+  for (const OperandReq& req : n.operands) {
+    if (req.is_select) {
+      ++reads;
+      continue;
+    }
+    int prod = req.producers[0];
+    int pn = pr.node_of_op[static_cast<size_t>(prod)];
+    if (pn < 0) {
+      ++reads;  // input: always an RF read
+      continue;
+    }
+    int done = cycle_of_op[static_cast<size_t>(prod)] +
+               latency(pr.cfg, pr.nodes[static_cast<size_t>(pn)].kind);
+    bool forwarded = pr.cfg.forwarding && t == done;
+    if (!forwarded) ++reads;
+  }
+  return reads;
+}
+
+struct IssueState {
+  std::vector<std::vector<int>> unit_issues;  // [unit class][cycle] issue count
+  std::vector<int> reads, writes;             // per cycle
+
+  void ensure(int t) {
+    int need = t + 1;
+    for (auto& u : unit_issues)
+      if (static_cast<int>(u.size()) < need) u.resize(static_cast<size_t>(need), 0);
+    if (static_cast<int>(reads.size()) < need) reads.resize(static_cast<size_t>(need), 0);
+    if (static_cast<int>(writes.size()) < need) writes.resize(static_cast<size_t>(need), 0);
+  }
+};
+
+}  // namespace
+
+int operand_ready_cycle(const Problem& pr, int node, const std::vector<int>& cycle_of_op) {
+  int avail = 0;
+  for (const OperandReq& req : pr.nodes[static_cast<size_t>(node)].operands)
+    avail = std::max(avail, operand_avail(pr, req, cycle_of_op));
+  return avail;
+}
+
+Schedule list_schedule(const Problem& pr, const ListOptions& opt) {
+  std::vector<int> derived;
+  if (opt.rank.empty() && opt.priority == ListOptions::Priority::kMobility) {
+    derived.resize(pr.nodes.size());
+    for (size_t i = 0; i < pr.nodes.size(); ++i)
+      derived[i] = -pr.mobility(static_cast<int>(i));  // least slack first
+  }
+  const std::vector<int>& rank =
+      !opt.rank.empty() ? opt.rank : (derived.empty() ? pr.height : derived);
+  FOURQ_CHECK(rank.size() == pr.nodes.size());
+
+  size_t n = pr.nodes.size();
+  std::vector<int> cycle(n, -1);
+  std::vector<int> cycle_of_op(pr.program->ops.size(), -1);
+  std::vector<int> unscheduled_deps(n, 0);
+  std::vector<std::vector<int>> dependents(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    for (const OperandReq& req : pr.nodes[i].operands) {
+      for (int prod : req.producers) {
+        int pn = pr.node_of_op[static_cast<size_t>(prod)];
+        if (pn >= 0) {
+          ++unscheduled_deps[i];
+          dependents[static_cast<size_t>(pn)].push_back(static_cast<int>(i));
+        }
+      }
+    }
+  }
+
+  // Ready pool ordered by (rank desc, node index asc) for determinism.
+  auto cmp = [&](int a, int b) {
+    if (rank[static_cast<size_t>(a)] != rank[static_cast<size_t>(b)])
+      return rank[static_cast<size_t>(a)] > rank[static_cast<size_t>(b)];
+    return a < b;
+  };
+  std::vector<int> ready;
+  for (size_t i = 0; i < n; ++i)
+    if (unscheduled_deps[i] == 0) ready.push_back(static_cast<int>(i));
+  std::sort(ready.begin(), ready.end(), cmp);
+
+  IssueState st;
+  st.unit_issues.resize(kNumUnits);
+  size_t scheduled = 0;
+  int t = 0;
+  const int kGuard = 64;  // sanity bound multiplier
+
+  while (scheduled < n) {
+    FOURQ_CHECK_MSG(t < (pr.critical_path() + static_cast<int>(n) + 4) * kGuard,
+                    "list scheduler failed to converge");
+    st.ensure(t + pr.cfg.mul_latency + 1);
+    // Occupancy within the initiation-interval window ending at t: an
+    // instance accepts one issue per `ii` cycles, so at most `capacity`
+    // issues may start within any window of `ii` consecutive cycles.
+    int unit_used[kNumUnits];
+    for (int u = 0; u < kNumUnits; ++u) {
+      int ii = initiation_interval(pr.cfg, u);
+      int used = 0;
+      for (int s = std::max(0, t - ii + 1); s <= t; ++s)
+        used += st.unit_issues[static_cast<size_t>(u)][static_cast<size_t>(s)];
+      unit_used[u] = used;
+    }
+
+    std::vector<int> issued_now;
+    for (int idx : ready) {
+      const Node& node = pr.nodes[static_cast<size_t>(idx)];
+      int u = unit_of(node.kind);
+      if (unit_used[u] >= capacity(pr.cfg, u)) continue;
+      if (operand_ready_cycle(pr, idx, cycle_of_op) > t) continue;
+      int need_reads = reads_at(pr, node, t, cycle_of_op);
+      if (st.reads[static_cast<size_t>(t)] + need_reads > pr.cfg.rf_read_ports) continue;
+      int wcycle = t + latency(pr.cfg, node.kind);
+      st.ensure(wcycle);
+      if (st.writes[static_cast<size_t>(wcycle)] + 1 > pr.cfg.rf_write_ports) continue;
+
+      // Issue.
+      cycle[static_cast<size_t>(idx)] = t;
+      cycle_of_op[static_cast<size_t>(node.op_id)] = t;
+      ++unit_used[u];
+      ++st.unit_issues[static_cast<size_t>(u)][static_cast<size_t>(t)];
+      st.reads[static_cast<size_t>(t)] += need_reads;
+      st.writes[static_cast<size_t>(wcycle)] += 1;
+      issued_now.push_back(idx);
+      ++scheduled;
+      if (unit_used[0] >= capacity(pr.cfg, 0) && unit_used[1] >= capacity(pr.cfg, 1)) break;
+    }
+
+    if (!issued_now.empty()) {
+      // Remove issued nodes and release dependents.
+      ready.erase(std::remove_if(ready.begin(), ready.end(),
+                                 [&](int i) { return cycle[static_cast<size_t>(i)] >= 0; }),
+                  ready.end());
+      bool added = false;
+      for (int idx : issued_now) {
+        for (int dep : dependents[static_cast<size_t>(idx)]) {
+          if (--unscheduled_deps[static_cast<size_t>(dep)] == 0) {
+            ready.push_back(dep);
+            added = true;
+          }
+        }
+      }
+      if (added) std::sort(ready.begin(), ready.end(), cmp);
+    }
+    ++t;
+  }
+
+  Schedule s;
+  s.cycle = std::move(cycle);
+  s.makespan = makespan_of(pr, s.cycle);
+  return s;
+}
+
+Schedule sequential_schedule(const Problem& pr) {
+  size_t n = pr.nodes.size();
+  std::vector<int> cycle(n, -1);
+  std::vector<int> cycle_of_op(pr.program->ops.size(), -1);
+  int cursor = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // Operand must be in the register file (no forwarding, no overlap).
+    int avail = 0;
+    for (const OperandReq& req : pr.nodes[i].operands) {
+      for (int prod : req.producers) {
+        int pn = pr.node_of_op[static_cast<size_t>(prod)];
+        if (pn < 0) continue;
+        avail = std::max(avail, cycle_of_op[static_cast<size_t>(prod)] +
+                                    latency(pr.cfg, pr.nodes[static_cast<size_t>(pn)].kind) + 1);
+      }
+    }
+    int c = std::max(cursor, avail);
+    cycle[i] = c;
+    cycle_of_op[static_cast<size_t>(pr.nodes[i].op_id)] = c;
+    cursor = c + latency(pr.cfg, pr.nodes[i].kind) + 1;
+  }
+  Schedule s;
+  s.cycle = std::move(cycle);
+  s.makespan = makespan_of(pr, s.cycle);
+  return s;
+}
+
+}  // namespace fourq::sched

@@ -1,0 +1,35 @@
+// Priority list scheduling for the datapath job-shop problem, plus the
+// fully-sequential baseline (no instruction-level parallelism) that the
+// paper's automated flow is measured against.
+#pragma once
+
+#include "sched/problem.hpp"
+
+namespace fourq::sched {
+
+struct ListOptions {
+  // Priority rank per node (higher scheduled first). Empty = derived from
+  // `priority`. Used by the annealer as its genotype.
+  std::vector<int> rank;
+  enum class Priority {
+    kCriticalPath,  // height to sink (default)
+    kMobility,      // least ALAP-ASAP slack first
+  };
+  Priority priority = Priority::kCriticalPath;
+};
+
+// Greedy cycle-by-cycle list scheduler honouring unit, latency, forwarding
+// and register-port constraints.
+Schedule list_schedule(const Problem& pr, const ListOptions& opt = {});
+
+// Baseline: one microinstruction at a time, next issue only after the
+// previous result is in the register file. Models a non-pipelined,
+// non-overlapped controller.
+Schedule sequential_schedule(const Problem& pr);
+
+// Earliest cycle at which `node` could issue given producer issue cycles
+// (ignoring unit/port availability). Exposed for the schedulers and tests;
+// the independent validator re-derives this on its own.
+int operand_ready_cycle(const Problem& pr, int node, const std::vector<int>& cycle_of_op);
+
+}  // namespace fourq::sched

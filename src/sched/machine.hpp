@@ -1,0 +1,54 @@
+// Machine model of the paper's datapath (Fig. 1): one pipelined F_{p^2}
+// Karatsuba multiplier (one multiplication issued per cycle), one F_{p^2}
+// adder/subtractor, a register file with 4 read / 2 write ports, and
+// forwarding paths from both unit outputs.
+//
+// Timing semantics shared by the scheduler, the schedule validator and the
+// cycle-accurate simulator:
+//  * an op issued at cycle c on a unit with latency L drives the unit's
+//    output bus during cycle c+L (forwarding consumers issue exactly then,
+//    consuming no read port);
+//  * the result is written to the register file at cycle c+L (one write
+//    port) and is readable from the RF from cycle c+L+1 (one read port per
+//    operand);
+//  * digit-addressed (select) operands are indexed RF reads: every
+//    candidate must already be in the RF, no forwarding;
+//  * at most one issue per unit per cycle (multiplier II = 1).
+#pragma once
+
+#include "trace/ir.hpp"
+
+namespace fourq::sched {
+
+struct MachineConfig {
+  int mul_latency = 3;     // pipeline depth of the F_{p^2} multiplier
+  int mul_ii = 1;          // multiplier initiation interval (1 = fully
+                           // pipelined, the paper's design; >1 models
+                           // iterative multipliers as in the P-256 ASICs)
+  int addsub_latency = 1;  // adder/subtractor latency
+  int num_multipliers = 1; // paper's design has one of each; >1 for ablations
+  int num_addsubs = 1;
+  int rf_read_ports = 4;
+  int rf_write_ports = 2;
+  int rf_size = 64;        // 256-bit entries
+  bool forwarding = true;  // disable to quantify the forwarding paths
+};
+
+inline int latency(const MachineConfig& cfg, trace::OpKind k) {
+  return k == trace::OpKind::kMul ? cfg.mul_latency : cfg.addsub_latency;
+}
+
+// Unit class index: 0 = multiplier, 1 = adder/subtractor.
+inline int unit_of(trace::OpKind k) { return k == trace::OpKind::kMul ? 0 : 1; }
+inline constexpr int kNumUnits = 2;
+
+// Instances of a unit class (each accepts one issue per `ii` cycles).
+inline int capacity(const MachineConfig& cfg, int unit_class) {
+  return unit_class == 0 ? cfg.num_multipliers : cfg.num_addsubs;
+}
+
+inline int initiation_interval(const MachineConfig& cfg, int unit_class) {
+  return unit_class == 0 ? cfg.mul_ii : 1;
+}
+
+}  // namespace fourq::sched

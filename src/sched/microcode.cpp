@@ -1,0 +1,155 @@
+#include "sched/microcode.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fourq::sched {
+
+using trace::Op;
+using trace::OpKind;
+using trace::Program;
+using trace::SelKind;
+
+namespace {
+
+SrcSel lower_operand(const Problem& pr, const Allocation& alloc,
+                     const std::vector<int>& issue_of_op, const std::vector<int>& instance_of_op,
+                     int consumer_cycle, int ssa_id) {
+  const Program& p = *pr.program;
+  const Op& src = p.ops[static_cast<size_t>(ssa_id)];
+  SrcSel sel;
+  if (src.kind == OpKind::kSelect) {
+    sel.kind = SrcSel::Kind::kIndexed;
+    sel.map = src.a.table;
+    sel.iter = src.a.iter;
+    return sel;
+  }
+  if (src.kind != OpKind::kInput && pr.cfg.forwarding) {
+    int done = issue_of_op[static_cast<size_t>(ssa_id)] + latency(pr.cfg, src.kind);
+    if (consumer_cycle == done) {
+      sel.kind = src.kind == OpKind::kMul ? SrcSel::Kind::kMulBus : SrcSel::Kind::kAddBus;
+      sel.unit = instance_of_op[static_cast<size_t>(ssa_id)];
+      return sel;
+    }
+  }
+  sel.kind = SrcSel::Kind::kReg;
+  sel.reg = alloc.slot(ssa_id);
+  FOURQ_CHECK_MSG(sel.reg >= 0, "operand value has no register slot");
+  return sel;
+}
+
+}  // namespace
+
+CompiledSm emit_microcode(const Problem& pr, const Schedule& s, const Allocation& alloc) {
+  require_valid(pr, s);
+  const Program& p = *pr.program;
+
+  CompiledSm out;
+  out.cfg = pr.cfg;
+  out.rf_slots = alloc.slots_used;
+  out.iterations = p.iterations;
+  out.rom.resize(static_cast<size_t>(s.makespan));
+
+  std::vector<int> issue_of_op(p.ops.size(), -1);
+  for (size_t i = 0; i < pr.nodes.size(); ++i)
+    issue_of_op[static_cast<size_t>(pr.nodes[i].op_id)] = s.cycle[i];
+
+  // Assign unit instances greedily (earliest-free), honouring the
+  // initiation interval: an instance that accepted an issue at cycle c is
+  // busy until c + ii - 1. The schedule validator's window condition
+  // guarantees an instance is always available.
+  std::vector<int> instance_of_op(p.ops.size(), -1);
+  {
+    std::vector<size_t> order(pr.nodes.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (s.cycle[a] != s.cycle[b]) return s.cycle[a] < s.cycle[b];
+      return a < b;
+    });
+    std::vector<std::vector<int>> next_free(kNumUnits);
+    next_free[0].assign(static_cast<size_t>(pr.cfg.num_multipliers), 0);
+    next_free[1].assign(static_cast<size_t>(pr.cfg.num_addsubs), 0);
+    for (size_t idx : order) {
+      int u = unit_of(pr.nodes[idx].kind);
+      int t = s.cycle[idx];
+      int chosen = -1;
+      for (size_t inst = 0; inst < next_free[static_cast<size_t>(u)].size(); ++inst) {
+        if (next_free[static_cast<size_t>(u)][inst] <= t) {
+          chosen = static_cast<int>(inst);
+          break;
+        }
+      }
+      FOURQ_CHECK_MSG(chosen >= 0, "no unit instance free (validator should have caught)");
+      next_free[static_cast<size_t>(u)][static_cast<size_t>(chosen)] =
+          t + initiation_interval(pr.cfg, u);
+      instance_of_op[static_cast<size_t>(pr.nodes[idx].op_id)] = chosen;
+    }
+  }
+
+  // Addressing maps for every select table.
+  for (const trace::SelectTable& t : p.tables) {
+    SelectMap m;
+    for (const auto& variant : t.candidates) {
+      std::vector<int> regs;
+      for (int id : variant) {
+        int r = alloc.slot(id);
+        FOURQ_CHECK(r >= 0);
+        regs.push_back(r);
+      }
+      m.reg.push_back(std::move(regs));
+    }
+    out.select_maps.push_back(std::move(m));
+  }
+  for (const Op& op : p.ops)
+    if (op.kind == OpKind::kSelect)
+      out.select_maps[static_cast<size_t>(op.a.table)].kind = op.a.sel;
+
+  // Inputs.
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    if (p.ops[i].kind == OpKind::kInput)
+      out.preload.emplace_back(static_cast<int>(i), alloc.slot(static_cast<int>(i)));
+  }
+
+  // Issue control (nodes visited in program order; instances accumulate in
+  // that same order, so control-word position == assigned instance).
+  for (size_t ni = 0; ni < pr.nodes.size(); ++ni) {
+    const Node& n = pr.nodes[ni];
+    const Op& op = p.ops[static_cast<size_t>(n.op_id)];
+    int t = s.cycle[ni];
+    CtrlWord& w = out.rom[static_cast<size_t>(t)];
+
+    UnitCtrl ctrl;
+    ctrl.op = op.kind;
+    ctrl.unit = instance_of_op[static_cast<size_t>(n.op_id)];
+    ctrl.a = lower_operand(pr, alloc, issue_of_op, instance_of_op, t, op.a.ssa);
+    if (op.kind != OpKind::kConj)
+      ctrl.b = lower_operand(pr, alloc, issue_of_op, instance_of_op, t, op.b.ssa);
+
+    auto& slots = (op.kind == OpKind::kMul) ? w.mul : w.addsub;
+    slots.push_back(ctrl);
+    FOURQ_CHECK_MSG(static_cast<int>(slots.size()) <= capacity(pr.cfg, unit_of(op.kind)),
+                    "unit class over-issued in emitted ROM");
+
+    // Writeback: a result issued at t lands in the RF at t+L; the makespan
+    // is one past the last such cycle, so every writeback fits.
+    int wb_cycle = t + latency(pr.cfg, n.kind);
+    FOURQ_CHECK_MSG(wb_cycle < static_cast<int>(out.rom.size()),
+                    "writeback beyond ROM length");
+    WbCtrl wb;
+    wb.reg = alloc.slot(n.op_id);
+    wb.from_mul = (n.kind == OpKind::kMul);
+    wb.unit = instance_of_op[static_cast<size_t>(n.op_id)];
+    out.rom[static_cast<size_t>(wb_cycle)].writebacks.push_back(wb);
+  }
+
+  for (const CtrlWord& w : out.rom)
+    FOURQ_CHECK_MSG(static_cast<int>(w.writebacks.size()) <= pr.cfg.rf_write_ports,
+                    "write ports exceeded in emitted ROM");
+
+  // Outputs.
+  for (const auto& [id, name] : p.outputs) out.outputs.emplace_back(name, alloc.slot(id));
+  return out;
+}
+
+}  // namespace fourq::sched

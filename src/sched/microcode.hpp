@@ -1,0 +1,72 @@
+// Control-signal generation (paper §III-C step 4): lowers a validated
+// schedule + register allocation into the per-cycle control words stored in
+// the program ROM and interpreted by the FSM sequencer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/regalloc.hpp"
+#include "sched/validate.hpp"
+
+namespace fourq::sched {
+
+struct SrcSel {
+  enum class Kind : uint8_t {
+    kNone,
+    kReg,      // register-file read, `reg`
+    kMulBus,   // forwarded from multiplier instance `unit`'s output
+    kAddBus,   // forwarded from adder/subtractor instance `unit`'s output
+    kIndexed,  // digit/correction-addressed RF read via select_maps[map]
+  };
+  Kind kind = Kind::kNone;
+  int reg = -1;
+  int map = -1;   // select_maps index for kIndexed
+  int iter = -1;  // digit position for kIndexed digit reads
+  int unit = 0;   // producing unit instance for bus operands
+};
+
+struct UnitCtrl {
+  trace::OpKind op = trace::OpKind::kMul;  // kAdd/kSub/kConj for the addsub unit
+  SrcSel a, b;
+  int unit = 0;  // instance within the class (II-aware assignment)
+};
+
+struct WbCtrl {
+  int reg = -1;
+  bool from_mul = true;  // which unit class produced the value
+  int unit = 0;          // instance within the class
+};
+
+// One control word per cycle. `mul[i]` / `addsub[i]` are the issues on
+// instance i this cycle (absent = idle); `writebacks` are the results
+// landing in the register file this cycle.
+struct CtrlWord {
+  std::vector<UnitCtrl> mul, addsub;      // size <= configured instances
+  std::vector<WbCtrl> writebacks;
+};
+
+// Digit-indexed register map: reg[variant][digit] (variant = sign for digit
+// tables; reg[0][flag] for the correction select).
+struct SelectMap {
+  trace::SelKind kind = trace::SelKind::kNone;
+  std::vector<std::vector<int>> reg;
+};
+
+// A fully compiled scalar-multiplication program: ROM + addressing maps +
+// input preload locations + output locations.
+struct CompiledSm {
+  MachineConfig cfg;
+  std::vector<CtrlWord> rom;
+  std::vector<SelectMap> select_maps;
+  std::vector<std::pair<int, int>> preload;            // (input op id, reg)
+  std::vector<std::pair<std::string, int>> outputs;    // name -> reg
+  int rf_slots = 0;
+  int iterations = 0;
+
+  int cycles() const { return static_cast<int>(rom.size()); }
+};
+
+CompiledSm emit_microcode(const Problem& pr, const Schedule& s, const Allocation& alloc);
+
+}  // namespace fourq::sched

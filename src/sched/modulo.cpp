@@ -1,0 +1,235 @@
+#include "sched/modulo.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace fourq::sched {
+
+namespace {
+
+struct Edge {
+  int from, to;
+  int delay;     // latency of `from`
+  int distance;  // iteration distance (0 = intra-iteration)
+};
+
+std::vector<Edge> build_edges(const Problem& pr, const std::vector<CarriedDep>& carried) {
+  std::vector<Edge> edges;
+  for (size_t ni = 0; ni < pr.nodes.size(); ++ni) {
+    int lat = latency(pr.cfg, pr.nodes[ni].kind);
+    for (int cons : pr.consumers[ni])
+      edges.push_back(Edge{static_cast<int>(ni), cons, lat, 0});
+  }
+  for (const CarriedDep& d : carried) {
+    FOURQ_CHECK(d.from >= 0 && d.to >= 0 && d.distance >= 1);
+    edges.push_back(Edge{d.from, d.to,
+                         latency(pr.cfg, pr.nodes[static_cast<size_t>(d.from)].kind),
+                         d.distance});
+  }
+  return edges;
+}
+
+// Feasibility of II for the recurrence constraints: no positive cycle in
+// the graph with edge weight (delay - II * distance). Bellman-Ford style
+// relaxation; n*m iterations suffice for these small kernels.
+bool recurrence_feasible(int n, const std::vector<Edge>& edges, int ii) {
+  std::vector<int> dist(static_cast<size_t>(n), 0);
+  for (int round = 0; round < n; ++round) {
+    bool changed = false;
+    for (const Edge& e : edges) {
+      int w = e.delay - ii * e.distance;
+      if (dist[static_cast<size_t>(e.from)] + w > dist[static_cast<size_t>(e.to)]) {
+        dist[static_cast<size_t>(e.to)] = dist[static_cast<size_t>(e.from)] + w;
+        changed = true;
+      }
+    }
+    if (!changed) return true;
+  }
+  return false;  // still relaxing after n rounds -> positive cycle
+}
+
+}  // namespace
+
+std::vector<CarriedDep> body_carried_deps(const Problem& pr,
+                                          const std::vector<int>& input_op_ids,
+                                          const std::vector<int>& output_op_ids) {
+  FOURQ_CHECK(input_op_ids.size() == output_op_ids.size());
+  std::vector<CarriedDep> deps;
+  for (size_t k = 0; k < input_op_ids.size(); ++k) {
+    int out_node = pr.node_of_op[static_cast<size_t>(output_op_ids[k])];
+    FOURQ_CHECK_MSG(out_node >= 0, "loop output must be a computed value");
+    // Consumers of the matching input in the next iteration.
+    for (size_t ni = 0; ni < pr.nodes.size(); ++ni) {
+      for (const OperandReq& req : pr.nodes[ni].operands) {
+        for (int prod : req.producers) {
+          if (prod == input_op_ids[k])
+            deps.push_back(CarriedDep{out_node, static_cast<int>(ni), 1});
+        }
+      }
+    }
+  }
+  return deps;
+}
+
+ModuloResult modulo_schedule(const Problem& pr, const std::vector<CarriedDep>& carried,
+                             const ModuloOptions& opt) {
+  FOURQ_CHECK_MSG(pr.cfg.mul_ii == 1, "modulo scheduler assumes fully pipelined units");
+  ModuloResult res;
+  int n = static_cast<int>(pr.nodes.size());
+  FOURQ_CHECK(n > 0);
+
+  // Resource lower bound.
+  int muls = 0, adds = 0;
+  for (const Node& node : pr.nodes)
+    (unit_of(node.kind) == 0 ? muls : adds) += 1;
+  int res_mii = std::max((muls + pr.cfg.num_multipliers - 1) / pr.cfg.num_multipliers,
+                         (adds + pr.cfg.num_addsubs - 1) / pr.cfg.num_addsubs);
+  res.res_mii = std::max(1, res_mii);
+
+  // Recurrence lower bound via feasibility search.
+  std::vector<Edge> edges = build_edges(pr, carried);
+  int rec = 1;
+  while (rec <= opt.max_ii && !recurrence_feasible(n, edges, rec)) ++rec;
+  res.rec_mii = rec;
+
+  for (int ii = std::max(res.res_mii, res.rec_mii); ii <= opt.max_ii; ++ii) {
+    // Iterative modulo scheduling with ejection.
+    std::vector<int> start(static_cast<size_t>(n), -1);
+    std::vector<std::vector<int>> slot_use(
+        static_cast<size_t>(ii));  // node ids per modulo slot (by unit class)
+    auto slot_count = [&](int slot, int unit) {
+      int c = 0;
+      for (int id : slot_use[static_cast<size_t>(slot)])
+        if (unit_of(pr.nodes[static_cast<size_t>(id)].kind) == unit) ++c;
+      return c;
+    };
+    auto place = [&](int node, int t) {
+      start[static_cast<size_t>(node)] = t;
+      slot_use[static_cast<size_t>(t % ii)].push_back(node);
+    };
+    auto evict = [&](int node) {
+      int t = start[static_cast<size_t>(node)];
+      auto& v = slot_use[static_cast<size_t>(t % ii)];
+      v.erase(std::find(v.begin(), v.end(), node));
+      start[static_cast<size_t>(node)] = -1;
+    };
+
+    // Priority: critical-path height, ties by index.
+    std::vector<int> order(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      if (pr.height[static_cast<size_t>(a)] != pr.height[static_cast<size_t>(b)])
+        return pr.height[static_cast<size_t>(a)] > pr.height[static_cast<size_t>(b)];
+      return a < b;
+    });
+
+    std::vector<int> worklist = order;
+    int ejections = 0;
+    bool failed = false;
+    while (!worklist.empty()) {
+      int node = worklist.front();
+      worklist.erase(worklist.begin());
+      // Earliest start from scheduled predecessors (intra + carried).
+      int est = 0;
+      for (const Edge& e : edges) {
+        if (e.to != node) continue;
+        int s = start[static_cast<size_t>(e.from)];
+        if (s < 0) continue;
+        est = std::max(est, s + e.delay - ii * e.distance);
+      }
+      est = std::max(est, 0);
+      int unit = unit_of(pr.nodes[static_cast<size_t>(node)].kind);
+      int cap = capacity(pr.cfg, unit);
+      int chosen = -1;
+      for (int t = est; t < est + ii; ++t) {
+        if (slot_count(t % ii, unit) < cap) {
+          chosen = t;
+          break;
+        }
+      }
+      if (chosen < 0) {
+        // Eject a conflicting op at slot est%ii and force-place there.
+        chosen = est;
+        auto& v = slot_use[static_cast<size_t>(chosen % ii)];
+        for (int id : std::vector<int>(v)) {
+          if (unit_of(pr.nodes[static_cast<size_t>(id)].kind) == unit) {
+            evict(id);
+            worklist.push_back(id);
+            break;
+          }
+        }
+      }
+      place(node, chosen);
+      // Any scheduled successor whose dependence now breaks gets ejected.
+      for (const Edge& e : edges) {
+        if (e.from != node) continue;
+        int s = start[static_cast<size_t>(e.to)];
+        if (s < 0) continue;
+        if (s < chosen + e.delay - ii * e.distance) {
+          evict(e.to);
+          worklist.push_back(e.to);
+        }
+      }
+      if (++ejections > opt.max_ejections) {
+        failed = true;
+        break;
+      }
+    }
+    if (failed) continue;
+
+    res.feasible = true;
+    res.ii = ii;
+    res.start = start;
+    res.kernel_length = 0;
+    for (int i = 0; i < n; ++i)
+      res.kernel_length = std::max(
+          res.kernel_length, start[static_cast<size_t>(i)] +
+                                 latency(pr.cfg, pr.nodes[static_cast<size_t>(i)].kind));
+    std::string err;
+    FOURQ_CHECK_MSG(check_modulo_schedule(pr, carried, res, &err),
+                    "modulo scheduler produced an invalid kernel: " + err);
+    return res;
+  }
+  return res;  // infeasible within max_ii
+}
+
+bool check_modulo_schedule(const Problem& pr, const std::vector<CarriedDep>& carried,
+                           const ModuloResult& r, std::string* error) {
+  auto fail = [&](const std::string& m) {
+    if (error != nullptr) *error = m;
+    return false;
+  };
+  int n = static_cast<int>(pr.nodes.size());
+  if (!r.feasible || static_cast<int>(r.start.size()) != n) return fail("not feasible");
+  if (r.ii < std::max(r.res_mii, r.rec_mii)) return fail("II below lower bound");
+
+  // Modulo resource occupancy.
+  for (int unit = 0; unit < kNumUnits; ++unit) {
+    std::map<int, int> per_slot;
+    for (int i = 0; i < n; ++i)
+      if (unit_of(pr.nodes[static_cast<size_t>(i)].kind) == unit)
+        ++per_slot[r.start[static_cast<size_t>(i)] % r.ii];
+    for (const auto& [slot, cnt] : per_slot)
+      if (cnt > capacity(pr.cfg, unit))
+        return fail("slot " + std::to_string(slot) + " over-subscribed");
+  }
+  // Intra-iteration dependences.
+  for (size_t ni = 0; ni < pr.nodes.size(); ++ni) {
+    int lat = latency(pr.cfg, pr.nodes[ni].kind);
+    for (int cons : pr.consumers[ni])
+      if (r.start[static_cast<size_t>(cons)] < r.start[ni] + lat)
+        return fail("intra dependence violated");
+  }
+  // Carried dependences.
+  for (const CarriedDep& d : carried) {
+    int lat = latency(pr.cfg, pr.nodes[static_cast<size_t>(d.from)].kind);
+    if (r.start[static_cast<size_t>(d.to)] + r.ii * d.distance <
+        r.start[static_cast<size_t>(d.from)] + lat)
+      return fail("carried dependence violated");
+  }
+  return true;
+}
+
+}  // namespace fourq::sched

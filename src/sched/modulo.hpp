@@ -1,0 +1,66 @@
+// Iterative modulo scheduling (Rau) of the double-and-add loop body:
+// software-pipelines the kernel so a new loop iteration starts every II
+// cycles, overlapping iterations on the single-multiplier datapath.
+//
+// The loop-carried dependences are the accumulator coordinates: the body's
+// outputs feed the next iteration's inputs at distance 1. Lower bounds:
+//   ResMII = ceil(muls / (num_multipliers / mul_ii))  and likewise add/sub;
+//   RecMII = the tightest cycle over carried dependences
+//            (max over chains of ceil(latency_sum / distance_sum)).
+// The scheduler searches II upward from MII with modulo resource
+// reservation and bounded backtracking (operation ejection), and a
+// dedicated validator re-checks every steady-state constraint.
+//
+// Scope note: this is the paper-relevant *analysis* of how far pipelining
+// the loop could go. Executing a modulo-scheduled kernel needs rotating
+// register files (iteration-versioned temporaries), which the modelled
+// chip does not have — the executable routes for overlapping iterations in
+// this repository are the unrolled-body looped controller (asic/looped.hpp)
+// and the globally scheduled flat ROM. Register-file ports are likewise
+// not part of this analysis (they depend on the rotating-file design).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sched/problem.hpp"
+
+namespace fourq::sched {
+
+// Loop-carried dependence: the value produced by node `from` in iteration
+// i is consumed by node `to` in iteration i + distance.
+struct CarriedDep {
+  int from = -1;
+  int to = -1;
+  int distance = 1;
+};
+
+struct ModuloOptions {
+  int max_ii = 64;          // give up beyond this II
+  int max_ejections = 4000; // backtracking budget per II attempt
+};
+
+struct ModuloResult {
+  bool feasible = false;
+  int ii = 0;        // achieved initiation interval
+  int res_mii = 0;   // resource lower bound
+  int rec_mii = 0;   // recurrence lower bound
+  std::vector<int> start;  // per node, absolute start cycle (>= 0)
+  int kernel_length = 0;   // max start + latency (schedule span)
+};
+
+ModuloResult modulo_schedule(const Problem& pr, const std::vector<CarriedDep>& carried,
+                             const ModuloOptions& opt = {});
+
+// Steady-state validation: unit occupancy per modulo slot, intra-iteration
+// dependences, and carried dependences under the achieved II.
+bool check_modulo_schedule(const Problem& pr, const std::vector<CarriedDep>& carried,
+                           const ModuloResult& r, std::string* error = nullptr);
+
+// Convenience: the carried deps of the loop-body trace (outputs -> inputs,
+// matched positionally, distance 1).
+std::vector<CarriedDep> body_carried_deps(const Problem& pr,
+                                          const std::vector<int>& input_op_ids,
+                                          const std::vector<int>& output_op_ids);
+
+}  // namespace fourq::sched

@@ -1,0 +1,109 @@
+#include "sched/problem.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fourq::sched {
+
+using trace::Op;
+using trace::OpKind;
+using trace::Operand;
+using trace::Program;
+using trace::SelKind;
+
+namespace {
+
+// Resolves an SSA operand id, looking through kSelect nodes, into the
+// producer set and select flag.
+OperandReq resolve_operand(const Program& p, int ssa_id) {
+  OperandReq req;
+  const Op& src = p.ops[static_cast<size_t>(ssa_id)];
+  if (src.kind == OpKind::kSelect) {
+    req.is_select = true;
+    const trace::SelectTable& t = p.tables[static_cast<size_t>(src.a.table)];
+    for (const auto& variant : t.candidates)
+      for (int id : variant) req.producers.push_back(id);
+    std::sort(req.producers.begin(), req.producers.end());
+    req.producers.erase(std::unique(req.producers.begin(), req.producers.end()),
+                        req.producers.end());
+  } else {
+    req.producers.push_back(ssa_id);
+  }
+  return req;
+}
+
+}  // namespace
+
+Problem build_problem(const Program& p, const MachineConfig& cfg) {
+  trace::validate(p);
+  FOURQ_CHECK_MSG(cfg.mul_ii >= 1 && cfg.mul_ii <= cfg.mul_latency + 1,
+                  "multiplier initiation interval must be in [1, latency+1]");
+  FOURQ_CHECK(cfg.num_multipliers >= 1 && cfg.num_addsubs >= 1);
+  Problem pr;
+  pr.program = &p;
+  pr.cfg = cfg;
+  pr.node_of_op.assign(p.ops.size(), -1);
+
+  for (int i = 0; i < static_cast<int>(p.ops.size()); ++i) {
+    const Op& op = p.ops[static_cast<size_t>(i)];
+    if (!is_compute(op.kind)) continue;
+    Node n;
+    n.op_id = i;
+    n.kind = op.kind;
+    n.operands.push_back(resolve_operand(p, op.a.ssa));
+    if (op.kind != OpKind::kConj) n.operands.push_back(resolve_operand(p, op.b.ssa));
+    pr.node_of_op[static_cast<size_t>(i)] = static_cast<int>(pr.nodes.size());
+    pr.nodes.push_back(std::move(n));
+  }
+
+  // Consumer lists (node-to-node edges; input producers are ignored here).
+  pr.consumers.assign(pr.nodes.size(), {});
+  for (int ni = 0; ni < static_cast<int>(pr.nodes.size()); ++ni) {
+    for (const OperandReq& req : pr.nodes[static_cast<size_t>(ni)].operands) {
+      for (int prod_op : req.producers) {
+        int pn = pr.node_of_op[static_cast<size_t>(prod_op)];
+        if (pn >= 0) pr.consumers[static_cast<size_t>(pn)].push_back(ni);
+      }
+    }
+  }
+
+  // Height = longest latency chain from the node (inclusive) to any sink.
+  // Nodes are in SSA (topological) order, so a reverse sweep suffices.
+  pr.height.assign(pr.nodes.size(), 0);
+  for (int ni = static_cast<int>(pr.nodes.size()) - 1; ni >= 0; --ni) {
+    int lat = latency(cfg, pr.nodes[static_cast<size_t>(ni)].kind);
+    int h = lat;
+    for (int cons : pr.consumers[static_cast<size_t>(ni)])
+      h = std::max(h, lat + pr.height[static_cast<size_t>(cons)]);
+    pr.height[static_cast<size_t>(ni)] = h;
+  }
+
+  // ASAP = longest latency chain from any source to the node (exclusive),
+  // i.e. the earliest cycle the node could issue with unlimited resources.
+  pr.asap.assign(pr.nodes.size(), 0);
+  for (size_t ni = 0; ni < pr.nodes.size(); ++ni) {
+    int lat = latency(cfg, pr.nodes[ni].kind);
+    for (int cons : pr.consumers[ni]) {
+      int& a = pr.asap[static_cast<size_t>(cons)];
+      a = std::max(a, pr.asap[ni] + lat);
+    }
+  }
+  return pr;
+}
+
+int Problem::critical_path() const {
+  int cp = 0;
+  for (int h : height) cp = std::max(cp, h);
+  return cp;
+}
+
+int makespan_of(const Problem& pr, const std::vector<int>& cycle) {
+  FOURQ_CHECK(cycle.size() == pr.nodes.size());
+  int last = 0;
+  for (size_t i = 0; i < pr.nodes.size(); ++i)
+    last = std::max(last, cycle[i] + latency(pr.cfg, pr.nodes[i].kind));
+  return last + 1;
+}
+
+}  // namespace fourq::sched

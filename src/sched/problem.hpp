@@ -1,0 +1,54 @@
+// Scheduling-problem extraction: turns a traced Program into the job-shop
+// instance the paper feeds to its combinatorial solver (§III-C step 3).
+//
+// Nodes are the compute microinstructions; edges carry the minimum issue
+// separation implied by unit latencies and register-file/forwarding timing.
+#pragma once
+
+#include <vector>
+
+#include "sched/machine.hpp"
+#include "trace/ir.hpp"
+
+namespace fourq::sched {
+
+// One operand requirement of a compute node, pre-resolved against the IR.
+struct OperandReq {
+  // Producer compute/input ops this operand depends on. One entry for a
+  // plain SSA operand; all candidates for a select operand.
+  std::vector<int> producers;  // op ids in the Program
+  bool is_select = false;      // indexed RF read: no forwarding allowed
+};
+
+struct Node {
+  int op_id = -1;  // index into Program::ops
+  trace::OpKind kind = trace::OpKind::kMul;
+  std::vector<OperandReq> operands;  // 1 or 2 entries
+};
+
+struct Problem {
+  const trace::Program* program = nullptr;
+  MachineConfig cfg;
+  std::vector<Node> nodes;          // compute ops, program order
+  std::vector<int> node_of_op;      // op id -> node index (-1 if not compute)
+  std::vector<int> height;          // critical-path length to any sink (cycles)
+  std::vector<int> asap;            // earliest latency-feasible issue cycle
+  std::vector<std::vector<int>> consumers;  // node -> consumer node indices
+
+  int critical_path() const;  // lower bound on makespan (cycles)
+  // Scheduling freedom: ALAP - ASAP under the latency-only relaxation.
+  int mobility(int node) const { return critical_path() - height[static_cast<size_t>(node)] - asap[static_cast<size_t>(node)]; }
+};
+
+Problem build_problem(const trace::Program& p, const MachineConfig& cfg);
+
+// A schedule: issue cycle per node (aligned with Problem::nodes).
+struct Schedule {
+  std::vector<int> cycle;
+  int makespan = 0;  // total cycles = last writeback cycle + 1
+};
+
+// Recomputes the makespan from issue cycles.
+int makespan_of(const Problem& pr, const std::vector<int>& cycle);
+
+}  // namespace fourq::sched

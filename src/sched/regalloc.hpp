@@ -1,0 +1,38 @@
+// Register allocation: maps every stored value (program inputs and compute
+// results) onto the register file, from the lifetimes implied by the final
+// schedule. Greedy linear scan; fails loudly if the configured register
+// file cannot hold the working set (paper Fig. 1: the RF is dimensioned so
+// the whole SM runs without spills — there is no memory hierarchy).
+#pragma once
+
+#include "sched/problem.hpp"
+
+namespace fourq::sched {
+
+struct Allocation {
+  std::vector<int> slot_of_op;  // op id -> RF slot; -1 for kSelect ops
+  int slots_used = 0;           // peak register demand
+
+  int slot(int op_id) const { return slot_of_op[static_cast<size_t>(op_id)]; }
+};
+
+// Throws if more than pr.cfg.rf_size slots are needed.
+Allocation allocate_registers(const Problem& pr, const Schedule& s);
+
+// Peak register demand without enforcing the configured limit (for the
+// register-file sizing ablation).
+int register_pressure(const Problem& pr, const Schedule& s);
+
+// Pinned variant for the blocked/looped controller: the listed ops (block
+// inputs/outputs that are architecturally shared across segments) are
+// forced onto fixed register-file slots; every temporary is allocated from
+// `temp_base` upwards so it can never collide with an architectural slot.
+// Pin slots must be unique and < temp_base.
+struct PinSpec {
+  std::vector<std::pair<int, int>> pins;  // (op id, slot)
+  int temp_base = 0;
+};
+Allocation allocate_registers_pinned(const Problem& pr, const Schedule& s,
+                                     const PinSpec& spec);
+
+}  // namespace fourq::sched

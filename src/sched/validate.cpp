@@ -1,0 +1,112 @@
+#include "sched/validate.hpp"
+
+#include <map>
+
+#include "common/check.hpp"
+
+namespace fourq::sched {
+
+using trace::OpKind;
+
+ValidationReport check_schedule(const Problem& pr, const Schedule& s) {
+  ValidationReport rep;
+  auto fail = [&](const std::string& m) { rep.errors.push_back(m); };
+
+  if (s.cycle.size() != pr.nodes.size()) {
+    fail("schedule length mismatch");
+    return rep;
+  }
+
+  // Issue cycle per op id for dependency checks.
+  std::vector<int> issue_of_op(pr.program->ops.size(), -1);
+  for (size_t i = 0; i < pr.nodes.size(); ++i) {
+    if (s.cycle[i] < 0) fail("node " + std::to_string(i) + " unscheduled");
+    issue_of_op[static_cast<size_t>(pr.nodes[i].op_id)] = s.cycle[i];
+  }
+  if (!rep.ok()) return rep;
+
+  auto done_cycle = [&](int op_id) {
+    int ni = pr.node_of_op[static_cast<size_t>(op_id)];
+    FOURQ_CHECK(ni >= 0);
+    return issue_of_op[static_cast<size_t>(op_id)] +
+           latency(pr.cfg, pr.nodes[static_cast<size_t>(ni)].kind);
+  };
+
+  // Per-cycle resource accounting.
+  std::map<int, int> unit_issues[kNumUnits];
+  std::map<int, int> reads, writes;
+
+  for (size_t i = 0; i < pr.nodes.size(); ++i) {
+    const Node& n = pr.nodes[i];
+    int t = s.cycle[i];
+    ++unit_issues[unit_of(n.kind)][t];
+    ++writes[t + latency(pr.cfg, n.kind)];
+
+    for (const OperandReq& req : n.operands) {
+      if (req.is_select) {
+        // Every candidate must be in the RF: written strictly before t.
+        for (int prod : req.producers) {
+          if (pr.node_of_op[static_cast<size_t>(prod)] < 0) continue;  // input
+          if (done_cycle(prod) + 1 > t)
+            fail("node " + std::to_string(i) + ": select candidate not in RF by cycle " +
+                 std::to_string(t));
+        }
+        ++reads[t];
+        continue;
+      }
+      int prod = req.producers[0];
+      if (pr.node_of_op[static_cast<size_t>(prod)] < 0) {
+        ++reads[t];  // input operand: RF read
+        continue;
+      }
+      int done = done_cycle(prod);
+      if (pr.cfg.forwarding && t == done) {
+        // Forwarded from the unit output bus: no port.
+      } else if (t >= done + 1) {
+        ++reads[t];  // RF read
+      } else {
+        fail("node " + std::to_string(i) + " issued at " + std::to_string(t) +
+             " before operand ready (producer done at " + std::to_string(done) + ")");
+      }
+    }
+  }
+
+  // Unit occupancy: with initiation interval ii, any window of ii
+  // consecutive cycles may contain at most `capacity` issues (each instance
+  // accepts one issue per ii cycles; equal service times make this window
+  // condition necessary and sufficient for a per-instance assignment).
+  for (int u = 0; u < kNumUnits; ++u) {
+    int ii = initiation_interval(pr.cfg, u);
+    for (const auto& [t, cnt] : unit_issues[u]) {
+      (void)cnt;
+      int in_window = 0;
+      for (int s = t - ii + 1; s <= t; ++s) {
+        auto it = unit_issues[u].find(s);
+        if (it != unit_issues[u].end()) in_window += it->second;
+      }
+      if (in_window > capacity(pr.cfg, u))
+        fail("unit class " + std::to_string(u) + " over-subscribed in window ending at " +
+             std::to_string(t) + ": " + std::to_string(in_window));
+    }
+  }
+  for (const auto& [t, cnt] : reads)
+    if (cnt > pr.cfg.rf_read_ports)
+      fail("read ports exceeded at cycle " + std::to_string(t) + ": " + std::to_string(cnt));
+  for (const auto& [t, cnt] : writes)
+    if (cnt > pr.cfg.rf_write_ports)
+      fail("write ports exceeded at cycle " + std::to_string(t) + ": " + std::to_string(cnt));
+
+  if (s.makespan != makespan_of(pr, s.cycle)) fail("makespan field inconsistent");
+  return rep;
+}
+
+void require_valid(const Problem& pr, const Schedule& s) {
+  ValidationReport rep = check_schedule(pr, s);
+  if (!rep.ok()) {
+    std::string msg = "invalid schedule:";
+    for (const auto& e : rep.errors) msg += "\n  " + e;
+    FOURQ_CHECK_MSG(false, msg);
+  }
+}
+
+}  // namespace fourq::sched

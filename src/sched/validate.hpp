@@ -1,0 +1,23 @@
+// Independent schedule checker (deliberately re-derives all timing rules
+// instead of sharing scheduler code) — the safety net that every schedule,
+// from any of the three solvers, must pass before microcode emission.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/problem.hpp"
+
+namespace fourq::sched {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+ValidationReport check_schedule(const Problem& pr, const Schedule& s);
+
+// Throwing wrapper used on production paths.
+void require_valid(const Problem& pr, const Schedule& s);
+
+}  // namespace fourq::sched

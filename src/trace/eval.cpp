@@ -1,0 +1,92 @@
+#include "trace/eval.hpp"
+
+#include "common/check.hpp"
+
+namespace fourq::trace {
+
+using field::Fp2;
+
+namespace {
+
+int resolve_select(const Program& p, const Op& op, const EvalContext& ctx) {
+  const SelectTable& t = p.tables[static_cast<size_t>(op.a.table)];
+  if (op.a.sel == SelKind::kCorrection) {
+    bool even = (op.a.iter == 1) ? ctx.k2_was_even : ctx.k_was_even;
+    return t.candidates[0][even ? 1 : 0];
+  }
+  int iter = op.a.iter;
+  if (is_counter_iter(iter)) {
+    FOURQ_CHECK_MSG(ctx.counter_iter >= 0, "counter-driven select without counter_iter");
+    iter = ctx.counter_iter - counter_offset(iter);
+  }
+  const curve::RecodedScalar* rec = ctx.recoded;
+  if (iter >= kStream2IterBase) {
+    iter -= kStream2IterBase;
+    rec = ctx.recoded2;
+    FOURQ_CHECK_MSG(rec != nullptr, "stream-2 digit select without recoded2");
+  }
+  FOURQ_CHECK_MSG(rec != nullptr, "program has digit selects but no recoded scalar");
+  FOURQ_CHECK(iter >= 0 && iter < curve::kDigits);
+  int digit = rec->digit[static_cast<size_t>(iter)];
+  int variant = rec->sign[static_cast<size_t>(iter)] > 0 ? 0 : 1;
+  FOURQ_CHECK(variant < static_cast<int>(t.candidates.size()));
+  FOURQ_CHECK(digit < static_cast<int>(t.candidates[static_cast<size_t>(variant)].size()));
+  return t.candidates[static_cast<size_t>(variant)][static_cast<size_t>(digit)];
+}
+
+}  // namespace
+
+std::map<std::string, Fp2> evaluate(const Program& p, const InputBindings& inputs,
+                                    const EvalContext& ctx) {
+  validate(p);
+  std::vector<Fp2> val(p.ops.size());
+  std::vector<bool> set(p.ops.size(), false);
+
+  for (const auto& [id, v] : inputs) {
+    FOURQ_CHECK(id >= 0 && id < static_cast<int>(p.ops.size()));
+    FOURQ_CHECK_MSG(p.ops[static_cast<size_t>(id)].kind == OpKind::kInput,
+                    "binding a non-input op");
+    val[static_cast<size_t>(id)] = v;
+    set[static_cast<size_t>(id)] = true;
+  }
+
+  auto get = [&](int id) -> const Fp2& {
+    FOURQ_CHECK_MSG(set[static_cast<size_t>(id)], "use of unbound/unset value");
+    return val[static_cast<size_t>(id)];
+  };
+
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    const Op& op = p.ops[i];
+    switch (op.kind) {
+      case OpKind::kInput:
+        FOURQ_CHECK_MSG(set[i], "unbound input: " + op.label);
+        break;
+      case OpKind::kSelect:
+        val[i] = get(resolve_select(p, op, ctx));
+        set[i] = true;
+        break;
+      case OpKind::kAdd:
+        val[i] = get(op.a.ssa) + get(op.b.ssa);
+        set[i] = true;
+        break;
+      case OpKind::kSub:
+        val[i] = get(op.a.ssa) - get(op.b.ssa);
+        set[i] = true;
+        break;
+      case OpKind::kConj:
+        val[i] = get(op.a.ssa).conj();
+        set[i] = true;
+        break;
+      case OpKind::kMul:
+        val[i] = Fp2::mul_karatsuba(get(op.a.ssa), get(op.b.ssa));
+        set[i] = true;
+        break;
+    }
+  }
+
+  std::map<std::string, Fp2> out;
+  for (const auto& [id, name] : p.outputs) out[name] = get(id);
+  return out;
+}
+
+}  // namespace fourq::trace

@@ -1,0 +1,42 @@
+// Functional interpreter for traced programs.
+//
+// Evaluates a Program over concrete F_{p^2} values — the software golden
+// model that the cycle-accurate datapath simulator (asic/) is checked
+// against, and that is itself checked against curve::scalar_mul for the
+// functional SM variant.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "curve/scalar.hpp"
+#include "field/fp2.hpp"
+#include "trace/ir.hpp"
+
+namespace fourq::trace {
+
+struct EvalContext {
+  // Recoded digits/signs for kDigitTable operands (required if the program
+  // contains any).
+  const curve::RecodedScalar* recoded = nullptr;
+  // Selector for kCorrection operands.
+  bool k_was_even = false;
+  // Digit index substituted for kIterFromCounter operands (looped-controller
+  // body programs); -1 = no substitution available.
+  int counter_iter = -1;
+  // Second scalar stream (dual-stream throughput programs): digit selects
+  // with iter >= kDigits resolve against recoded2[iter - kDigits];
+  // correction selects with iter == 1 use k2_was_even.
+  const curve::RecodedScalar* recoded2 = nullptr;
+  bool k2_was_even = false;
+};
+
+// Input bindings: op id -> value. Every kInput op must be bound.
+using InputBindings = std::vector<std::pair<int, field::Fp2>>;
+
+// Returns output name -> value.
+std::map<std::string, field::Fp2> evaluate(const Program& p, const InputBindings& inputs,
+                                           const EvalContext& ctx);
+
+}  // namespace fourq::trace

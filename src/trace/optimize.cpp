@@ -1,0 +1,165 @@
+#include "trace/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fourq::trace {
+
+namespace {
+
+// Value-numbering key: kind + operand ids (commutative ops normalised).
+using Key = std::tuple<int, int, int, int, int>;  // kind, a, b, table, iter
+
+Key key_of(const Op& op, int a, int b) {
+  int lo = a, hi = b;
+  if ((op.kind == OpKind::kAdd || op.kind == OpKind::kMul) && lo > hi) std::swap(lo, hi);
+  return Key(static_cast<int>(op.kind), lo, hi, op.a.table, op.a.iter);
+}
+
+}  // namespace
+
+Program optimize(const Program& p, OptimizeStats* stats, std::vector<int>* id_remap) {
+  validate(p);
+  OptimizeStats st;
+
+  // --- Pass 1: CSE via value numbering (forward walk). ----------------------
+  // rep[i] = the representative op id (in the old numbering) for op i.
+  std::vector<int> rep(p.ops.size());
+  std::map<Key, int> seen;
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    const Op& op = p.ops[i];
+    if (op.kind == OpKind::kInput) {
+      rep[i] = static_cast<int>(i);
+      continue;
+    }
+    if (op.kind == OpKind::kSelect) {
+      // Selects with identical table+iter would be duplicates, but each
+      // digit_select call creates a fresh table, so just keep them.
+      rep[i] = static_cast<int>(i);
+      continue;
+    }
+    int a = rep[static_cast<size_t>(op.a.ssa)];
+    int b = (op.kind == OpKind::kConj) ? -1 : rep[static_cast<size_t>(op.b.ssa)];
+    Key k = key_of(op, a, b);
+    auto it = seen.find(k);
+    if (it != seen.end()) {
+      rep[i] = it->second;
+      ++st.cse_removed;
+    } else {
+      rep[i] = static_cast<int>(i);
+      seen.emplace(k, static_cast<int>(i));
+    }
+  }
+
+  // --- Pass 2: liveness from outputs (on representatives). ------------------
+  std::vector<bool> live(p.ops.size(), false);
+  std::vector<int> work;
+  auto mark = [&](int id) {
+    id = rep[static_cast<size_t>(id)];
+    if (!live[static_cast<size_t>(id)]) {
+      live[static_cast<size_t>(id)] = true;
+      work.push_back(id);
+    }
+  };
+  for (const auto& [id, name] : p.outputs) {
+    (void)name;
+    mark(id);
+  }
+  while (!work.empty()) {
+    int id = work.back();
+    work.pop_back();
+    const Op& op = p.ops[static_cast<size_t>(id)];
+    switch (op.kind) {
+      case OpKind::kInput:
+        break;
+      case OpKind::kSelect:
+        for (const auto& variant : p.tables[static_cast<size_t>(op.a.table)].candidates)
+          for (int c : variant) mark(c);
+        break;
+      case OpKind::kConj:
+        mark(op.a.ssa);
+        break;
+      default:
+        mark(op.a.ssa);
+        mark(op.b.ssa);
+        break;
+    }
+  }
+  // Inputs always survive: they are the program's binding interface.
+  for (size_t i = 0; i < p.ops.size(); ++i)
+    if (p.ops[i].kind == OpKind::kInput) live[i] = true;
+
+  // --- Pass 3: rebuild. ------------------------------------------------------
+  Program out;
+  out.iterations = p.iterations;
+  std::vector<int> new_id(p.ops.size(), -1);
+  std::vector<int> table_remap(p.tables.size(), -1);
+
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    if (rep[i] != static_cast<int>(i)) continue;  // folded into another op
+    if (!live[i]) {
+      if (is_compute(p.ops[i].kind) || p.ops[i].kind == OpKind::kSelect) ++st.dead_removed;
+      continue;
+    }
+    Op op = p.ops[i];
+    auto remap_operand = [&](Operand& o) {
+      if (o.sel != SelKind::kNone) return;  // handled via table remap below
+      int r = new_id[static_cast<size_t>(rep[static_cast<size_t>(o.ssa)])];
+      FOURQ_CHECK(r >= 0);
+      o.ssa = r;
+    };
+    switch (op.kind) {
+      case OpKind::kInput:
+        break;
+      case OpKind::kSelect: {
+        int old_table = op.a.table;
+        if (table_remap[static_cast<size_t>(old_table)] < 0) {
+          SelectTable t;
+          for (const auto& variant : p.tables[static_cast<size_t>(old_table)].candidates) {
+            std::vector<int> ids;
+            for (int c : variant) {
+              int r = new_id[static_cast<size_t>(rep[static_cast<size_t>(c)])];
+              FOURQ_CHECK(r >= 0);
+              ids.push_back(r);
+            }
+            t.candidates.push_back(std::move(ids));
+          }
+          out.tables.push_back(std::move(t));
+          table_remap[static_cast<size_t>(old_table)] =
+              static_cast<int>(out.tables.size()) - 1;
+        }
+        op.a.table = table_remap[static_cast<size_t>(old_table)];
+        break;
+      }
+      case OpKind::kConj:
+        remap_operand(op.a);
+        break;
+      default:
+        remap_operand(op.a);
+        remap_operand(op.b);
+        break;
+    }
+    new_id[i] = out.add_op(op);
+  }
+
+  for (const auto& [id, name] : p.outputs) {
+    int r = new_id[static_cast<size_t>(rep[static_cast<size_t>(id)])];
+    FOURQ_CHECK(r >= 0);
+    out.outputs.emplace_back(r, name);
+  }
+
+  validate(out);
+  if (stats != nullptr) *stats = st;
+  if (id_remap != nullptr) {
+    id_remap->assign(p.ops.size(), -1);
+    for (size_t i = 0; i < p.ops.size(); ++i)
+      (*id_remap)[i] = new_id[static_cast<size_t>(rep[i])];
+  }
+  return out;
+}
+
+}  // namespace fourq::trace

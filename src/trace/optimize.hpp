@@ -1,0 +1,26 @@
+// Trace-level optimisation passes run between trace recording and
+// scheduling: common-subexpression elimination (the operator-overloading
+// trace records every evaluation, including algebraically repeated ones)
+// and dead-code elimination (values never reaching an output or a select
+// table). Both preserve program semantics exactly — tests check
+// interpreter equivalence before/after on the full SM program.
+#pragma once
+
+#include "trace/ir.hpp"
+
+namespace fourq::trace {
+
+struct OptimizeStats {
+  int cse_removed = 0;
+  int dead_removed = 0;
+};
+
+// Returns the optimised program; `stats` (optional) reports what happened.
+// Input ops are always retained (they are the binding interface), but ids
+// shift: `id_remap` (optional, sized like p.ops) maps old op id -> new op
+// id (-1 for ops folded away; their representative's id applies instead —
+// use the remap of any surviving alias, e.g. inputs always survive).
+Program optimize(const Program& p, OptimizeStats* stats = nullptr,
+                 std::vector<int>* id_remap = nullptr);
+
+}  // namespace fourq::trace

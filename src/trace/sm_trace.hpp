@@ -1,0 +1,77 @@
+// Construction of the full scalar-multiplication microinstruction trace
+// (paper Alg. 1 executed under the tracing field type — §III-C steps 1-2).
+//
+// Two program variants (DESIGN.md §2):
+//  * kFunctional — the auxiliary points [2^64]P, [2^128]P, [2^192]P are
+//    computed by 192 traced doublings. The program's outputs equal the real
+//    [k]P for every scalar; this variant anchors end-to-end correctness.
+//  * kPaperCost — the auxiliary-point phase uses endomorphism-shaped
+//    formula stand-ins (tau / phi-hat / psi-hat composition with placeholder
+//    curve constants) whose operation counts match the Costello–Longa
+//    formulas, reproducing the paper's program length and therefore its
+//    cycle counts. Outputs are checked against the trace interpreter, not
+//    against curve arithmetic.
+//
+// Either way the traced instruction *sequence* is scalar-independent; only
+// operand selection (digit-addressed table reads, even-k correction) is
+// runtime-resolved, exactly as the paper's FSM does.
+#pragma once
+
+#include <array>
+
+#include "trace/ir.hpp"
+#include "trace/tracer.hpp"
+
+namespace fourq::trace {
+
+enum class EndoVariant {
+  kFunctional,  // 192 doublings; end-to-end correct
+  kPaperCost,   // CL-formula-shaped stand-in; paper-faithful op counts
+};
+
+struct SmTraceOptions {
+  EndoVariant endo = EndoVariant::kFunctional;
+  // Include the final projective->affine normalisation (Fermat inversion).
+  bool include_inversion = true;
+  // Trip count of the main double-and-add loop (= number of recoded digits).
+  // Default matches FourQ (65 digits -> 64 doublings).
+  int digits = 65;
+};
+
+struct SmTrace {
+  Program program;
+  // Input op ids to bind at evaluation time.
+  int in_px = -1;       // base point x
+  int in_py = -1;       // base point y
+  int in_zero = -1;     // constant 0
+  int in_one = -1;      // constant 1
+  int in_two_d = -1;    // constant 2d
+  std::vector<int> in_endo_consts;  // placeholder constants (kPaperCost only)
+  SmTraceOptions options;
+};
+
+SmTrace build_sm_trace(const SmTraceOptions& opt);
+
+// Dual-stream throughput program: TWO independent scalar multiplications
+// traced into one program and scheduled together, so the second stream
+// fills the first's idle multiplier slots. Inputs: shared constants plus a
+// base point per stream; outputs "x0"/"y0" and "x1"/"y1". The runtime
+// digits of stream 1 come from EvalContext::recoded2 / k2_was_even.
+struct DualSmTrace {
+  Program program;
+  std::array<int, 2> in_px{-1, -1}, in_py{-1, -1};
+  int in_zero = -1, in_one = -1, in_two_d = -1;
+  std::vector<int> in_endo_consts;
+};
+DualSmTrace build_dual_sm_trace(const SmTraceOptions& opt);
+
+// Standalone single loop-body trace (one doubling + one table addition on
+// symbolic inputs) — the block scheduled in the paper's Table I / Fig 2(b).
+struct LoopBodyTrace {
+  Program program;
+  std::vector<int> q_inputs;      // Qx, Qy, Qz, Ta, Tb
+  std::vector<int> table_inputs;  // xpy, ymx, z2, dt2 of the selected entry
+};
+LoopBodyTrace build_loop_body_trace();
+
+}  // namespace fourq::trace

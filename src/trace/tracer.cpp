@@ -1,0 +1,95 @@
+#include "trace/tracer.hpp"
+
+#include "common/check.hpp"
+
+namespace fourq::trace {
+
+Fp2Var operator+(const Fp2Var& x, const Fp2Var& y) {
+  FOURQ_CHECK(x.valid() && y.valid() && x.tracer == y.tracer);
+  return x.tracer->add(x, y);
+}
+
+Fp2Var operator-(const Fp2Var& x, const Fp2Var& y) {
+  FOURQ_CHECK(x.valid() && y.valid() && x.tracer == y.tracer);
+  return x.tracer->sub(x, y);
+}
+
+Fp2Var operator*(const Fp2Var& x, const Fp2Var& y) {
+  FOURQ_CHECK(x.valid() && y.valid() && x.tracer == y.tracer);
+  return x.tracer->mul(x, y);
+}
+
+Fp2Var sqr(const Fp2Var& x) {
+  FOURQ_CHECK(x.valid());
+  return x.tracer->mul(x, x);
+}
+
+Operand Tracer::ssa_operand(const Fp2Var& v) const {
+  FOURQ_CHECK_MSG(v.valid() && v.tracer == this, "operand from a different tracer");
+  return Operand::of(v.id);
+}
+
+Fp2Var Tracer::emit(OpKind kind, Operand a, Operand b, const std::string& label) {
+  Op op;
+  op.kind = kind;
+  op.a = a;
+  op.b = b;
+  op.label = label;
+  int id = program_.add_op(op);
+  return Fp2Var{this, id};
+}
+
+Fp2Var Tracer::input(const std::string& label) {
+  return emit(OpKind::kInput, Operand{}, Operand{}, label);
+}
+
+Fp2Var Tracer::digit_select(const std::vector<std::vector<Fp2Var>>& variants, int iter,
+                            const std::string& label) {
+  FOURQ_CHECK(!variants.empty());
+  SelectTable t;
+  for (const auto& variant : variants) {
+    std::vector<int> ids;
+    ids.reserve(variant.size());
+    for (const Fp2Var& v : variant) ids.push_back(ssa_operand(v).ssa);
+    t.candidates.push_back(std::move(ids));
+  }
+  program_.tables.push_back(std::move(t));
+  Operand o;
+  o.sel = SelKind::kDigitTable;
+  o.table = static_cast<int>(program_.tables.size()) - 1;
+  o.iter = iter;
+  return emit(OpKind::kSelect, o, Operand{}, label);
+}
+
+Fp2Var Tracer::correction_select(const Fp2Var& if_odd, const Fp2Var& if_even,
+                                 const std::string& label, int stream) {
+  FOURQ_CHECK(stream == 0 || stream == 1);
+  SelectTable t;
+  t.candidates.push_back({ssa_operand(if_odd).ssa, ssa_operand(if_even).ssa});
+  program_.tables.push_back(std::move(t));
+  Operand o;
+  o.sel = SelKind::kCorrection;
+  o.table = static_cast<int>(program_.tables.size()) - 1;
+  o.iter = stream;
+  return emit(OpKind::kSelect, o, Operand{}, label);
+}
+
+Fp2Var Tracer::add(const Fp2Var& x, const Fp2Var& y, const std::string& label) {
+  return emit(OpKind::kAdd, ssa_operand(x), ssa_operand(y), label);
+}
+Fp2Var Tracer::sub(const Fp2Var& x, const Fp2Var& y, const std::string& label) {
+  return emit(OpKind::kSub, ssa_operand(x), ssa_operand(y), label);
+}
+Fp2Var Tracer::mul(const Fp2Var& x, const Fp2Var& y, const std::string& label) {
+  return emit(OpKind::kMul, ssa_operand(x), ssa_operand(y), label);
+}
+Fp2Var Tracer::conj(const Fp2Var& x, const std::string& label) {
+  return emit(OpKind::kConj, ssa_operand(x), Operand{}, label);
+}
+
+void Tracer::mark_output(const Fp2Var& v, const std::string& name) {
+  FOURQ_CHECK(v.valid() && v.tracer == this);
+  program_.outputs.emplace_back(v.id, name);
+}
+
+}  // namespace fourq::trace

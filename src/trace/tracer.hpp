@@ -1,0 +1,66 @@
+// Tracing value type: executing code written against Fp2Var records the
+// F_{p^2} microinstruction stream (paper §III-C step 2, done with C++
+// operator overloading instead of Python introspection).
+//
+// Fp2Var satisfies the same expression interface as field::Fp2 (+, -, *,
+// sqr, unary zero-construction via Tracer), so the *same templated curve
+// formulas* in curve/point.hpp are instantiated for tracing — one source of
+// truth for the arithmetic.
+#pragma once
+
+#include <string>
+
+#include "trace/ir.hpp"
+
+namespace fourq::trace {
+
+class Tracer;
+
+struct Fp2Var {
+  Tracer* tracer = nullptr;
+  int id = -1;
+
+  bool valid() const { return tracer != nullptr && id >= 0; }
+};
+
+Fp2Var operator+(const Fp2Var& x, const Fp2Var& y);
+Fp2Var operator-(const Fp2Var& x, const Fp2Var& y);
+Fp2Var operator*(const Fp2Var& x, const Fp2Var& y);
+// Squaring maps to a plain multiplication: the datapath has one multiplier.
+Fp2Var sqr(const Fp2Var& x);
+
+class Tracer {
+ public:
+  // Leaf input resident in the register file before execution starts.
+  Fp2Var input(const std::string& label);
+
+  // Digit-selected operand: candidates laid out as
+  //   variants[0] = positive-sign candidates, variants[1] = negative-sign.
+  Fp2Var digit_select(const std::vector<std::vector<Fp2Var>>& variants, int iter,
+                      const std::string& label);
+  // Two-way correction select (index = k_was_even of the given scalar
+  // stream; stream 1 = the second scalar of a dual-stream program).
+  Fp2Var correction_select(const Fp2Var& if_odd, const Fp2Var& if_even,
+                           const std::string& label, int stream = 0);
+
+  Fp2Var add(const Fp2Var& x, const Fp2Var& y, const std::string& label = {});
+  Fp2Var sub(const Fp2Var& x, const Fp2Var& y, const std::string& label = {});
+  Fp2Var mul(const Fp2Var& x, const Fp2Var& y, const std::string& label = {});
+  Fp2Var conj(const Fp2Var& x, const std::string& label = {});
+
+  void mark_output(const Fp2Var& v, const std::string& name);
+  void set_iterations(int n) { program_.iterations = n; }
+
+  const Program& program() const { return program_; }
+  Program take_program() { return std::move(program_); }
+
+ private:
+  friend Fp2Var operator+(const Fp2Var&, const Fp2Var&);
+
+  Fp2Var emit(OpKind kind, Operand a, Operand b, const std::string& label);
+  Operand ssa_operand(const Fp2Var& v) const;
+
+  Program program_;
+};
+
+}  // namespace fourq::trace

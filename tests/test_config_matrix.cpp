@@ -1,0 +1,148 @@
+// Property suite over the machine-configuration space: for every
+// configuration in the sweep, the solver schedule must validate, compile,
+// and execute on the cycle-accurate datapath with bit-exact agreement
+// against the trace interpreter. This is the parameterised "does the whole
+// flow hold up under any datapath shape?" test.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "asic/simulator.hpp"
+#include "curve/scalarmul.hpp"
+#include "sched/compile.hpp"
+#include "trace/sm_trace.hpp"
+
+namespace fourq {
+namespace {
+
+using curve::Fp2;
+
+// (mul_latency, read_ports, forwarding, num_multipliers)
+using Config = std::tuple<int, int, bool, int>;
+
+class ConfigMatrix : public ::testing::TestWithParam<Config> {
+ protected:
+  sched::MachineConfig make_cfg() const {
+    auto [lat, ports, fwd, muls] = GetParam();
+    sched::MachineConfig cfg;
+    cfg.mul_latency = lat;
+    cfg.rf_read_ports = ports;
+    cfg.forwarding = fwd;
+    cfg.num_multipliers = muls;
+    if (muls > 1) {
+      cfg.rf_write_ports = 1 + muls;
+      cfg.num_addsubs = 2;
+    }
+    return cfg;
+  }
+};
+
+TEST_P(ConfigMatrix, LoopBodySchedulesAndValidates) {
+  trace::LoopBodyTrace body = trace::build_loop_body_trace();
+  sched::Problem pr = sched::build_problem(body.program, make_cfg());
+  sched::Schedule s = sched::list_schedule(pr);
+  sched::require_valid(pr, s);
+  EXPECT_GE(s.makespan, pr.critical_path() + 1);
+}
+
+TEST_P(ConfigMatrix, LoopBodySimulatesBitExact) {
+  trace::LoopBodyTrace body = trace::build_loop_body_trace();
+  sched::CompileOptions copt;
+  copt.cfg = make_cfg();
+  sched::CompileResult r = sched::compile_program(body.program, copt);
+
+  curve::PointR1 q = curve::dbl(curve::to_r1(curve::deterministic_point(81)));
+  curve::PointR2 e = curve::to_r2(curve::to_r1(curve::deterministic_point(82)));
+  trace::InputBindings b;
+  b.emplace_back(body.q_inputs[0], q.X);
+  b.emplace_back(body.q_inputs[1], q.Y);
+  b.emplace_back(body.q_inputs[2], q.Z);
+  b.emplace_back(body.q_inputs[3], q.Ta);
+  b.emplace_back(body.q_inputs[4], q.Tb);
+  b.emplace_back(body.table_inputs[0], e.xpy);
+  b.emplace_back(body.table_inputs[1], e.ymx);
+  b.emplace_back(body.table_inputs[2], e.z2);
+  b.emplace_back(body.table_inputs[3], e.dt2);
+
+  asic::SimResult sim = asic::simulate(r.sm, b, trace::EvalContext{});
+  auto ref = trace::evaluate(body.program, b, trace::EvalContext{});
+  for (const char* name : {"Qx", "Qy", "Qz", "Ta", "Tb"})
+    EXPECT_EQ(sim.outputs.at(name), ref.at(name)) << name;
+}
+
+TEST_P(ConfigMatrix, SequentialSolverAlsoHolds) {
+  trace::LoopBodyTrace body = trace::build_loop_body_trace();
+  sched::CompileOptions copt;
+  copt.cfg = make_cfg();
+  copt.solver = sched::Solver::kSequential;
+  sched::CompileResult r = sched::compile_program(body.program, copt);
+  sched::require_valid(r.problem, r.schedule);
+  // Sequential is never faster than the list schedule.
+  sched::CompileOptions lopt;
+  lopt.cfg = make_cfg();
+  sched::CompileResult l = sched::compile_program(body.program, lopt);
+  EXPECT_GE(r.schedule.makespan, l.schedule.makespan);
+}
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  int lat = std::get<0>(info.param);
+  int ports = std::get<1>(info.param);
+  bool fwd = std::get<2>(info.param);
+  int muls = std::get<3>(info.param);
+  return "lat" + std::to_string(lat) + "_rp" + std::to_string(ports) +
+         (fwd ? "_fwd" : "_nofwd") + "_m" + std::to_string(muls);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigMatrix,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),      // mul latency
+                       ::testing::Values(2, 3, 4),         // read ports
+                       ::testing::Bool(),                  // forwarding
+                       ::testing::Values(1, 2)),           // multipliers
+    config_name);
+
+// Fixed-schedule property: the compiled ROM's issue pattern is identical
+// for every scalar — only register addresses of indexed reads change. This
+// is the architectural property that makes the FSM schedule sound (and is
+// also what makes the design's timing scalar-independent).
+TEST(FixedSchedule, CycleCountAndIssuePatternScalarIndependent) {
+  trace::SmTraceOptions topt;
+  topt.endo = trace::EndoVariant::kPaperCost;
+  trace::SmTrace sm = trace::build_sm_trace(topt);
+  sched::CompileResult r = sched::compile_program(sm.program, {});
+
+  curve::Affine p = curve::deterministic_point(83);
+  trace::InputBindings b;
+  b.emplace_back(sm.in_zero, Fp2());
+  b.emplace_back(sm.in_one, Fp2::from_u64(1));
+  b.emplace_back(sm.in_two_d, curve::curve_2d());
+  b.emplace_back(sm.in_px, p.x);
+  b.emplace_back(sm.in_py, p.y);
+  for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+    b.emplace_back(sm.in_endo_consts[i], Fp2::from_u64(31 + i, 37 + i));
+
+  Rng rng(701);
+  asic::SimStats first;
+  bool have_first = false;
+  for (int i = 0; i < 4; ++i) {
+    U256 k = rng.next_u256();
+    if (i == 1) k.set_bit(0, false);  // include an even scalar
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    asic::SimResult res = asic::simulate(r.sm, b, trace::EvalContext{&rec, dec.k_was_even});
+    if (!have_first) {
+      first = res.stats;
+      have_first = true;
+    } else {
+      EXPECT_EQ(res.stats.cycles, first.cycles);
+      EXPECT_EQ(res.stats.mul_issues, first.mul_issues);
+      EXPECT_EQ(res.stats.addsub_issues, first.addsub_issues);
+      EXPECT_EQ(res.stats.rf_writes, first.rf_writes);
+      EXPECT_EQ(res.stats.rf_reads, first.rf_reads);
+      EXPECT_EQ(res.stats.forwarded_operands, first.forwarded_operands);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fourq

@@ -1,0 +1,114 @@
+// Dual-stream throughput program tests: two independent scalar
+// multiplications share one schedule; both results must be exact, and the
+// combined schedule must beat two back-to-back single-stream runs.
+#include <gtest/gtest.h>
+
+#include "asic/simulator.hpp"
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+#include "sched/compile.hpp"
+#include "trace/sm_trace.hpp"
+
+namespace fourq::trace {
+namespace {
+
+using curve::Fp2;
+
+InputBindings dual_bindings(const DualSmTrace& sm, const curve::Affine& p0,
+                            const curve::Affine& p1) {
+  InputBindings b;
+  b.emplace_back(sm.in_zero, Fp2());
+  b.emplace_back(sm.in_one, Fp2::from_u64(1));
+  b.emplace_back(sm.in_two_d, curve::curve_2d());
+  b.emplace_back(sm.in_px[0], p0.x);
+  b.emplace_back(sm.in_py[0], p0.y);
+  b.emplace_back(sm.in_px[1], p1.x);
+  b.emplace_back(sm.in_py[1], p1.y);
+  for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+    b.emplace_back(sm.in_endo_consts[i], Fp2::from_u64(3 + i, 7 + i));
+  return b;
+}
+
+TEST(DualStream, InterpreterMatchesScalarMulOnBothStreams) {
+  DualSmTrace sm = build_dual_sm_trace({});  // functional variant
+  curve::Affine p0 = curve::deterministic_point(101);
+  curve::Affine p1 = curve::deterministic_point(102);
+  InputBindings b = dual_bindings(sm, p0, p1);
+
+  Rng rng(1201);
+  for (int i = 0; i < 2; ++i) {
+    U256 k0 = rng.next_u256(), k1 = rng.next_u256();
+    if (i == 1) k1.set_bit(0, false);  // one even scalar
+    curve::Decomposition d0 = curve::decompose(k0), d1 = curve::decompose(k1);
+    curve::RecodedScalar r0 = curve::recode(d0.a), r1 = curve::recode(d1.a);
+    EvalContext ctx;
+    ctx.recoded = &r0;
+    ctx.k_was_even = d0.k_was_even;
+    ctx.recoded2 = &r1;
+    ctx.k2_was_even = d1.k_was_even;
+    auto out = evaluate(sm.program, b, ctx);
+    curve::Affine e0 = curve::to_affine(curve::scalar_mul(k0, p0));
+    curve::Affine e1 = curve::to_affine(curve::scalar_mul(k1, p1));
+    EXPECT_EQ(out.at("x0"), e0.x);
+    EXPECT_EQ(out.at("y0"), e0.y);
+    EXPECT_EQ(out.at("x1"), e1.x);
+    EXPECT_EQ(out.at("y1"), e1.y);
+  }
+}
+
+TEST(DualStream, SimulatorMatchesInterpreter) {
+  SmTraceOptions topt;
+  topt.endo = EndoVariant::kPaperCost;
+  DualSmTrace sm = build_dual_sm_trace(topt);
+  sched::CompileOptions copt;
+  copt.cfg.rf_size = 128;  // two working sets + two tables
+  sched::CompileResult r = sched::compile_program(sm.program, copt);
+
+  curve::Affine p0 = curve::deterministic_point(103);
+  curve::Affine p1 = curve::deterministic_point(104);
+  InputBindings b = dual_bindings(sm, p0, p1);
+  Rng rng(1202);
+  U256 k0 = rng.next_u256(), k1 = rng.next_u256();
+  curve::Decomposition d0 = curve::decompose(k0), d1 = curve::decompose(k1);
+  curve::RecodedScalar r0 = curve::recode(d0.a), r1 = curve::recode(d1.a);
+  EvalContext ctx;
+  ctx.recoded = &r0;
+  ctx.k_was_even = d0.k_was_even;
+  ctx.recoded2 = &r1;
+  ctx.k2_was_even = d1.k_was_even;
+
+  asic::SimResult sim = asic::simulate(r.sm, b, ctx);
+  auto ref = evaluate(sm.program, b, ctx);
+  for (const char* name : {"x0", "y0", "x1", "y1"})
+    EXPECT_EQ(sim.outputs.at(name), ref.at(name)) << name;
+}
+
+TEST(DualStream, ThroughputBeatsTwoSequentialRuns) {
+  SmTraceOptions topt;
+  topt.endo = EndoVariant::kPaperCost;
+  sched::CompileOptions copt;
+  copt.cfg.rf_size = 128;
+  sched::CompileResult dual = sched::compile_program(build_dual_sm_trace(topt).program, copt);
+  sched::CompileResult single = sched::compile_program(build_sm_trace(topt).program, {});
+  // Two interleaved SMs must finish faster than two back-to-back ones.
+  EXPECT_LT(dual.sm.cycles(), 2 * single.sm.cycles());
+  // And cost fewer cycles per result than one-at-a-time operation.
+  double cycles_per_sm = dual.sm.cycles() / 2.0;
+  EXPECT_LT(cycles_per_sm, 0.85 * single.sm.cycles());
+}
+
+TEST(DualStream, MissingSecondScalarRejected) {
+  SmTraceOptions topt;
+  topt.endo = EndoVariant::kPaperCost;
+  DualSmTrace sm = build_dual_sm_trace(topt);
+  curve::Affine p = curve::deterministic_point(105);
+  InputBindings b = dual_bindings(sm, p, p);
+  curve::Decomposition d = curve::decompose(U256(7));
+  curve::RecodedScalar r = curve::recode(d.a);
+  EvalContext ctx;
+  ctx.recoded = &r;  // recoded2 deliberately missing
+  EXPECT_THROW(evaluate(sm.program, b, ctx), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fourq::trace

@@ -1,0 +1,142 @@
+// Tests for point encoding and compression.
+#include "curve/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+
+namespace fourq::curve {
+namespace {
+
+Affine random_point(Rng& rng) {
+  Affine base = deterministic_point(55);
+  return to_affine(scalar_mul(rng.next_u256(), base));
+}
+
+TEST(Encoding, UncompressedRoundTrip) {
+  Rng rng(611);
+  for (int i = 0; i < 20; ++i) {
+    Affine p = random_point(rng);
+    auto decoded = decode(encode(p));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->x, p.x);
+    EXPECT_EQ(decoded->y, p.y);
+  }
+}
+
+TEST(Encoding, CompressedRoundTrip) {
+  Rng rng(612);
+  for (int i = 0; i < 20; ++i) {
+    Affine p = random_point(rng);
+    auto decoded = decompress(compress(p));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->x, p.x) << "sign bit failed to disambiguate";
+    EXPECT_EQ(decoded->y, p.y);
+  }
+}
+
+TEST(Encoding, CompressionDistinguishesNegation) {
+  Rng rng(613);
+  Affine p = random_point(rng);
+  Affine np = neg(p);
+  CompressedPoint cp = compress(p), cnp = compress(np);
+  // Same y, different sign bit.
+  EXPECT_NE(cp, cnp);
+  auto dp = decompress(cp), dnp = decompress(cnp);
+  ASSERT_TRUE(dp && dnp);
+  EXPECT_EQ(dp->x, p.x);
+  EXPECT_EQ(dnp->x, np.x);
+}
+
+TEST(Encoding, SpecialPoints) {
+  // Identity (0, 1): x = 0 forces a clear sign bit.
+  Affine id{Fp2(), Fp2::from_u64(1)};
+  auto rid = decompress(compress(id));
+  ASSERT_TRUE(rid.has_value());
+  EXPECT_TRUE(rid->x.is_zero());
+  // Order-2 point (0, -1).
+  Affine t{Fp2(), -Fp2::from_u64(1)};
+  auto rt = decompress(compress(t));
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_EQ(rt->y, t.y);
+}
+
+TEST(Encoding, RejectsOffCurveUncompressed) {
+  Affine p = deterministic_point(56);
+  UncompressedPoint bytes = encode(p);
+  bytes[0] ^= 1;  // perturb x
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Encoding, RejectsNonCanonicalField) {
+  // y.re = p (non-canonical encoding of zero).
+  CompressedPoint bytes{};
+  for (int i = 0; i < 15; ++i) bytes[static_cast<size_t>(i)] = 0xff;
+  bytes[15] = 0x7f;
+  EXPECT_FALSE(decompress(bytes).has_value());
+}
+
+TEST(Encoding, RejectsYWithNoX) {
+  // Scan for a y whose x^2 is a non-residue; must be rejected.
+  bool found = false;
+  for (uint64_t ytry = 2; ytry < 60 && !found; ++ytry) {
+    Fp2 y = Fp2::from_u64(ytry, 1);
+    CompressedPoint bytes{};
+    // Hand-encode y.
+    uint64_t w[4] = {y.re().lo(), y.re().hi(), y.im().lo(), y.im().hi()};
+    for (int i = 0; i < 4; ++i)
+      for (int b = 0; b < 8; ++b)
+        bytes[static_cast<size_t>(8 * i + b)] = static_cast<uint8_t>(w[i] >> (8 * b));
+    if (!decompress(bytes).has_value()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Encoding, SignConventionConsistent) {
+  Rng rng(614);
+  for (int i = 0; i < 20; ++i) {
+    Affine p = random_point(rng);
+    if (p.x.is_zero()) continue;
+    EXPECT_NE(x_sign(p.x), x_sign(-p.x));
+  }
+}
+
+TEST(Encoding, FuzzRoundTripManyPoints) {
+  Rng rng(615);
+  Affine base = deterministic_point(57);
+  for (int i = 0; i < 150; ++i) {
+    Affine p = to_affine(scalar_mul(rng.next_u256(), base));
+    auto c = decompress(compress(p));
+    ASSERT_TRUE(c.has_value()) << i;
+    EXPECT_EQ(c->x, p.x);
+    EXPECT_EQ(c->y, p.y);
+    auto u = decode(encode(p));
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(u->x, p.x);
+    EXPECT_EQ(u->y, p.y);
+  }
+}
+
+TEST(Encoding, CompressedBytesAreCanonical) {
+  // compress(decompress(bytes)) == bytes for every valid encoding.
+  Rng rng(616);
+  Affine base = deterministic_point(58);
+  for (int i = 0; i < 50; ++i) {
+    Affine p = to_affine(scalar_mul(rng.next_u256(), base));
+    CompressedPoint bytes = compress(p);
+    auto d = decompress(bytes);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(compress(*d), bytes);
+  }
+}
+
+TEST(Encoding, IdentityUncompressedRoundTrip) {
+  Affine id{Fp2(), Fp2::from_u64(1)};
+  auto r = decode(encode(id));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->x.is_zero());
+}
+
+}  // namespace
+}  // namespace fourq::curve

@@ -1,0 +1,62 @@
+// Tests for cached fixed-base scalar multiplication.
+#include "curve/fixed_base.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fourq::curve {
+namespace {
+
+TEST(FixedBase, MatchesOneShotScalarMul) {
+  Affine p = deterministic_point(51);
+  FixedBaseMul fb(p);
+  Rng rng(601);
+  for (int i = 0; i < 12; ++i) {
+    U256 k = rng.next_u256();
+    EXPECT_TRUE(equal(fb.mul(k), scalar_mul(k, p))) << k.to_hex();
+  }
+}
+
+TEST(FixedBase, EvenAndBoundaryScalars) {
+  Affine p = deterministic_point(52);
+  FixedBaseMul fb(p);
+  const U256 cases[] = {
+      U256(),
+      U256(1),
+      U256(2),
+      U256(~0ull, ~0ull, ~0ull, ~0ull),
+      U256(0, 1, 0, 0),
+      U256(0, 0, 0, 1),
+  };
+  for (const U256& k : cases)
+    EXPECT_TRUE(equal(fb.mul(k), scalar_mul_reference(k, p))) << k.to_hex();
+}
+
+TEST(FixedBase, ReusableAcrossManyScalars) {
+  Affine p = deterministic_point(53);
+  FixedBaseMul fb(p);
+  // Sum of [i]P over i = 1..20 equals [210]P.
+  PointR1 acc = identity();
+  for (uint64_t i = 1; i <= 20; ++i) acc = add(acc, to_r2(fb.mul(U256(i))));
+  EXPECT_TRUE(equal(acc, fb.mul(U256(210))));
+}
+
+TEST(FixedBase, PerScalarOpCounts) {
+  auto c = FixedBaseMul::per_scalar_op_counts();
+  EXPECT_EQ(c.doublings, 64);
+  EXPECT_EQ(c.additions, 66);
+  // Amortised cost drops the 192 precomputation doublings of the one-shot
+  // path.
+  EXPECT_LT(c.doublings, scalar_mul_op_counts().doublings);
+}
+
+TEST(FixedBase, BaseAccessor) {
+  Affine p = deterministic_point(54);
+  FixedBaseMul fb(p);
+  EXPECT_EQ(fb.base().x, p.x);
+  EXPECT_EQ(fb.base().y, p.y);
+}
+
+}  // namespace
+}  // namespace fourq::curve

@@ -1,0 +1,66 @@
+// HMAC-SHA-256 known-answer tests (RFC 4231) and nonce-derivation
+// behaviour.
+#include "hash/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fourq::hash {
+namespace {
+
+TEST(Hmac, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(digest_hex(hmac_sha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(digest_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // Keys longer than the block size are pre-hashed; a 100-byte key must
+  // give the same MAC as its SHA-256 digest used as the key.
+  std::string long_key(100, 'K');
+  Sha256::Digest kd = Sha256::digest(long_key);
+  std::string hashed_key(reinterpret_cast<const char*>(kd.data()), kd.size());
+  EXPECT_EQ(hmac_sha256(long_key, "msg"), hmac_sha256(hashed_key, "msg"));
+}
+
+TEST(Hmac, KeySensitivity) {
+  EXPECT_NE(hmac_sha256("key1", "msg"), hmac_sha256("key2", "msg"));
+  EXPECT_NE(hmac_sha256("key", "msg1"), hmac_sha256("key", "msg2"));
+  EXPECT_NE(hmac_sha256("", "msg"), hmac_sha256("k", "msg"));
+}
+
+TEST(Hmac, EmptyInputsDefined) {
+  // Must not crash and must be deterministic.
+  EXPECT_EQ(hmac_sha256("", ""), hmac_sha256("", ""));
+}
+
+TEST(DeriveNonce, DeterministicAndInRange) {
+  U256 order = U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  U256 secret(0x1234567890abcdefull, 42, 0, 0);
+  U256 n1 = derive_nonce(secret, "ctx", "message", order);
+  U256 n2 = derive_nonce(secret, "ctx", "message", order);
+  EXPECT_EQ(n1, n2);
+  EXPECT_FALSE(n1.is_zero());
+  EXPECT_LT(n1, order);
+}
+
+TEST(DeriveNonce, ContextAndMessageSeparation) {
+  U256 order(0xffffffffffffffffull, 0xffffffffffffffffull, 0, 0);
+  U256 secret(7);
+  EXPECT_NE(derive_nonce(secret, "ctx1", "m", order), derive_nonce(secret, "ctx2", "m", order));
+  EXPECT_NE(derive_nonce(secret, "ctx", "m1", order), derive_nonce(secret, "ctx", "m2", order));
+  EXPECT_NE(derive_nonce(U256(1), "ctx", "m", order), derive_nonce(U256(2), "ctx", "m", order));
+}
+
+TEST(DeriveNonce, TinyOrderStillTerminates) {
+  // With order 2, candidates are in {0, 1}: derivation must skip zeros and
+  // return 1 eventually.
+  EXPECT_EQ(derive_nonce(U256(99), "c", "m", U256(2)), U256(1));
+}
+
+}  // namespace
+}  // namespace fourq::hash

@@ -1,0 +1,109 @@
+// End-to-end integration: the full application story in one test — key
+// generation, message signing, hardware-offloaded verification on the
+// cycle-accurate model (both one-SM-at-a-time and dual-stream), batch
+// verification, and wire-format round-trips. Everything a deployment would
+// exercise, chained together.
+#include <gtest/gtest.h>
+
+#include "asic/simulator.hpp"
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+#include "dsa/schnorrq.hpp"
+#include "sched/compile.hpp"
+#include "trace/sm_trace.hpp"
+
+namespace fourq {
+namespace {
+
+using curve::Fp2;
+
+class Integration : public ::testing::Test {
+ protected:
+  dsa::SchnorrQ scheme;
+  Rng rng{20260706};
+
+  static const trace::SmTrace& sm_trace() {
+    static trace::SmTrace t = trace::build_sm_trace({});
+    return t;
+  }
+  static const sched::CompiledSm& compiled() {
+    static sched::CompiledSm c = sched::compile_program(sm_trace().program, {}).sm;
+    return c;
+  }
+
+  curve::Affine hw_scalar_mul(const U256& k, const curve::Affine& p) {
+    trace::InputBindings b;
+    b.emplace_back(sm_trace().in_zero, Fp2());
+    b.emplace_back(sm_trace().in_one, Fp2::from_u64(1));
+    b.emplace_back(sm_trace().in_two_d, curve::curve_2d());
+    b.emplace_back(sm_trace().in_px, p.x);
+    b.emplace_back(sm_trace().in_py, p.y);
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    asic::SimResult res =
+        asic::simulate(compiled(), b, trace::EvalContext{&rec, dec.k_was_even});
+    return curve::Affine{res.outputs.at("x"), res.outputs.at("y")};
+  }
+};
+
+TEST_F(Integration, SignSoftwareVerifyOnHardware) {
+  auto kp = scheme.keygen(rng);
+  const std::string msg = "integration: emergency stop broadcast";
+  auto sig = scheme.sign(kp, msg);
+
+  // Host recomputes the challenge, offloads both SMs.
+  U256 e = scheme.challenge(sig.r, kp.pub, msg);
+  curve::Affine sG = hw_scalar_mul(sig.s, scheme.generator());
+  curve::Affine eQ = hw_scalar_mul(e, kp.pub);
+  curve::PointR1 rhs =
+      curve::add(curve::to_r1(sig.r), curve::to_r2(curve::to_r1(eQ)));
+  EXPECT_TRUE(curve::equal(curve::to_r1(sG), rhs));
+
+  // And the software verifier agrees.
+  EXPECT_TRUE(scheme.verify(kp.pub, msg, sig));
+}
+
+TEST_F(Integration, WireFormatsSurviveTransport) {
+  auto kp = scheme.keygen(rng);
+  const std::string msg = "integration: toll gate open";
+  auto sig = scheme.sign(kp, msg);
+
+  // Serialise everything, "transmit", deserialise, verify.
+  auto pub_bytes = scheme.encode_public_key(kp.pub);
+  auto sig_bytes = scheme.encode_signature(sig);
+  auto pub2 = scheme.decode_public_key(pub_bytes);
+  auto sig2 = scheme.decode_signature(sig_bytes);
+  ASSERT_TRUE(pub2 && sig2);
+  EXPECT_TRUE(scheme.verify(*pub2, msg, *sig2));
+  // Tamper with one byte anywhere: never verifies.
+  for (size_t i = 0; i < sig_bytes.size(); i += 13) {
+    auto bad = sig_bytes;
+    bad[i] ^= 0x40;
+    auto s = scheme.decode_signature(bad);
+    if (s) {
+      EXPECT_FALSE(scheme.verify(*pub2, msg, *s)) << i;
+    }
+  }
+}
+
+TEST_F(Integration, MixedFleetBatchAndHardwareAgree) {
+  std::vector<dsa::SchnorrQ::BatchItem> batch;
+  for (int i = 0; i < 4; ++i) {
+    auto kp = scheme.keygen(rng);
+    std::string msg = "fleet msg " + std::to_string(i);
+    auto sig = scheme.sign(kp, msg);
+    batch.push_back({kp.pub, msg, sig});
+
+    // Hardware path agrees per item.
+    U256 e = scheme.challenge(sig.r, kp.pub, msg);
+    curve::Affine sG = hw_scalar_mul(sig.s, scheme.generator());
+    curve::Affine eQ = hw_scalar_mul(e, kp.pub);
+    curve::PointR1 rhs =
+        curve::add(curve::to_r1(sig.r), curve::to_r2(curve::to_r1(eQ)));
+    EXPECT_TRUE(curve::equal(curve::to_r1(sG), rhs)) << i;
+  }
+  EXPECT_TRUE(scheme.verify_batch(batch, rng));
+}
+
+}  // namespace
+}  // namespace fourq

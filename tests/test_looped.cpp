@@ -1,0 +1,216 @@
+// Tests for the blocked/looped controller: functional equivalence with the
+// flat (globally scheduled) controller and with curve-level scalar
+// multiplication, plus the ROM-vs-cycles trade-off the design embodies.
+#include "asic/looped.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+
+namespace fourq::asic {
+namespace {
+
+using curve::Fp2;
+
+trace::InputBindings bindings_for(const LoopedSm& sm, const curve::Affine& p) {
+  trace::InputBindings b;
+  b.emplace_back(sm.in_zero, Fp2());
+  b.emplace_back(sm.in_one, Fp2::from_u64(1));
+  b.emplace_back(sm.in_two_d, curve::curve_2d());
+  b.emplace_back(sm.in_px, p.x);
+  b.emplace_back(sm.in_py, p.y);
+  for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+    b.emplace_back(sm.in_endo_consts[i], Fp2::from_u64(3 + i, 7 + i));
+  return b;
+}
+
+class LoopedFunctional : public ::testing::Test {
+ protected:
+  static const LoopedSm& machine() {
+    static LoopedSm sm = [] {
+      LoopedSmOptions opt;
+      opt.endo = trace::EndoVariant::kFunctional;
+      return build_looped_sm(opt);
+    }();
+    return sm;
+  }
+};
+
+TEST_F(LoopedFunctional, MatchesCurveScalarMul) {
+  curve::Affine p = curve::deterministic_point(95);
+  trace::InputBindings b = bindings_for(machine(), p);
+  Rng rng(901);
+  for (int i = 0; i < 3; ++i) {
+    U256 k = rng.next_u256();
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    SimResult res = simulate_looped(machine(), b, trace::EvalContext{&rec, dec.k_was_even});
+    curve::Affine expect = curve::to_affine(curve::scalar_mul(k, p));
+    EXPECT_EQ(res.outputs.at("x"), expect.x) << "k=" << k.to_hex();
+    EXPECT_EQ(res.outputs.at("y"), expect.y);
+  }
+}
+
+TEST_F(LoopedFunctional, EvenScalarCorrection) {
+  curve::Affine p = curve::deterministic_point(96);
+  trace::InputBindings b = bindings_for(machine(), p);
+  U256 k = Rng(902).next_u256();
+  k.set_bit(0, false);
+  curve::Decomposition dec = curve::decompose(k);
+  curve::RecodedScalar rec = curve::recode(dec.a);
+  SimResult res = simulate_looped(machine(), b, trace::EvalContext{&rec, true});
+  curve::Affine expect = curve::to_affine(curve::scalar_mul(k, p));
+  EXPECT_EQ(res.outputs.at("x"), expect.x);
+  EXPECT_EQ(res.outputs.at("y"), expect.y);
+}
+
+TEST_F(LoopedFunctional, SmallScalars) {
+  curve::Affine p = curve::deterministic_point(97);
+  trace::InputBindings b = bindings_for(machine(), p);
+  for (uint64_t k : {0ull, 1ull, 2ull, 7ull}) {
+    curve::Decomposition dec = curve::decompose(U256(k));
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    SimResult res = simulate_looped(machine(), b, trace::EvalContext{&rec, dec.k_was_even});
+    if (k == 0) {
+      // [0]P = O has no affine form; Z of the accumulator is zero only for
+      // the identity... the identity IS affine (0, 1), so check that.
+      EXPECT_TRUE(res.outputs.at("x").is_zero());
+      EXPECT_EQ(res.outputs.at("y"), Fp2::from_u64(1));
+      continue;
+    }
+    curve::Affine expect = curve::to_affine(curve::scalar_mul(U256(k), p));
+    EXPECT_EQ(res.outputs.at("x"), expect.x) << k;
+    EXPECT_EQ(res.outputs.at("y"), expect.y) << k;
+  }
+}
+
+TEST(Looped, RomMuchSmallerCyclesLarger) {
+  LoopedSmOptions lopt;  // paper-cost default
+  LoopedSm looped = build_looped_sm(lopt);
+
+  trace::SmTraceOptions topt;
+  topt.endo = trace::EndoVariant::kPaperCost;
+  sched::CompileResult flat = sched::compile_program(trace::build_sm_trace(topt).program, {});
+
+  // The paper's point: global scheduling wins cycles; blocking wins ROM.
+  EXPECT_LT(looped.rom_words(), flat.sm.cycles() / 3);
+  EXPECT_GT(looped.total_cycles(), flat.sm.cycles());
+}
+
+TEST(Looped, PaperCostVariantRunsDeterministically) {
+  LoopedSm sm = build_looped_sm({});
+  curve::Affine p = curve::deterministic_point(98);
+  trace::InputBindings b = bindings_for(sm, p);
+  U256 k = Rng(903).next_u256();
+  curve::Decomposition dec = curve::decompose(k);
+  curve::RecodedScalar rec = curve::recode(dec.a);
+  trace::EvalContext ctx{&rec, dec.k_was_even};
+  SimResult r1 = simulate_looped(sm, b, ctx);
+  SimResult r2 = simulate_looped(sm, b, ctx);
+  EXPECT_EQ(r1.outputs.at("x"), r2.outputs.at("x"));
+  EXPECT_EQ(r1.stats.cycles, r2.stats.cycles);
+  EXPECT_EQ(r1.stats.cycles, sm.total_cycles());
+}
+
+class LoopedUnroll : public ::testing::TestWithParam<int> {};
+
+TEST_P(LoopedUnroll, FunctionalCorrectnessWithUnrolledBody) {
+  LoopedSmOptions opt;
+  opt.endo = trace::EndoVariant::kFunctional;
+  opt.body_unroll = GetParam();
+  LoopedSm sm = build_looped_sm(opt);
+  EXPECT_EQ(sm.iterations * sm.body_unroll, curve::kDigits);
+
+  curve::Affine p = curve::deterministic_point(110 + static_cast<uint64_t>(GetParam()));
+  trace::InputBindings b = bindings_for(sm, p);
+  Rng rng(905);
+  for (int i = 0; i < 2; ++i) {
+    U256 k = rng.next_u256();
+    if (i == 1) k.set_bit(0, false);
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    SimResult res = simulate_looped(sm, b, trace::EvalContext{&rec, dec.k_was_even});
+    curve::Affine expect = curve::to_affine(curve::scalar_mul(k, p));
+    EXPECT_EQ(res.outputs.at("x"), expect.x) << "unroll=" << GetParam();
+    EXPECT_EQ(res.outputs.at("y"), expect.y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, LoopedUnroll, ::testing::Values(1, 5, 13));
+
+TEST(Looped, UnrollingReducesTotalCycles) {
+  // The solver overlaps the unrolled iterations: fewer cycles per digit.
+  int prev = 1 << 30;
+  for (int u : {1, 5, 13}) {
+    LoopedSmOptions opt;
+    opt.body_unroll = u;
+    LoopedSm sm = build_looped_sm(opt);
+    EXPECT_LT(sm.total_cycles(), prev) << "unroll=" << u;
+    prev = sm.total_cycles();
+  }
+}
+
+TEST(Looped, UnrollRejectsNonDivisors) {
+  LoopedSmOptions opt;
+  opt.body_unroll = 4;
+  EXPECT_THROW(build_looped_sm(opt), std::logic_error);
+}
+
+// Machine-config matrix for the looped controller: correctness must hold
+// for every datapath shape, like the flat controller's sweep.
+using LoopedCfg = std::tuple<int, bool, int>;  // mul_latency, forwarding, unroll
+
+class LoopedConfigMatrix : public ::testing::TestWithParam<LoopedCfg> {};
+
+TEST_P(LoopedConfigMatrix, FunctionalAcrossConfigs) {
+  auto [lat, fwd, unroll] = GetParam();
+  LoopedSmOptions opt;
+  opt.endo = trace::EndoVariant::kFunctional;
+  opt.cfg.mul_latency = lat;
+  opt.cfg.forwarding = fwd;
+  opt.cfg.rf_size = 128;  // no-forwarding configs keep more temporaries live
+  opt.body_unroll = unroll;
+  LoopedSm sm = build_looped_sm(opt);
+
+  curve::Affine p = curve::deterministic_point(120);
+  trace::InputBindings b = bindings_for(sm, p);
+  U256 k = Rng(906).next_u256();
+  curve::Decomposition dec = curve::decompose(k);
+  curve::RecodedScalar rec = curve::recode(dec.a);
+  SimResult res = simulate_looped(sm, b, trace::EvalContext{&rec, dec.k_was_even});
+  curve::Affine expect = curve::to_affine(curve::scalar_mul(k, p));
+  EXPECT_EQ(res.outputs.at("x"), expect.x);
+  EXPECT_EQ(res.outputs.at("y"), expect.y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LoopedConfigMatrix,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Bool(),
+                                            ::testing::Values(1, 5)),
+                         [](const ::testing::TestParamInfo<LoopedCfg>& info) {
+                           return "lat" + std::to_string(std::get<0>(info.param)) +
+                                  (std::get<1>(info.param) ? "_fwd" : "_nofwd") + "_u" +
+                                  std::to_string(std::get<2>(info.param));
+                         });
+
+TEST(Looped, FixedCycleCountAcrossScalars) {
+  LoopedSm sm = build_looped_sm({});
+  curve::Affine p = curve::deterministic_point(99);
+  trace::InputBindings b = bindings_for(sm, p);
+  Rng rng(904);
+  int cycles = -1;
+  for (int i = 0; i < 3; ++i) {
+    U256 k = rng.next_u256();
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    SimResult res = simulate_looped(sm, b, trace::EvalContext{&rec, dec.k_was_even});
+    if (cycles < 0) cycles = res.stats.cycles;
+    EXPECT_EQ(res.stats.cycles, cycles);
+  }
+}
+
+}  // namespace
+}  // namespace fourq::asic

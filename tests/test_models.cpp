@@ -1,0 +1,64 @@
+// Tests for the P-256 hardware datapath model (Table II comparison
+// substrate).
+#include "models/p256_hw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/sm_trace.hpp"
+
+namespace fourq::models {
+namespace {
+
+TEST(P256Hw, OpCountsMatchFormulaCosts) {
+  // dbl = 4M+4S (8 multiplier ops), mixed add = 8M+3S (11): always-add
+  // runs 255 of each.
+  P256HwOptions opt;
+  P256HwResult r = model_p256_sm(opt);
+  EXPECT_EQ(r.ops.muls, 255 * (8 + 11));
+  EXPECT_GT(r.ops.addsubs, 255 * 10);
+}
+
+TEST(P256Hw, WindowedRecodingCutsMultiplications) {
+  P256HwOptions win;
+  win.add_every = 4;
+  P256HwOptions always;
+  EXPECT_LT(model_p256_sm(win).ops.muls, model_p256_sm(always).ops.muls);
+}
+
+TEST(P256Hw, CyclesMonotoneInInitiationInterval) {
+  int prev = 0;
+  for (int ii : {1, 2, 4, 8}) {
+    P256HwOptions opt;
+    opt.cfg.mul_ii = ii;
+    opt.cfg.mul_latency = std::max(8, ii);
+    int c = model_p256_sm(opt).cycles;
+    EXPECT_GE(c, prev) << "ii=" << ii;
+    prev = c;
+  }
+}
+
+TEST(P256Hw, ShortScalarScalesDown) {
+  P256HwOptions small;
+  small.bits = 32;
+  P256HwOptions full;
+  P256HwResult rs = model_p256_sm(small);
+  P256HwResult rf = model_p256_sm(full);
+  EXPECT_LT(rs.cycles, rf.cycles / 4);
+  EXPECT_GT(rs.cycles, 0);
+}
+
+TEST(P256Hw, SlowerThanFourQDatapath) {
+  // The structural heart of Table II: P-256 on its conventional datapath
+  // needs several times the cycles of FourQ's program on the Fp2 datapath.
+  trace::SmTraceOptions topt;
+  topt.endo = trace::EndoVariant::kPaperCost;
+  sched::CompileResult fourq =
+      sched::compile_program(trace::build_sm_trace(topt).program, {});
+  P256HwOptions opt;
+  opt.add_every = 4;  // give P-256 its best recoding
+  P256HwResult p256 = model_p256_sm(opt);
+  EXPECT_GT(p256.cycles, 3 * fourq.sm.cycles());
+}
+
+}  // namespace
+}  // namespace fourq::models

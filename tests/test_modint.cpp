@@ -1,0 +1,118 @@
+// Unit tests for Montgomery arithmetic and modular inversion.
+#include "common/modint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fourq {
+namespace {
+
+// Moduli that matter in this repository.
+const char* kP256Field = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+const char* kP256Order = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+const char* kC25519Field = "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed";
+
+class MontyParam : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MontyParam, RoundTripConversion) {
+  Monty mt(U256::from_hex(GetParam()));
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = mod(rng.next_u256(), mt.modulus());
+    EXPECT_EQ(mt.from_monty(mt.to_monty(a)), a);
+  }
+}
+
+TEST_P(MontyParam, MulMatchesSchoolbookMod) {
+  Monty mt(U256::from_hex(GetParam()));
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = mod(rng.next_u256(), mt.modulus());
+    U256 b = mod(rng.next_u256(), mt.modulus());
+    U256 expect = mod(mul_wide(a, b), mt.modulus());
+    U256 got = mt.from_monty(mt.mul(mt.to_monty(a), mt.to_monty(b)));
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST_P(MontyParam, FieldAxioms) {
+  Monty mt(U256::from_hex(GetParam()));
+  Rng rng(13);
+  U256 one = mt.one();
+  for (int i = 0; i < 50; ++i) {
+    U256 a = mt.to_monty(mod(rng.next_u256(), mt.modulus()));
+    U256 b = mt.to_monty(mod(rng.next_u256(), mt.modulus()));
+    U256 c = mt.to_monty(mod(rng.next_u256(), mt.modulus()));
+    EXPECT_EQ(mt.mul(a, b), mt.mul(b, a));
+    EXPECT_EQ(mt.mul(a, mt.mul(b, c)), mt.mul(mt.mul(a, b), c));
+    EXPECT_EQ(mt.mul(a, one), a);
+    EXPECT_EQ(mt.mul(a, mt.add(b, c)), mt.add(mt.mul(a, b), mt.mul(a, c)));
+    EXPECT_EQ(mt.add(a, mt.neg(a)), U256());
+  }
+}
+
+TEST_P(MontyParam, InverseIsInverse) {
+  Monty mt(U256::from_hex(GetParam()));
+  Rng rng(14);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = mt.to_monty(rng.next_mod_nonzero(mt.modulus()));
+    EXPECT_EQ(mt.mul(a, mt.inv(a)), mt.one());
+  }
+}
+
+TEST_P(MontyParam, PowMatchesRepeatedMul) {
+  Monty mt(U256::from_hex(GetParam()));
+  Rng rng(15);
+  U256 a = mt.to_monty(rng.next_mod_nonzero(mt.modulus()));
+  U256 acc = mt.one();
+  for (uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(mt.pow(a, U256(e)), acc);
+    acc = mt.mul(acc, a);
+  }
+}
+
+TEST_P(MontyParam, FermatLittleTheorem) {
+  // All three moduli are prime: a^(m-1) == 1.
+  Monty mt(U256::from_hex(GetParam()));
+  Rng rng(16);
+  U256 m_minus_1;
+  sub(mt.modulus(), U256(1), m_minus_1);
+  for (int i = 0; i < 10; ++i) {
+    U256 a = mt.to_monty(rng.next_mod_nonzero(mt.modulus()));
+    EXPECT_EQ(mt.pow(a, m_minus_1), mt.one());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, MontyParam,
+                         ::testing::Values(kP256Field, kP256Order, kC25519Field));
+
+TEST(Invmod, SmallKnownValues) {
+  // 3^{-1} mod 7 == 5
+  EXPECT_EQ(invmod(U256(3), U256(7)), U256(5));
+  // 2^{-1} mod 9 == 5
+  EXPECT_EQ(invmod(U256(2), U256(9)), U256(5));
+  EXPECT_EQ(invmod(U256(1), U256(9)), U256(1));
+}
+
+TEST(Invmod, RandomRoundTrip) {
+  Rng rng(17);
+  U256 m = U256::from_hex(kP256Order);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = rng.next_mod_nonzero(m);
+    U256 ai = invmod(a, m);
+    EXPECT_EQ(mod(mul_wide(a, ai), m), U256(1));
+  }
+}
+
+TEST(Invmod, WorksWithUnreducedInput) {
+  U256 m(101);
+  EXPECT_EQ(invmod(U256(3 + 101 * 7), m), invmod(U256(3), m));
+}
+
+TEST(Monty, RejectsEvenModulus) {
+  EXPECT_THROW(Monty(U256(100)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fourq

@@ -1,0 +1,132 @@
+// Tests for wNAF recoding and interleaved multi-scalar multiplication.
+#include "curve/multiscalar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+
+namespace fourq::curve {
+namespace {
+
+__int128 small_value(const std::vector<int8_t>& naf) {
+  __int128 acc = 0;
+  for (int i = static_cast<int>(naf.size()) - 1; i >= 0; --i)
+    acc = 2 * acc + naf[static_cast<size_t>(i)];
+  return acc;
+}
+
+TEST(Wnaf, ReconstructsSmallValues) {
+  for (uint64_t k = 0; k < 500; ++k) {
+    for (int w : {2, 3, 4, 5}) {
+      auto naf = wnaf(U256(k), w);
+      EXPECT_EQ(small_value(naf), static_cast<__int128>(k)) << "k=" << k << " w=" << w;
+    }
+  }
+}
+
+TEST(Wnaf, DigitsAreOddAndBounded) {
+  Rng rng(621);
+  for (int iter = 0; iter < 50; ++iter) {
+    U256 k = rng.next_u256();
+    for (int w : {2, 3, 4}) {
+      auto naf = wnaf(k, w);
+      int bound = (1 << w) - 1;
+      for (int8_t d : naf) {
+        if (d == 0) continue;
+        EXPECT_EQ(std::abs(d) % 2, 1);
+        EXPECT_LE(std::abs(d), bound);
+      }
+    }
+  }
+}
+
+TEST(Wnaf, NonAdjacency) {
+  Rng rng(622);
+  for (int iter = 0; iter < 50; ++iter) {
+    U256 k = rng.next_u256();
+    auto naf = wnaf(k, 3);
+    for (size_t i = 0; i < naf.size(); ++i) {
+      if (naf[i] == 0) continue;
+      for (size_t j = i + 1; j < std::min(naf.size(), i + 3); ++j)
+        EXPECT_EQ(naf[j], 0) << "digits " << i << " and " << j << " both non-zero";
+    }
+  }
+}
+
+TEST(Wnaf, MaxScalarNoOverflow) {
+  U256 k(~0ull, ~0ull, ~0ull, ~0ull);
+  auto naf = wnaf(k, 3);
+  ASSERT_LE(naf.size(), 258u);
+  // Reconstruct via U512 arithmetic to verify exactly.
+  U512 acc;
+  for (int i = static_cast<int>(naf.size()) - 1; i >= 0; --i) {
+    acc = shl(acc, 1);
+    int d = naf[static_cast<size_t>(i)];
+    U512 t;
+    if (d >= 0) {
+      add(acc, U512(U256(static_cast<uint64_t>(d))), t);
+    } else {
+      sub(acc, U512(U256(static_cast<uint64_t>(-d))), t);
+    }
+    acc = t;
+  }
+  EXPECT_EQ(acc.lo256(), k);
+  EXPECT_TRUE(acc.hi256().is_zero());
+}
+
+TEST(MultiScalar, SingleTermMatchesScalarMul) {
+  Rng rng(623);
+  Affine p = deterministic_point(61);
+  for (int i = 0; i < 8; ++i) {
+    U256 k = rng.next_u256();
+    EXPECT_TRUE(equal(multi_scalar_mul({{k, p}}), scalar_mul(k, p)));
+  }
+}
+
+TEST(MultiScalar, TwoTermsMatchSum) {
+  Rng rng(624);
+  Affine p = deterministic_point(62), q = deterministic_point(63);
+  for (int i = 0; i < 6; ++i) {
+    U256 a = rng.next_u256(), b = rng.next_u256();
+    PointR1 expect = add(scalar_mul(a, p), to_r2(scalar_mul(b, q)));
+    EXPECT_TRUE(equal(multi_scalar_mul({{a, p}, {b, q}}), expect));
+  }
+}
+
+TEST(MultiScalar, ManyTerms) {
+  Rng rng(625);
+  std::vector<ScalarPoint> terms;
+  PointR1 expect = identity();
+  for (int i = 0; i < 9; ++i) {
+    Affine p = deterministic_point(static_cast<uint64_t>(70 + i));
+    U256 k = rng.next_u256();
+    terms.push_back({k, p});
+    expect = add(expect, to_r2(scalar_mul(k, p)));
+  }
+  EXPECT_TRUE(equal(multi_scalar_mul(terms), expect));
+}
+
+TEST(MultiScalar, ZeroScalarsIgnored) {
+  Affine p = deterministic_point(64), q = deterministic_point(65);
+  U256 k(777);
+  EXPECT_TRUE(equal(multi_scalar_mul({{U256(), p}, {k, q}}), scalar_mul(k, q)));
+  EXPECT_TRUE(is_identity(multi_scalar_mul({{U256(), p}})));
+  EXPECT_TRUE(is_identity(multi_scalar_mul({})));
+}
+
+TEST(MultiScalar, RepeatedPointAggregates) {
+  Affine p = deterministic_point(66);
+  // [3]P + [5]P == [8]P
+  EXPECT_TRUE(equal(multi_scalar_mul({{U256(3), p}, {U256(5), p}}), scalar_mul(U256(8), p)));
+}
+
+TEST(MultiScalar, CancellationToIdentity) {
+  Affine p = deterministic_point(67);
+  Affine np = neg(p);
+  U256 k(0xabcdef);
+  EXPECT_TRUE(is_identity(multi_scalar_mul({{k, p}, {k, np}})));
+}
+
+}  // namespace
+}  // namespace fourq::curve

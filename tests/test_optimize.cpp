@@ -1,0 +1,155 @@
+// Tests for the trace optimiser (CSE + DCE): semantics preserved exactly,
+// op counts never increase, pass is idempotent, and the optimised program
+// still compiles and simulates bit-exactly.
+#include "trace/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asic/simulator.hpp"
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+#include "sched/compile.hpp"
+#include "trace/eval.hpp"
+#include "trace/sm_trace.hpp"
+#include "trace/tracer.hpp"
+
+namespace fourq::trace {
+namespace {
+
+using curve::Fp2;
+
+InputBindings remap_bindings(const InputBindings& b, const std::vector<int>& remap) {
+  InputBindings out;
+  for (const auto& [id, v] : b) {
+    int nid = remap[static_cast<size_t>(id)];
+    EXPECT_GE(nid, 0) << "input op disappeared";
+    out.emplace_back(nid, v);
+  }
+  return out;
+}
+
+TEST(Optimize, RemovesHandMadeDuplicates) {
+  Tracer t;
+  Fp2Var a = t.input("a"), b = t.input("b");
+  Fp2Var s1 = t.add(a, b);
+  Fp2Var s2 = t.add(b, a);  // commutative duplicate
+  Fp2Var m1 = t.mul(s1, s2);
+  Fp2Var dead = t.mul(a, a);  // never used
+  (void)dead;
+  t.mark_output(m1, "out");
+
+  OptimizeStats st;
+  Program opt = optimize(t.program(), &st);
+  EXPECT_EQ(st.cse_removed, 1);
+  EXPECT_EQ(st.dead_removed, 1);
+  // mul(s, s) survives as a single mul.
+  OpStats ops = count_ops(opt);
+  EXPECT_EQ(ops.muls, 1);
+  EXPECT_EQ(ops.addsubs, 1);
+}
+
+TEST(Optimize, PreservesSemanticsOnHandMadeProgram) {
+  Tracer t;
+  Fp2Var a = t.input("a"), b = t.input("b");
+  Fp2Var e1 = t.sub(a, b);
+  Fp2Var e2 = t.sub(a, b);  // duplicate (non-commutative: order matters)
+  Fp2Var e3 = t.sub(b, a);  // NOT a duplicate
+  Fp2Var out = t.mul(t.mul(e1, e2), e3);
+  t.mark_output(out, "out");
+
+  OptimizeStats st;
+  std::vector<int> remap;
+  Program opt = optimize(t.program(), &st, &remap);
+  EXPECT_EQ(st.cse_removed, 1);
+
+  InputBindings bind{{a.id, Fp2::from_u64(5, 7)}, {b.id, Fp2::from_u64(11, 13)}};
+  auto ref = evaluate(t.program(), bind, EvalContext{});
+  auto got = evaluate(opt, remap_bindings(bind, remap), EvalContext{});
+  EXPECT_EQ(got.at("out"), ref.at("out"));
+}
+
+TEST(Optimize, FullSmSemanticsPreserved) {
+  SmTrace sm = build_sm_trace({});
+  OptimizeStats st;
+  std::vector<int> remap;
+  Program opt = optimize(sm.program, &st, &remap);
+
+  OpStats before = count_ops(sm.program), after = count_ops(opt);
+  EXPECT_LE(after.muls, before.muls);
+  EXPECT_LE(after.addsubs, before.addsubs);
+
+  curve::Affine p = curve::deterministic_point(91);
+  InputBindings bind{{sm.in_zero, Fp2()},
+                     {sm.in_one, Fp2::from_u64(1)},
+                     {sm.in_two_d, curve::curve_2d()},
+                     {sm.in_px, p.x},
+                     {sm.in_py, p.y}};
+  Rng rng(801);
+  for (int i = 0; i < 3; ++i) {
+    U256 k = rng.next_u256();
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    EvalContext ctx{&rec, dec.k_was_even};
+    auto ref = evaluate(sm.program, bind, ctx);
+    auto got = evaluate(opt, remap_bindings(bind, remap), ctx);
+    EXPECT_EQ(got.at("x"), ref.at("x")) << k.to_hex();
+    EXPECT_EQ(got.at("y"), ref.at("y"));
+  }
+}
+
+TEST(Optimize, Idempotent) {
+  SmTraceOptions topt;
+  topt.endo = EndoVariant::kPaperCost;
+  Program once = optimize(build_sm_trace(topt).program);
+  OptimizeStats st;
+  Program twice = optimize(once, &st);
+  EXPECT_EQ(st.cse_removed, 0);
+  EXPECT_EQ(st.dead_removed, 0);
+  EXPECT_EQ(twice.ops.size(), once.ops.size());
+}
+
+TEST(Optimize, OptimisedProgramCompilesAndSimulates) {
+  SmTraceOptions topt;
+  topt.endo = EndoVariant::kPaperCost;
+  SmTrace sm = build_sm_trace(topt);
+  std::vector<int> remap;
+  Program opt = optimize(sm.program, nullptr, &remap);
+
+  sched::CompileResult r = sched::compile_program(opt, {});
+  sched::CompileResult r0 = sched::compile_program(sm.program, {});
+  EXPECT_LE(r.sm.cycles(), r0.sm.cycles());
+
+  curve::Affine p = curve::deterministic_point(92);
+  InputBindings bind{{sm.in_zero, Fp2()},
+                     {sm.in_one, Fp2::from_u64(1)},
+                     {sm.in_two_d, curve::curve_2d()},
+                     {sm.in_px, p.x},
+                     {sm.in_py, p.y}};
+  for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+    bind.emplace_back(sm.in_endo_consts[i], Fp2::from_u64(3 + i, 7 + i));
+  InputBindings bind_opt = remap_bindings(bind, remap);
+
+  U256 k(424242);
+  curve::Decomposition dec = curve::decompose(k);
+  curve::RecodedScalar rec = curve::recode(dec.a);
+  EvalContext ctx{&rec, dec.k_was_even};
+  asic::SimResult sim = asic::simulate(r.sm, bind_opt, ctx);
+  auto ref = evaluate(opt, bind_opt, ctx);
+  EXPECT_EQ(sim.outputs.at("x"), ref.at("x"));
+  EXPECT_EQ(sim.outputs.at("y"), ref.at("y"));
+}
+
+TEST(Optimize, KeepsAllInputs) {
+  Tracer t;
+  Fp2Var a = t.input("a");
+  Fp2Var unused = t.input("unused");
+  (void)unused;
+  t.mark_output(t.mul(a, a), "out");
+  std::vector<int> remap;
+  Program opt = optimize(t.program(), nullptr, &remap);
+  EXPECT_EQ(count_ops(opt).inputs, 2);
+  EXPECT_GE(remap[static_cast<size_t>(unused.id)], 0);
+}
+
+}  // namespace
+}  // namespace fourq::trace

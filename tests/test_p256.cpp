@@ -1,0 +1,119 @@
+// NIST P-256 baseline tests: domain-parameter sanity, group laws, and
+// scalar-multiplication identities.
+#include "baseline/p256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fourq::baseline {
+namespace {
+
+class P256Test : public ::testing::Test {
+ protected:
+  P256 c;
+  Rng rng{201};
+};
+
+TEST_F(P256Test, GeneratorOnCurve) { EXPECT_TRUE(c.on_curve(c.generator())); }
+
+TEST_F(P256Test, GeneratorHasOrderN) {
+  // [n]G == O validates both the remembered group order and the arithmetic.
+  EXPECT_TRUE(c.is_infinity(c.scalar_mul_base(c.group_order())));
+}
+
+TEST_F(P256Test, NMinusOneGIsMinusG) {
+  U256 nm1;
+  sub(c.group_order(), U256(1), nm1);
+  auto p = c.to_affine(c.scalar_mul_base(nm1));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->x, c.generator().x);
+  // y must be the negation: y + Gy == p.
+  EXPECT_EQ(addmod(p->y, c.generator().y, c.field_prime()), U256());
+}
+
+TEST_F(P256Test, AffineJacobianRoundTrip) {
+  auto g2 = c.to_affine(c.dbl(c.to_jacobian(c.generator())));
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_TRUE(c.on_curve(*g2));
+  auto round = c.to_affine(c.to_jacobian(*g2));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(*round, *g2);
+}
+
+TEST_F(P256Test, AdditionCommutes) {
+  auto p = c.scalar_mul_base(U256(rng.next_u64()));
+  auto q = c.scalar_mul_base(U256(rng.next_u64()));
+  EXPECT_TRUE(c.equal(c.add(p, q), c.add(q, p)));
+}
+
+TEST_F(P256Test, AdditionAssociates) {
+  auto p = c.scalar_mul_base(U256(3));
+  auto q = c.scalar_mul_base(U256(5));
+  auto r = c.scalar_mul_base(U256(7));
+  EXPECT_TRUE(c.equal(c.add(c.add(p, q), r), c.add(p, c.add(q, r))));
+}
+
+TEST_F(P256Test, DoublingMatchesAddition) {
+  auto p = c.scalar_mul_base(U256(rng.next_u64()));
+  EXPECT_TRUE(c.equal(c.dbl(p), c.add(p, p)));
+}
+
+TEST_F(P256Test, InfinityIsNeutral) {
+  auto p = c.scalar_mul_base(U256(42));
+  EXPECT_TRUE(c.equal(c.add(p, c.infinity()), p));
+  EXPECT_TRUE(c.equal(c.add(c.infinity(), p), p));
+  EXPECT_TRUE(c.is_infinity(c.dbl(c.infinity())));
+}
+
+TEST_F(P256Test, PPlusMinusPIsInfinity) {
+  auto p = c.to_affine(c.scalar_mul_base(U256(99)));
+  ASSERT_TRUE(p.has_value());
+  P256::Affine neg{p->x, submod(U256(), p->y, c.field_prime())};
+  EXPECT_TRUE(c.on_curve(neg));
+  EXPECT_TRUE(c.is_infinity(c.add(c.to_jacobian(*p), c.to_jacobian(neg))));
+}
+
+TEST_F(P256Test, ScalarMulDistributes) {
+  U256 a(rng.next_u64()), b(rng.next_u64());
+  U256 s;
+  ASSERT_EQ(add(a, b, s), 0u);
+  EXPECT_TRUE(c.equal(c.add(c.scalar_mul_base(a), c.scalar_mul_base(b)),
+                      c.scalar_mul_base(s)));
+}
+
+TEST_F(P256Test, ScalarMulCommutesThroughPoints) {
+  U256 a(rng.next_u64()), b(rng.next_u64());
+  auto ag = c.to_affine(c.scalar_mul_base(a));
+  auto bg = c.to_affine(c.scalar_mul_base(b));
+  ASSERT_TRUE(ag && bg);
+  EXPECT_TRUE(c.equal(c.scalar_mul(b, *ag), c.scalar_mul(a, *bg)));
+}
+
+TEST_F(P256Test, SmallScalarsByRepeatedAddition) {
+  auto acc = c.infinity();
+  auto g = c.to_jacobian(c.generator());
+  for (uint64_t k = 0; k <= 10; ++k) {
+    EXPECT_TRUE(c.equal(c.scalar_mul_base(U256(k)), acc)) << k;
+    acc = c.add(acc, g);
+  }
+}
+
+TEST_F(P256Test, ZeroScalarGivesInfinity) {
+  EXPECT_TRUE(c.is_infinity(c.scalar_mul_base(U256())));
+}
+
+TEST_F(P256Test, OnCurveRejectsJunk) {
+  P256::Affine junk{U256(1), U256(1)};
+  EXPECT_FALSE(c.on_curve(junk));
+  P256::Affine big{c.field_prime(), U256(1)};
+  EXPECT_FALSE(c.on_curve(big));
+}
+
+TEST_F(P256Test, EqualDetectsDifferentPoints) {
+  EXPECT_FALSE(c.equal(c.scalar_mul_base(U256(2)), c.scalar_mul_base(U256(3))));
+  EXPECT_FALSE(c.equal(c.infinity(), c.scalar_mul_base(U256(2))));
+}
+
+}  // namespace
+}  // namespace fourq::baseline

@@ -1,0 +1,50 @@
+// Validation of the candidate FourQ constants that are not printed in the
+// DATE paper (subgroup order N, standard generator). These tests REPORT
+// whether the candidates check out; the library is designed so that scalar
+// multiplication never depends on them (DESIGN.md §2).
+#include "curve/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "curve/point.hpp"
+#include "curve/scalarmul.hpp"
+
+namespace fourq::curve {
+namespace {
+
+TEST(ParamsValidation, CandidateOrderShape) {
+  const U256& n = candidate_subgroup_order();
+  EXPECT_TRUE(n.is_odd());
+  EXPECT_EQ(n.top_bit(), 245);  // 246-bit prime per Costello–Longa
+}
+
+TEST(ParamsValidation, GeneratorOnCurve) {
+  Affine g{candidate_generator_x(), candidate_generator_y()};
+  EXPECT_TRUE(on_curve(g)) << "candidate generator is NOT on the curve; the "
+                              "Schnorr layer will refuse to use it";
+}
+
+TEST(ParamsValidation, GeneratorHasOrderN) {
+  auto v = validate_params();
+  if (!v.generator_on_curve)
+    GTEST_SKIP() << "generator not on curve; order check not meaningful";
+  EXPECT_TRUE(v.generator_order_n) << "[N]G != O for the candidate constants";
+}
+
+TEST(ParamsValidation, SummaryAllOk) {
+  auto v = validate_params();
+  // This test documents the status of the unverifiable-from-paper constants.
+  // If it fails, signature tests auto-skip; everything else is unaffected.
+  EXPECT_TRUE(v.all_ok());
+}
+
+TEST(ParamsValidation, GeneratorNotSmallOrder) {
+  auto v = validate_params();
+  if (!v.generator_on_curve) GTEST_SKIP();
+  PointR1 g = to_r1(Affine{candidate_generator_x(), candidate_generator_y()});
+  // [392]G must not be the identity (G generates the large subgroup).
+  EXPECT_FALSE(is_identity(mul_small(392, g)));
+}
+
+}  // namespace
+}  // namespace fourq::curve

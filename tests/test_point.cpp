@@ -1,0 +1,167 @@
+// Group-law tests for the twisted Edwards point arithmetic (paper §II-B).
+// The projective R1/R2 formulas are checked against the affine rational
+// addition law and against each other.
+#include "curve/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fourq::curve {
+namespace {
+
+TEST(Params, CurveDMatchesPaperDecimal) {
+  // Pin the hex constants in params.cpp to the decimal values printed in
+  // paper eq. (1) by reconstructing the decimals digit-by-digit in F_p.
+  auto from_decimal = [](const std::string& dec) {
+    Fp acc;
+    Fp ten = Fp::from_u64(10);
+    for (char c : dec) acc = acc * ten + Fp::from_u64(static_cast<uint64_t>(c - '0'));
+    return acc;
+  };
+  EXPECT_EQ(curve_d().re(), from_decimal("4205857648805777768770"));
+  EXPECT_EQ(curve_d().im(), from_decimal("125317048443780598345676279555970305165"));
+  EXPECT_EQ(curve_2d(), curve_d() + curve_d());
+}
+
+TEST(Point, DeterministicPointIsOnCurve) {
+  for (uint64_t seed : {0ull, 1ull, 7ull, 123456789ull}) {
+    Affine p = deterministic_point(seed);
+    EXPECT_TRUE(on_curve(p));
+  }
+}
+
+TEST(Point, IdentityProperties) {
+  PointR1 id = identity();
+  EXPECT_TRUE(is_identity(id));
+  EXPECT_TRUE(on_curve(to_affine(id)));
+  // O + O = O
+  EXPECT_TRUE(is_identity(add(id, to_r2(id))));
+  // 2O = O
+  EXPECT_TRUE(is_identity(dbl(id)));
+}
+
+TEST(Point, AffineRoundTrip) {
+  Affine p = deterministic_point(1);
+  Affine back = to_affine(to_r1(p));
+  EXPECT_EQ(back.x, p.x);
+  EXPECT_EQ(back.y, p.y);
+}
+
+TEST(Point, AdditionMatchesAffineLaw) {
+  for (uint64_t s = 0; s < 8; ++s) {
+    Affine p = deterministic_point(s), q = deterministic_point(s + 100);
+    Affine expect = affine_add(p, q);
+    PointR1 got = add(to_r1(p), to_r2(to_r1(q)));
+    EXPECT_TRUE(on_curve(got));
+    Affine got_aff = to_affine(got);
+    EXPECT_EQ(got_aff.x, expect.x);
+    EXPECT_EQ(got_aff.y, expect.y);
+  }
+}
+
+TEST(Point, DoublingMatchesAffineLaw) {
+  for (uint64_t s = 0; s < 8; ++s) {
+    Affine p = deterministic_point(s);
+    Affine expect = affine_add(p, p);
+    PointR1 got = dbl(to_r1(p));
+    EXPECT_TRUE(on_curve(got));
+    Affine got_aff = to_affine(got);
+    EXPECT_EQ(got_aff.x, expect.x);
+    EXPECT_EQ(got_aff.y, expect.y);
+  }
+}
+
+TEST(Point, DoublingEqualsSelfAddition) {
+  // The unified addition formula is complete: P + P must equal dbl(P).
+  for (uint64_t s = 0; s < 8; ++s) {
+    PointR1 p = to_r1(deterministic_point(s));
+    EXPECT_TRUE(equal(dbl(p), add(p, to_r2(p))));
+  }
+}
+
+TEST(Point, AdditionCommutative) {
+  for (uint64_t s = 0; s < 6; ++s) {
+    PointR1 p = to_r1(deterministic_point(s));
+    PointR1 q = to_r1(deterministic_point(s + 50));
+    EXPECT_TRUE(equal(add(p, to_r2(q)), add(q, to_r2(p))));
+  }
+}
+
+TEST(Point, AdditionAssociative) {
+  for (uint64_t s = 0; s < 4; ++s) {
+    PointR1 p = to_r1(deterministic_point(s));
+    PointR1 q = to_r1(deterministic_point(s + 10));
+    PointR1 r = to_r1(deterministic_point(s + 20));
+    PointR1 pq_r = add(add(p, to_r2(q)), to_r2(r));
+    PointR1 p_qr = add(p, to_r2(add(q, to_r2(r))));
+    EXPECT_TRUE(equal(pq_r, p_qr));
+  }
+}
+
+TEST(Point, NeutralElement) {
+  PointR2 id2 = to_r2(identity());
+  for (uint64_t s = 0; s < 6; ++s) {
+    PointR1 p = to_r1(deterministic_point(s));
+    EXPECT_TRUE(equal(add(p, id2), p));
+    EXPECT_TRUE(equal(add(identity(), to_r2(p)), p));
+  }
+}
+
+TEST(Point, InverseElement) {
+  for (uint64_t s = 0; s < 6; ++s) {
+    Affine p = deterministic_point(s);
+    PointR1 sum = add(to_r1(p), to_r2(to_r1(neg(p))));
+    EXPECT_TRUE(is_identity(sum));
+    // neg_r2 agrees with affine negation.
+    PointR1 sum2 = add(to_r1(p), neg_r2(to_r2(to_r1(p))));
+    EXPECT_TRUE(is_identity(sum2));
+  }
+}
+
+TEST(Point, NegR2Involution) {
+  PointR1 p = to_r1(deterministic_point(3));
+  PointR2 p2 = to_r2(p);
+  PointR2 nn = neg_r2(neg_r2(p2));
+  EXPECT_EQ(nn.xpy, p2.xpy);
+  EXPECT_EQ(nn.ymx, p2.ymx);
+  EXPECT_EQ(nn.z2, p2.z2);
+  EXPECT_EQ(nn.dt2, p2.dt2);
+}
+
+TEST(Point, OrderTwoPoint) {
+  // (0, -1) has order 2 on any twisted Edwards curve.
+  Affine t{Fp2(), -Fp2::from_u64(1)};
+  EXPECT_TRUE(on_curve(t));
+  EXPECT_TRUE(is_identity(dbl(to_r1(t))));
+}
+
+TEST(Point, EqualHandlesScaledCoordinates) {
+  PointR1 p = to_r1(deterministic_point(5));
+  // Scale all projective coordinates by a random lambda.
+  Fp2 lambda = Fp2::from_u64(0xdeadbeef, 0x1234);
+  PointR1 scaled{p.X * lambda, p.Y * lambda, p.Z * lambda, p.Ta * lambda, p.Tb};
+  EXPECT_TRUE(equal(p, scaled));
+  EXPECT_FALSE(equal(p, dbl(p)));
+}
+
+TEST(Point, OnCurveRejectsOffCurvePoints) {
+  Affine p = deterministic_point(2);
+  Affine bad{p.x, p.y + Fp2::from_u64(1)};
+  EXPECT_FALSE(on_curve(bad));
+  PointR1 bad_r1 = to_r1(p);
+  bad_r1.Ta = bad_r1.Ta + Fp2::from_u64(1);  // break T = XY/Z consistency
+  EXPECT_FALSE(on_curve(bad_r1));
+}
+
+TEST(Point, ToR2MatchesDefinition) {
+  PointR1 p = to_r1(deterministic_point(9));
+  PointR2 r2 = to_r2(p);
+  EXPECT_EQ(r2.xpy, p.X + p.Y);
+  EXPECT_EQ(r2.ymx, p.Y - p.X);
+  EXPECT_EQ(r2.z2, p.Z + p.Z);
+  EXPECT_EQ(r2.dt2, curve_2d() * p.Ta * p.Tb);
+}
+
+}  // namespace
+}  // namespace fourq::curve

@@ -1,0 +1,150 @@
+// Tests for the calibrated SOTB-65nm voltage/frequency/energy model and the
+// gate-equivalent area accounting (paper Fig. 3 / Fig. 4 substitutes).
+#include "power/activity_energy.hpp"
+#include "power/area.hpp"
+#include "power/sotb65.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fourq::power {
+namespace {
+
+constexpr int kCycles = 2500;  // representative SM cycle count
+
+TEST(Sotb65, ReproducesNominalAnchor) {
+  Sotb65Model m(kCycles);
+  EXPECT_NEAR(m.latency_us(Sotb65Model::kVNominal), Sotb65Model::kLatencyNominalUs, 0.05);
+  EXPECT_NEAR(m.energy_uj(Sotb65Model::kVNominal), Sotb65Model::kEnergyNominalUj, 0.02);
+}
+
+TEST(Sotb65, ReproducesLowVoltageAnchor) {
+  Sotb65Model m(kCycles);
+  EXPECT_NEAR(m.latency_us(Sotb65Model::kVMin), Sotb65Model::kLatencyMinVUs, 5.0);
+  EXPECT_NEAR(m.energy_uj(Sotb65Model::kVMin), Sotb65Model::kEnergyMinVUj, 0.005);
+}
+
+TEST(Sotb65, FmaxMonotoneInVoltage) {
+  Sotb65Model m(kCycles);
+  double prev = 0.0;
+  for (double v = 0.25; v <= 1.3; v += 0.05) {
+    double f = m.fmax_mhz(v);
+    EXPECT_GT(f, prev) << "fmax must increase with VDD (v=" << v << ")";
+    prev = f;
+  }
+}
+
+TEST(Sotb65, NominalFrequencyPlausible) {
+  // ~2500 cycles in 10.1 us -> a couple of hundred MHz, sane for 65 nm.
+  Sotb65Model m(kCycles);
+  double f = m.fmax_mhz(1.20);
+  EXPECT_GT(f, 100.0);
+  EXPECT_LT(f, 500.0);
+}
+
+TEST(Sotb65, EnergyHasInteriorStructure) {
+  // Dynamic energy dominates at high VDD, leakage-over-latency at very low
+  // VDD; the energy-optimal voltage sits in the measured low-voltage region.
+  Sotb65Model m(kCycles);
+  double vopt = m.energy_optimal_vdd();
+  EXPECT_GE(vopt, 0.20);
+  EXPECT_LE(vopt, 0.60);
+  EXPECT_LT(m.energy_uj(vopt), m.energy_uj(1.20));
+}
+
+TEST(Sotb65, ScalesWithCycleCount) {
+  Sotb65Model fast(2000), slow(4000);
+  // Same silicon model: latency scales with cycles at fixed voltage.
+  EXPECT_NEAR(fast.latency_us(1.2), Sotb65Model::kLatencyNominalUs, 0.05);
+  EXPECT_NEAR(slow.latency_us(1.2), Sotb65Model::kLatencyNominalUs, 0.05);
+  // Frequency calibration absorbs the cycle count.
+  EXPECT_NEAR(slow.fmax_mhz(1.2) / fast.fmax_mhz(1.2), 2.0, 0.01);
+}
+
+TEST(Sotb65, ThroughputMatchesTable2) {
+  // Table II: 9.90e4 ops/s at 1.20 V. At 0.32 V the paper prints 0.857 ms
+  // latency but "117 ops/s" — mutually inconsistent by 10x. The area-latency
+  // product column (1400 kGE x 0.857 ms = 1200, as printed) confirms the
+  // latency column, so the consistent throughput is 1/0.857 ms ≈ 1167 ops/s
+  // (the paper's 117 is evidently a typo). See EXPERIMENTS.md.
+  Sotb65Model m(kCycles);
+  EXPECT_NEAR(m.throughput_ops(1.20), 9.90e4, 0.02e4);
+  EXPECT_NEAR(m.throughput_ops(0.32), 1167.0, 10.0);
+}
+
+TEST(Area, DefaultConfigNearPaperTotal) {
+  AreaBreakdown a = estimate_area();
+  EXPECT_NEAR(a.total_kge(), kPaperTotalKge, 0.15 * kPaperTotalKge);
+}
+
+TEST(Area, KaratsubaSavesOneMultiplier) {
+  AreaOptions kar, sch;
+  sch.karatsuba = false;
+  double d = estimate_area(sch).fp2_multiplier_kge - estimate_area(kar).fp2_multiplier_kge;
+  EXPECT_GT(d, 60.0);  // roughly one F_p multiplier
+}
+
+TEST(Area, RegisterFileScalesWithPortsAndSize) {
+  AreaOptions base;
+  AreaOptions big = base;
+  big.cfg.rf_size = 128;
+  EXPECT_GT(estimate_area(big).register_file_kge, 1.9 * estimate_area(base).register_file_kge);
+  AreaOptions wide = base;
+  wide.cfg.rf_read_ports = 8;
+  EXPECT_GT(estimate_area(wide).register_file_kge, estimate_area(base).register_file_kge);
+}
+
+TEST(Area, DeeperPipelineCostsFlops) {
+  AreaOptions shallow, deep;
+  shallow.cfg.mul_latency = 2;
+  deep.cfg.mul_latency = 6;
+  EXPECT_GT(estimate_area(deep).fp2_multiplier_kge, estimate_area(shallow).fp2_multiplier_kge);
+}
+
+// --- Activity-based energy attribution ------------------------------------
+
+namespace {
+
+asic::SimStats representative_activity(int cycles) {
+  asic::SimStats s;
+  s.cycles = cycles;
+  s.mul_issues = cycles * 60 / 100;       // ~60% multiplier occupancy
+  s.addsub_issues = cycles * 45 / 100;
+  s.rf_reads = cycles * 2;
+  s.rf_writes = cycles;
+  return s;
+}
+
+}  // namespace
+
+TEST(ActivityEnergy, TotalsMatchCalibratedModel) {
+  Sotb65Model chip(kCycles);
+  ActivityEnergyModel act(representative_activity(kCycles), chip);
+  for (double v : {0.32, 0.6, 0.9, 1.2}) {
+    EXPECT_NEAR(act.breakdown(v).total_uj(), chip.energy_uj(v), 1e-9) << v;
+  }
+}
+
+TEST(ActivityEnergy, MultiplierDominatesSwitching) {
+  Sotb65Model chip(kCycles);
+  auto b = ActivityEnergyModel(representative_activity(kCycles), chip).breakdown(1.2);
+  EXPECT_GT(b.mul_uj, b.addsub_uj);
+  EXPECT_GT(b.mul_uj, b.rf_uj);
+  EXPECT_GT(b.mul_uj, 0.5 * (b.addsub_uj + b.rf_uj + b.ctrl_uj));
+}
+
+TEST(ActivityEnergy, LeakageDominatesAtLowVoltage) {
+  Sotb65Model chip(kCycles);
+  ActivityEnergyModel act(representative_activity(kCycles), chip);
+  auto low = act.breakdown(0.32);
+  auto high = act.breakdown(1.2);
+  EXPECT_GT(low.leak_uj / low.total_uj(), high.leak_uj / high.total_uj());
+}
+
+TEST(ActivityEnergy, RejectsMismatchedCycleCounts) {
+  Sotb65Model chip(kCycles);
+  asic::SimStats wrong = representative_activity(kCycles + 1);
+  EXPECT_THROW(ActivityEnergyModel(wrong, chip), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fourq::power

@@ -1,0 +1,71 @@
+// RFC 6979 deterministic-nonce tests, including the RFC's published
+// P-256/SHA-256 known-answer vectors (appendix A.2.5).
+#include "hash/rfc6979.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsa/ecdsa_p256.hpp"
+
+namespace fourq::hash {
+namespace {
+
+const U256 kQ =
+    U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+const U256 kX =
+    U256::from_hex("c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721");
+
+TEST(Rfc6979, P256Sha256SampleNonce) {
+  // RFC 6979 A.2.5, message "sample":
+  //   k = A6E3C57DD01ABE90086538398355DD4C3B17AA873382B0F24D6129493D8AAD60
+  U256 k = rfc6979_nonce(kX, kQ, Sha256::digest("sample"));
+  EXPECT_EQ(k.to_hex(), "a6e3c57dd01abe90086538398355dd4c3b17aa873382b0f24d6129493d8aad60");
+}
+
+TEST(Rfc6979, P256Sha256TestNonce) {
+  // RFC 6979 A.2.5, message "test":
+  //   k = D16B6AE827F17175E040871A1C7EC3500192C4C92677336EC2537ACAEE0008E0
+  U256 k = rfc6979_nonce(kX, kQ, Sha256::digest("test"));
+  EXPECT_EQ(k.to_hex(), "d16b6ae827f17175e040871a1c7ec3500192c4c92677336ec2537acaee0008e0");
+}
+
+TEST(Rfc6979, P256SampleSignature) {
+  // The full signature from the same vector:
+  //   r = EFD48B2AACB6A8FD1140DD9CD45E81D69D2C877B56AAF991C34D0EA84EAF3716
+  //   s = F7CB1C942D657C41D436C7A1B6E29F65F3E900DBB9AFF4064DC4AB2F843ACDA8
+  dsa::EcdsaP256 scheme;
+  dsa::EcdsaP256::KeyPair kp;
+  kp.secret = kX;
+  auto pub = scheme.curve().to_affine(scheme.curve().scalar_mul_base(kX));
+  ASSERT_TRUE(pub.has_value());
+  kp.pub = *pub;
+  // RFC 6979 A.2.5 also pins the public key; check it as a bonus.
+  EXPECT_EQ(kp.pub.x.to_hex(),
+            "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6");
+
+  auto sig = scheme.sign(kp, "sample");
+  EXPECT_EQ(sig.r.to_hex(), "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716");
+  EXPECT_EQ(sig.s.to_hex(), "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8");
+  EXPECT_TRUE(scheme.verify(kp.pub, "sample", sig));
+}
+
+TEST(Rfc6979, NonceInRangeAndDeterministic) {
+  U256 k1 = rfc6979_nonce(kX, kQ, Sha256::digest("m"));
+  U256 k2 = rfc6979_nonce(kX, kQ, Sha256::digest("m"));
+  EXPECT_EQ(k1, k2);
+  EXPECT_FALSE(k1.is_zero());
+  EXPECT_LT(k1, kQ);
+  EXPECT_NE(k1, rfc6979_nonce(kX, kQ, Sha256::digest("m2")));
+}
+
+TEST(Rfc6979, WorksForShorterOrders) {
+  // FourQ's 246-bit N exercises the qlen < 256 path (bits2int shifting).
+  U256 n = U256::from_hex("0029cbc14e5e0a72f05397829cbc14e5dfbd004dfe0f79992fb2540ec7768ce7");
+  U256 x(12345);
+  U256 k = rfc6979_nonce(x, n, Sha256::digest("fourq"));
+  EXPECT_FALSE(k.is_zero());
+  EXPECT_LT(k, n);
+  EXPECT_EQ(k, rfc6979_nonce(x, n, Sha256::digest("fourq")));
+}
+
+}  // namespace
+}  // namespace fourq::hash

@@ -1,0 +1,130 @@
+// Tests for the stage-accurate Fig. 1(b) multiplier pipeline model.
+#include "rtl/fp2_mul_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.hpp"
+
+namespace fourq::rtl {
+namespace {
+
+Fp2 rand_fp2(Rng& rng) {
+  return Fp2(Fp::from_u256(rng.next_u256()), Fp::from_u256(rng.next_u256()));
+}
+
+TEST(MulPipeline, SingleOperationLatencyThree) {
+  Fp2MulPipeline pipe;
+  Fp2 a = Fp2::from_u64(3, 5), b = Fp2::from_u64(7, 11);
+  auto r1 = pipe.clock(std::make_pair(a, b));
+  EXPECT_FALSE(r1.has_value());
+  auto r2 = pipe.clock(std::nullopt);
+  EXPECT_FALSE(r2.has_value());
+  auto r3 = pipe.clock(std::nullopt);
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(*r3, Fp2::mul_karatsuba(a, b));
+  EXPECT_FALSE(pipe.busy());
+}
+
+TEST(MulPipeline, FullyPipelinedStream) {
+  // One issue per cycle; results emerge in order, 3 cycles later.
+  Fp2MulPipeline pipe;
+  Rng rng(1301);
+  std::deque<Fp2> expected;
+  int received = 0;
+  for (int t = 0; t < 64; ++t) {
+    Fp2 a = rand_fp2(rng), b = rand_fp2(rng);
+    expected.push_back(Fp2::mul_karatsuba(a, b));
+    auto out = pipe.clock(std::make_pair(a, b));
+    if (t >= Fp2MulPipeline::kLatency - 1) {
+      ASSERT_TRUE(out.has_value()) << t;
+      EXPECT_EQ(*out, expected.front());
+      expected.pop_front();
+      ++received;
+    } else {
+      EXPECT_FALSE(out.has_value());
+    }
+  }
+  for (auto& out : pipe.drain()) {
+    if (out.has_value()) {
+      EXPECT_EQ(*out, expected.front());
+      expected.pop_front();
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, 64);
+  EXPECT_TRUE(expected.empty());
+}
+
+TEST(MulPipeline, BubblesPassThrough) {
+  Fp2MulPipeline pipe;
+  Rng rng(1302);
+  for (int i = 0; i < 20; ++i) {
+    Fp2 a = rand_fp2(rng), b = rand_fp2(rng);
+    Fp2 want = Fp2::mul_karatsuba(a, b);
+    pipe.clock(std::make_pair(a, b));
+    // Two bubbles, then the result.
+    pipe.clock(std::nullopt);
+    auto out = pipe.clock(std::nullopt);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, want);
+  }
+}
+
+TEST(MulPipeline, EdgeOperands) {
+  Fp pm1 = Fp() - Fp::from_u64(1);
+  const Fp2 cases[] = {
+      Fp2(), Fp2::from_u64(1), Fp2::from_u64(0, 1), Fp2(pm1, pm1), Fp2(pm1, Fp()),
+  };
+  for (const Fp2& a : cases) {
+    for (const Fp2& b : cases) {
+      Fp2MulPipeline pipe;
+      pipe.clock(std::make_pair(a, b));
+      auto out = pipe.drain();
+      bool got = false;
+      for (auto& o : out)
+        if (o.has_value()) {
+          EXPECT_EQ(*o, Fp2::mul_karatsuba(a, b));
+          got = true;
+        }
+      EXPECT_TRUE(got);
+    }
+  }
+}
+
+TEST(MulPipeline, MatchesFieldLayerOnManyRandoms) {
+  Fp2MulPipeline pipe;
+  Rng rng(1303);
+  std::deque<Fp2> expected;
+  for (int t = 0; t < 500; ++t) {
+    std::optional<std::pair<Fp2, Fp2>> in;
+    if (rng.next_below(4) != 0) {  // 75% issue rate, random bubbles
+      Fp2 a = rand_fp2(rng), b = rand_fp2(rng);
+      expected.push_back(Fp2::mul_karatsuba(a, b));
+      in = std::make_pair(a, b);
+    }
+    auto out = pipe.clock(in);
+    if (out.has_value()) {
+      ASSERT_FALSE(expected.empty());
+      EXPECT_EQ(*out, expected.front());
+      expected.pop_front();
+    }
+  }
+}
+
+TEST(MulPipeline, StageWidthAccounting) {
+  // The pipeline's register bill: 2x254 + 256 + 254 + 256 + 254 flops.
+  EXPECT_EQ(StageWidths::total_flops(), 254 + 254 + 256 + 254 + 256 + 254);
+}
+
+TEST(AddSubUnit, CommandsMatchFieldOps) {
+  Rng rng(1304);
+  Fp2 a = rand_fp2(rng), b = rand_fp2(rng);
+  EXPECT_EQ(addsub_unit(AddSubCmd::kAdd, a, b), a + b);
+  EXPECT_EQ(addsub_unit(AddSubCmd::kSub, a, b), a - b);
+  EXPECT_EQ(addsub_unit(AddSubCmd::kConj, a, b), a.conj());
+}
+
+}  // namespace
+}  // namespace fourq::rtl

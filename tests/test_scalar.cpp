@@ -1,0 +1,132 @@
+// Tests for scalar decomposition and the signed (GLV-SAC) recoding
+// (paper Alg. 1, steps 3–5).
+#include "curve/scalar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/u128.hpp"
+
+namespace fourq::curve {
+namespace {
+
+// Reconstructs sum_i t_i * sign_i * 2^i as a signed 128-bit value.
+__int128 reconstruct(const RecodedScalar& r, int j) {
+  __int128 acc = 0;
+  for (int i = 0; i < kDigits; ++i) {
+    int t = (j == 0) ? 1 : ((r.digit[i] >> (j - 1)) & 1);
+    if (t) {
+      __int128 term = static_cast<__int128>(1) << i;
+      acc += (r.sign[i] > 0) ? term : -term;
+    }
+  }
+  return acc;
+}
+
+TEST(Decompose, OddScalarPassesThrough) {
+  U256 k(0x123456789abcdef1ull, 2, 3, 4);
+  Decomposition d = decompose(k);
+  EXPECT_FALSE(d.k_was_even);
+  EXPECT_EQ(d.a[0], k.w[0]);
+  EXPECT_EQ(d.a[1], k.w[1]);
+  EXPECT_EQ(d.a[2], k.w[2]);
+  EXPECT_EQ(d.a[3], k.w[3]);
+}
+
+TEST(Decompose, EvenScalarShiftsByOne) {
+  U256 k(100, 7, 8, 9);
+  Decomposition d = decompose(k);
+  EXPECT_TRUE(d.k_was_even);
+  EXPECT_EQ(d.a[0], 101u);
+  EXPECT_EQ(d.a[1], 7u);
+}
+
+TEST(Decompose, EvenScalarCarryPropagates) {
+  U256 k(~0ull - 1, ~0ull, ~0ull, 5);  // low word even, all-ones middle
+  Decomposition d = decompose(k);
+  EXPECT_TRUE(d.k_was_even);
+  EXPECT_EQ(d.a[0], ~0ull);
+  EXPECT_EQ(d.a[1], ~0ull);
+  EXPECT_EQ(d.a[3], 5u);
+}
+
+TEST(Decompose, ZeroScalar) {
+  Decomposition d = decompose(U256());
+  EXPECT_TRUE(d.k_was_even);
+  EXPECT_EQ(d.a[0], 1u);
+  EXPECT_EQ(d.a[1], 0u);
+}
+
+TEST(Recode, RejectsEvenA1) { EXPECT_THROW(recode({2, 0, 0, 0}), std::logic_error); }
+
+TEST(Recode, SignsReconstructA1) {
+  Rng rng(71);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::array<uint64_t, 4> a{rng.next_u64() | 1, rng.next_u64(), rng.next_u64(),
+                              rng.next_u64()};
+    RecodedScalar r = recode(a);
+    EXPECT_EQ(reconstruct(r, 0), static_cast<__int128>(a[0]));
+  }
+}
+
+TEST(Recode, DigitsReconstructAllScalars) {
+  Rng rng(72);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::array<uint64_t, 4> a{rng.next_u64() | 1, rng.next_u64(), rng.next_u64(),
+                              rng.next_u64()};
+    RecodedScalar r = recode(a);
+    for (int j = 1; j < 4; ++j)
+      EXPECT_EQ(reconstruct(r, j), static_cast<__int128>(a[j])) << "j=" << j;
+  }
+}
+
+TEST(Recode, ExtremeValues) {
+  for (uint64_t a1 : {1ull, 3ull, ~0ull, (1ull << 63) | 1}) {
+    for (uint64_t aj : {0ull, 1ull, ~0ull, 1ull << 63}) {
+      std::array<uint64_t, 4> a{a1, aj, aj, aj};
+      RecodedScalar r = recode(a);
+      EXPECT_EQ(reconstruct(r, 0), static_cast<__int128>(a1));
+      for (int j = 1; j < 4; ++j) EXPECT_EQ(reconstruct(r, j), static_cast<__int128>(aj));
+    }
+  }
+}
+
+TEST(Recode, TopSignAlwaysPositive) {
+  Rng rng(73);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::array<uint64_t, 4> a{rng.next_u64() | 1, rng.next_u64(), rng.next_u64(),
+                              rng.next_u64()};
+    RecodedScalar r = recode(a);
+    EXPECT_EQ(r.sign[kDigits - 1], +1);
+  }
+}
+
+TEST(Recode, AllSignsNonZeroAndDigitsInRange) {
+  Rng rng(74);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::array<uint64_t, 4> a{rng.next_u64() | 1, rng.next_u64(), rng.next_u64(),
+                              rng.next_u64()};
+    RecodedScalar r = recode(a);
+    for (int i = 0; i < kDigits; ++i) {
+      EXPECT_TRUE(r.sign[i] == 1 || r.sign[i] == -1);
+      EXPECT_LE(r.digit[i], 7);
+    }
+  }
+}
+
+// Exhaustive check on small scalars: every (a1 odd < 64, a2 < 64).
+TEST(Recode, ExhaustiveSmall) {
+  for (uint64_t a1 = 1; a1 < 64; a1 += 2) {
+    for (uint64_t a2 = 0; a2 < 64; ++a2) {
+      std::array<uint64_t, 4> a{a1, a2, 63 - a2, a2 ^ 0x15};
+      RecodedScalar r = recode(a);
+      EXPECT_EQ(reconstruct(r, 0), static_cast<__int128>(a1));
+      EXPECT_EQ(reconstruct(r, 1), static_cast<__int128>(a2));
+      EXPECT_EQ(reconstruct(r, 2), static_cast<__int128>(63 - a2));
+      EXPECT_EQ(reconstruct(r, 3), static_cast<__int128>(a2 ^ 0x15));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fourq::curve

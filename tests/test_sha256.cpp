@@ -1,0 +1,76 @@
+// SHA-256 known-answer tests (FIPS 180-4 vectors) and streaming behaviour.
+#include "hash/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fourq::hash {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha256::digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha256::digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finalize(), Sha256::digest(msg)) << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths straddling the 55/56/64-byte padding edge all hash
+  // consistently under streaming vs one-shot.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string m(len, 'x');
+    Sha256 h;
+    for (char ch : m) h.update(std::string(1, ch));
+    EXPECT_EQ(h.finalize(), Sha256::digest(m)) << len;
+  }
+}
+
+TEST(Sha256, ReuseAfterFinalizeRejected) {
+  Sha256 h;
+  h.update("abc");
+  h.finalize();
+  EXPECT_THROW(h.update("more"), std::logic_error);
+  EXPECT_THROW(h.finalize(), std::logic_error);
+}
+
+TEST(Sha256, DigestToU256BigEndian) {
+  // digest bytes 00 01 02 ... 1f interpreted big-endian.
+  Sha256::Digest d;
+  for (size_t i = 0; i < 32; ++i) d[i] = static_cast<uint8_t>(i);
+  U256 v = digest_to_u256(d);
+  EXPECT_EQ(v.w[3], 0x0001020304050607ull);
+  EXPECT_EQ(v.w[0], 0x18191a1b1c1d1e1full);
+}
+
+TEST(Sha256, DistinctMessagesDistinctDigests) {
+  EXPECT_NE(Sha256::digest("message1"), Sha256::digest("message2"));
+  EXPECT_NE(Sha256::digest("a"), Sha256::digest(std::string("a\0", 2)));
+}
+
+}  // namespace
+}  // namespace fourq::hash

@@ -1,0 +1,235 @@
+// Unit tests for the 256/512-bit integer substrate.
+#include "common/u256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fourq {
+namespace {
+
+TEST(U256, HexRoundTrip) {
+  U256 v = U256::from_hex("0x0123456789abcdef00000000000000000000000000000000fedcba9876543210");
+  EXPECT_EQ(v.w[0], 0xfedcba9876543210ull);
+  EXPECT_EQ(v.w[3], 0x0123456789abcdefull);
+  EXPECT_EQ(v.to_hex(), "0123456789abcdef00000000000000000000000000000000fedcba9876543210");
+  EXPECT_EQ(U256::from_hex(v.to_hex()), v);
+}
+
+TEST(U256, HexParsesShortStrings) {
+  EXPECT_EQ(U256::from_hex("ff"), U256(0xff));
+  EXPECT_EQ(U256::from_hex("0"), U256());
+  EXPECT_EQ(U256::from_hex("10000000000000000"), U256(0, 1, 0, 0));
+}
+
+TEST(U256, HexRejectsInvalid) {
+  EXPECT_THROW(U256::from_hex("xyz"), std::invalid_argument);
+  EXPECT_THROW(U256::from_hex(std::string(65, 'f')), std::overflow_error);
+}
+
+TEST(U256, AddCarryChain) {
+  U256 a(~0ull, ~0ull, ~0ull, ~0ull);
+  U256 r;
+  EXPECT_EQ(add(a, U256(1), r), 1u);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(add(a, U256(), r), 0u);
+  EXPECT_EQ(r, a);
+}
+
+TEST(U256, SubBorrowChain) {
+  U256 r;
+  EXPECT_EQ(sub(U256(), U256(1), r), 1u);
+  EXPECT_EQ(r, U256(~0ull, ~0ull, ~0ull, ~0ull));
+  EXPECT_EQ(sub(U256(5), U256(3), r), 0u);
+  EXPECT_EQ(r, U256(2));
+}
+
+TEST(U256, AddSubInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    U256 a = rng.next_u256(), b = rng.next_u256();
+    U256 s, d;
+    uint64_t c = add(a, b, s);
+    uint64_t bw = sub(s, b, d);
+    EXPECT_EQ(d, a);
+    EXPECT_EQ(c, bw);  // wraparound is symmetric
+  }
+}
+
+TEST(U256, Comparisons) {
+  U256 a(1), b(0, 1, 0, 0);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(b, b);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(U256, TopBit) {
+  EXPECT_EQ(U256().top_bit(), -1);
+  EXPECT_EQ(U256(1).top_bit(), 0);
+  EXPECT_EQ(U256(0, 0, 0, 0x8000000000000000ull).top_bit(), 255);
+  EXPECT_EQ(U256(0, 2, 0, 0).top_bit(), 65);
+}
+
+TEST(U256, ShiftsMatchMultiplication) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = rng.next_u256();
+    unsigned n = static_cast<unsigned>(rng.next_below(255)) + 1;
+    // shl by n == mul by 2^n mod 2^256
+    U256 two_n;
+    two_n.set_bit(n, true);
+    EXPECT_EQ(shl(a, n), mul_lo(a, two_n)) << "n=" << n;
+    // shr then shl clears low bits only
+    U256 back = shl(shr(a, n), n);
+    U256 mask_cleared = a;
+    for (unsigned j = 0; j < n; ++j) mask_cleared.set_bit(j, false);
+    EXPECT_EQ(back, mask_cleared);
+  }
+}
+
+TEST(U256, ShiftEdgeCases) {
+  U256 a(0x123456789abcdef0ull, 1, 2, 3);
+  EXPECT_EQ(shl(a, 0), a);
+  EXPECT_EQ(shr(a, 0), a);
+  EXPECT_TRUE(shl(a, 256).is_zero());
+  EXPECT_TRUE(shr(a, 256).is_zero());
+  EXPECT_EQ(shl(U256(1), 255).top_bit(), 255);
+}
+
+TEST(U256, MulWideKnownValues) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  U512 p = mul_wide(U256(~0ull), U256(~0ull));
+  EXPECT_EQ(p.w[0], 1ull);
+  EXPECT_EQ(p.w[1], ~0ull - 1);
+  EXPECT_EQ(p.w[2], 0ull);
+  // max * max = 2^512 - 2^257 + 1
+  U256 m(~0ull, ~0ull, ~0ull, ~0ull);
+  U512 q = mul_wide(m, m);
+  EXPECT_EQ(q.w[0], 1ull);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(q.w[i], 0ull);
+  EXPECT_EQ(q.w[4], ~0ull - 1);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(q.w[i], ~0ull);
+}
+
+TEST(U256, MulCommutativeAndDistributive) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = rng.next_u256(), b = rng.next_u256(), c = rng.next_u256();
+    EXPECT_EQ(mul_wide(a, b), mul_wide(b, a));
+    // a*(b+c) == a*b + a*c  (mod 2^512, tracking the 2^256 carry of b+c)
+    U256 bc;
+    uint64_t carry = add(b, c, bc);
+    U512 lhs = mul_wide(a, bc);
+    if (carry) {
+      // add a << 256
+      U512 shift_a;
+      for (int k = 0; k < 4; ++k) shift_a.w[k + 4] = a.w[k];
+      U512 t;
+      add(lhs, shift_a, t);
+      lhs = t;
+    }
+    U512 rhs;
+    add(mul_wide(a, b), mul_wide(a, c), rhs);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(U256, ModAgainstLongDivisionProperties) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    U256 m = rng.next_u256();
+    if (m.is_zero()) continue;
+    U256 a = rng.next_u256();
+    U256 r = mod(a, m);
+    EXPECT_LT(r, m);
+    // (a - r) divisible by m: check a == q*m + r by reconstructing with shifts
+    // via the identity mod(a - r, m) == 0.
+    U256 diff;
+    sub(a, r, diff);
+    EXPECT_TRUE(mod(diff, m).is_zero());
+  }
+}
+
+TEST(U256, Mod512) {
+  // 2^300 mod (2^255 - 19) = 19 * 2^45
+  U512 a;
+  a.w[4] = uint64_t{1} << 44;  // 2^(256+44) = 2^300
+  U256 p25519 = U256::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed");
+  U256 r = mod(a, p25519);
+  EXPECT_EQ(r, U256(uint64_t{19} << 45));
+}
+
+TEST(U256, AddmodSubmodRoundtrip) {
+  Rng rng(5);
+  U256 m = U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  for (int i = 0; i < 200; ++i) {
+    U256 a = mod(rng.next_u256(), m), b = mod(rng.next_u256(), m);
+    U256 s = addmod(a, b, m);
+    EXPECT_LT(s, m);
+    EXPECT_EQ(submod(s, b, m), a);
+    EXPECT_EQ(submod(s, a, m), b);
+  }
+}
+
+TEST(U512, ShiftRoundTrip) {
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    U512 a;
+    for (auto& w : a.w) w = rng.next_u64();
+    unsigned n = static_cast<unsigned>(rng.next_below(511)) + 1;
+    U512 s = shr(shl(a, n), n);
+    // shifting left then right drops the top n bits
+    U512 masked = a;
+    for (int bit = 511; bit >= static_cast<int>(512 - n); --bit)
+      masked.w[bit / 64] &= ~(uint64_t{1} << (bit % 64));
+    EXPECT_EQ(s, masked);
+  }
+}
+
+TEST(U512, SetBitAndBitAccess) {
+  U256 v;
+  v.set_bit(200, true);
+  EXPECT_TRUE(v.bit(200));
+  v.set_bit(200, false);
+  EXPECT_TRUE(v.is_zero());
+}
+
+TEST(U256, ModByOneAndSelf) {
+  Rng rng(7);
+  U256 a = rng.next_u256();
+  EXPECT_TRUE(mod(a, U256(1)).is_zero());
+  EXPECT_TRUE(mod(a, a.is_zero() ? U256(1) : a).is_zero());
+  EXPECT_EQ(mod(U256(5), U256(7)), U256(5));
+}
+
+TEST(U256, AddmodAtModulusBoundary) {
+  U256 m = U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551");
+  U256 m1;
+  sub(m, U256(1), m1);
+  // (m-1) + (m-1) mod m == m-2.
+  U256 m2;
+  sub(m, U256(2), m2);
+  EXPECT_EQ(addmod(m1, m1, m), m2);
+  EXPECT_EQ(submod(U256(), m1, m), U256(1));
+  EXPECT_TRUE(addmod(m1, U256(1), m).is_zero());
+}
+
+TEST(U256, MulWideAgainstShiftDecomposition) {
+  // a * 2^k == shl(a, k) extended into 512 bits.
+  Rng rng(8);
+  for (unsigned k : {1u, 63u, 64u, 127u, 200u}) {
+    U256 a = rng.next_u256();
+    U256 two_k;
+    two_k.set_bit(k, true);
+    U512 prod = mul_wide(a, two_k);
+    // Reconstruct via 512-bit shift.
+    U512 wide(a);
+    U512 shifted = shl(wide, k);
+    EXPECT_EQ(prod, shifted) << k;
+  }
+}
+
+}  // namespace
+}  // namespace fourq

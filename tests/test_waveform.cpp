@@ -1,0 +1,77 @@
+// Tests for the VCD / DOT artifact exporters.
+#include "asic/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/sm_trace.hpp"
+
+namespace fourq::asic {
+namespace {
+
+sched::CompileResult compiled_body() {
+  return sched::compile_program(trace::build_loop_body_trace().program, {});
+}
+
+TEST(Vcd, WellFormedHeaderAndTimesteps) {
+  auto r = compiled_body();
+  std::stringstream ss;
+  write_vcd(r.sm, ss);
+  std::string out = ss.str();
+  EXPECT_NE(out.find("$timescale"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(out.find("mul_issue0"), std::string::npos);
+  // One timestep marker per cycle plus the closing one.
+  int hashes = 0;
+  for (char c : out)
+    if (c == '#') ++hashes;
+  EXPECT_EQ(hashes, r.sm.cycles() + 1);
+}
+
+TEST(Vcd, IssueCountsMatchRom) {
+  auto r = compiled_body();
+  std::stringstream ss;
+  write_vcd(r.sm, ss);
+  std::string out = ss.str();
+  // Count '1<code-of-mul_issue0>' occurrences: the declared code for the
+  // first variable is '!'.
+  int issues = 0;
+  for (size_t i = 0; i + 1 < out.size(); ++i)
+    if (out[i] == '1' && out[i + 1] == '!' && (i == 0 || out[i - 1] == '\n')) ++issues;
+  int rom_issues = 0;
+  for (const auto& w : r.sm.rom) rom_issues += static_cast<int>(w.mul.size());
+  EXPECT_EQ(issues, rom_issues);
+}
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  auto r = compiled_body();
+  std::stringstream ss;
+  write_dot(r.problem, r.schedule, ss);
+  std::string out = ss.str();
+  EXPECT_NE(out.find("digraph schedule"), std::string::npos);
+  for (size_t i = 0; i < r.problem.nodes.size(); ++i)
+    EXPECT_NE(out.find("n" + std::to_string(i) + " ["), std::string::npos) << i;
+  // Edge count: consumer lists, deduplicated per (i, c) pair occurrence.
+  size_t edges = 0;
+  for (const auto& cons : r.problem.consumers) edges += cons.size();
+  size_t arrows = 0;
+  size_t pos = 0;
+  while ((pos = out.find(" -> n", pos)) != std::string::npos) {
+    ++arrows;
+    pos += 5;
+  }
+  EXPECT_EQ(arrows, edges);
+}
+
+TEST(Dot, RanksFollowCycles) {
+  auto r = compiled_body();
+  std::stringstream ss;
+  write_dot(r.problem, r.schedule, ss);
+  std::string out = ss.str();
+  EXPECT_NE(out.find("rank=same"), std::string::npos);
+  EXPECT_NE(out.find("\"c0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fourq::asic

@@ -1,0 +1,149 @@
+// Curve25519 baseline tests: the x-only ladder is cross-checked against an
+// independent affine Montgomery-curve oracle, plus RFC 7748 behaviours.
+#include "baseline/x25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fourq::baseline {
+namespace {
+
+using namespace f25519;
+
+TEST(F25519, FieldBasics) {
+  Rng rng(211);
+  for (int i = 0; i < 100; ++i) {
+    Fe25519 a = make(rng.next_u256()), b = make(rng.next_u256()), c = make(rng.next_u256());
+    EXPECT_EQ(mul(a, b), mul(b, a));
+    EXPECT_EQ(mul(a, mul(b, c)), mul(mul(a, b), c));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+    EXPECT_EQ(add(a, sub(b, a)), b);
+  }
+}
+
+TEST(F25519, MulMatchesGenericMod) {
+  Rng rng(212);
+  for (int i = 0; i < 200; ++i) {
+    Fe25519 a = make(rng.next_u256()), b = make(rng.next_u256());
+    U256 expect = mod(mul_wide(a.v, b.v), prime());
+    EXPECT_EQ(mul(a, b).v, expect);
+  }
+}
+
+TEST(F25519, MulEdgeValues) {
+  U256 pm1;
+  sub(prime(), U256(1), pm1);
+  Fe25519 top{pm1};
+  EXPECT_EQ(mul(top, top).v, U256(1));  // (-1)^2
+  EXPECT_EQ(mul(top, one()).v, pm1);
+  EXPECT_TRUE(mul(top, zero()).v.is_zero());
+}
+
+TEST(F25519, InverseIsInverse) {
+  Rng rng(213);
+  for (int i = 0; i < 20; ++i) {
+    Fe25519 a = make(rng.next_u256());
+    if (a.v.is_zero()) continue;
+    EXPECT_EQ(mul(a, inv(a)), one());
+  }
+}
+
+TEST(F25519, SqrtOfSquares) {
+  Rng rng(214);
+  for (int i = 0; i < 20; ++i) {
+    Fe25519 a = make(rng.next_u256());
+    Fe25519 a2 = sqr(a);
+    auto r = f25519::sqrt(a2);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->v == a.v || addmod(r->v, a.v, prime()).is_zero());
+  }
+}
+
+TEST(X25519, ClampSetsExpectedBits) {
+  U256 k(~0ull, ~0ull, ~0ull, ~0ull);
+  U256 c = clamp_scalar(k);
+  EXPECT_EQ(c.w[0] & 7, 0u);
+  EXPECT_FALSE(c.bit(255));
+  EXPECT_TRUE(c.bit(254));
+}
+
+TEST(X25519, BasePointLiftsToCurve) {
+  auto p = lift_x(make(U256(9)));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(on_curve25519(*p));
+}
+
+TEST(X25519, LadderMatchesAffineOracle) {
+  // The heart of the baseline validation: x-only ladder vs independent
+  // affine double-and-add, on the standard base point, many scalars.
+  auto base = lift_x(make(U256(9)));
+  ASSERT_TRUE(base.has_value());
+  Rng rng(215);
+  for (int i = 0; i < 15; ++i) {
+    U256 k = rng.next_u256();
+    k.set_bit(255, false);
+    if (k.is_zero()) continue;
+    MontPoint expect = mont_scalar_mul(k, *base);
+    if (expect.inf) continue;  // x-only output undefined at infinity
+    Fe25519 got = ladder(k, make(U256(9)));
+    EXPECT_EQ(got.v, expect.x.v) << "k=" << k.to_hex();
+  }
+}
+
+TEST(X25519, LadderSmallScalars) {
+  auto base = lift_x(make(U256(9)));
+  ASSERT_TRUE(base.has_value());
+  MontPoint acc = *base;
+  for (uint64_t k = 1; k <= 16; ++k) {
+    Fe25519 got = ladder(U256(k), make(U256(9)));
+    EXPECT_EQ(got.v, acc.x.v) << k;
+    acc = mont_add(acc, *base);
+  }
+}
+
+TEST(X25519, MontOracleGroupLaws) {
+  auto g = lift_x(make(U256(9)));
+  ASSERT_TRUE(g.has_value());
+  MontPoint g2 = mont_dbl(*g);
+  MontPoint g3a = mont_add(g2, *g);
+  MontPoint g3b = mont_add(*g, g2);
+  EXPECT_TRUE(on_curve25519(g2));
+  EXPECT_EQ(g3a.x.v, g3b.x.v);
+  EXPECT_EQ(g3a.y.v, g3b.y.v);
+  // P + (-P) = O
+  MontPoint neg = *g;
+  neg.y = sub(zero(), neg.y);
+  EXPECT_TRUE(mont_add(*g, neg).inf);
+}
+
+TEST(X25519, DiffieHellmanAgreement) {
+  Rng rng(216);
+  for (int i = 0; i < 5; ++i) {
+    U256 a = rng.next_u256(), b = rng.next_u256();
+    U256 pub_a = x25519_base(a);
+    U256 pub_b = x25519_base(b);
+    EXPECT_EQ(x25519(a, pub_b), x25519(b, pub_a));
+  }
+}
+
+TEST(X25519, CommutativityUnclamped) {
+  Rng rng(217);
+  U256 a(rng.next_u64()), b(rng.next_u64());
+  U256 ab = mul_lo(a, b);
+  Fe25519 via_compose = ladder(b, ladder(a, make(U256(9))));
+  Fe25519 direct = ladder(ab, make(U256(9)));
+  EXPECT_EQ(via_compose.v, direct.v);
+}
+
+TEST(X25519, HighBitOfUCoordinateMasked) {
+  // RFC 7748: implementations MUST mask the top bit of u.
+  U256 u(9);
+  U256 u_with_top = u;
+  u_with_top.set_bit(255, true);
+  U256 k = Rng(218).next_u256();
+  EXPECT_EQ(x25519(k, u), x25519(k, u_with_top));
+}
+
+}  // namespace
+}  // namespace fourq::baseline

@@ -1,0 +1,308 @@
+// fourqc — command-line driver for the complete design flow: trace the SM
+// program, schedule it, emit the control ROM, optionally simulate/verify,
+// disassemble, save the ROM image, and report silicon projections.
+//
+// Examples:
+//   fourqc --report
+//   fourqc --variant functional --verify 1f2e3d4c --report
+//   fourqc --solver anneal --anneal-iters 1000 --save-rom sm.rom
+//   fourqc --multipliers 2 --read-ports 8 --write-ports 3 --report
+//   fourqc --disasm 0 30
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "asic/looped.hpp"
+#include "asic/romfile.hpp"
+#include "asic/simulator.hpp"
+#include "asic/verilog.hpp"
+#include "asic/waveform.hpp"
+#include "curve/scalarmul.hpp"
+#include "power/area.hpp"
+#include "power/sotb65.hpp"
+#include "sched/compile.hpp"
+#include "trace/sm_trace.hpp"
+
+namespace {
+
+using namespace fourq;
+
+void usage() {
+  std::printf(
+      "usage: fourqc [options]\n"
+      "  --variant functional|paper-cost   endomorphism phase (default paper-cost)\n"
+      "  --solver seq|list|anneal|bnb      scheduler (default list)\n"
+      "  --anneal-iters N                  SA iterations (default 400)\n"
+      "  --mul-latency N                   multiplier pipeline depth (default 3)\n"
+      "  --read-ports N / --write-ports N  register-file ports (default 4/2)\n"
+      "  --multipliers N / --addsubs N     unit instances (default 1/1)\n"
+      "  --no-forwarding                   disable forwarding paths\n"
+      "  --no-inversion                    skip final affine normalisation\n"
+      "  --looped                          blocked/looped controller instead of flat ROM\n"
+      "  --verify HEXSCALAR                simulate [k]P and check vs software\n"
+      "  --save-rom FILE                   write the ROM image\n"
+      "  --disasm FROM COUNT               print a ROM listing range\n"
+      "  --vcd FILE                        write a VCD activity waveform\n"
+      "  --dot FILE                        write the scheduled DAG as Graphviz\n"
+      "  --verilog FILE                    write the RTL skeleton + packed ROM\n"
+      "  --report                          print cycle/area/power report\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  trace::SmTraceOptions topt;
+  topt.endo = trace::EndoVariant::kPaperCost;
+  sched::CompileOptions copt;
+  copt.solver = sched::Solver::kList;
+
+  bool report = false;
+  bool looped = false;
+  std::string save_path, verify_hex, vcd_path, dot_path, verilog_path;
+  int disasm_from = -1, disasm_count = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](int n) {
+      if (i + n >= argc) {
+        usage();
+        std::exit(2);
+      }
+    };
+    std::string a = argv[i];
+    if (a == "--variant") {
+      need(1);
+      std::string v = argv[++i];
+      if (v == "functional")
+        topt.endo = trace::EndoVariant::kFunctional;
+      else if (v == "paper-cost")
+        topt.endo = trace::EndoVariant::kPaperCost;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (a == "--solver") {
+      need(1);
+      std::string v = argv[++i];
+      if (v == "seq") copt.solver = sched::Solver::kSequential;
+      else if (v == "list") copt.solver = sched::Solver::kList;
+      else if (v == "anneal") copt.solver = sched::Solver::kAnneal;
+      else if (v == "bnb") copt.solver = sched::Solver::kBnb;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (a == "--anneal-iters") {
+      need(1);
+      copt.anneal.iterations = std::atoi(argv[++i]);
+    } else if (a == "--mul-latency") {
+      need(1);
+      copt.cfg.mul_latency = std::atoi(argv[++i]);
+    } else if (a == "--read-ports") {
+      need(1);
+      copt.cfg.rf_read_ports = std::atoi(argv[++i]);
+    } else if (a == "--write-ports") {
+      need(1);
+      copt.cfg.rf_write_ports = std::atoi(argv[++i]);
+    } else if (a == "--multipliers") {
+      need(1);
+      copt.cfg.num_multipliers = std::atoi(argv[++i]);
+    } else if (a == "--addsubs") {
+      need(1);
+      copt.cfg.num_addsubs = std::atoi(argv[++i]);
+    } else if (a == "--no-forwarding") {
+      copt.cfg.forwarding = false;
+    } else if (a == "--no-inversion") {
+      topt.include_inversion = false;
+    } else if (a == "--looped") {
+      looped = true;
+    } else if (a == "--verify") {
+      need(1);
+      verify_hex = argv[++i];
+    } else if (a == "--save-rom") {
+      need(1);
+      save_path = argv[++i];
+    } else if (a == "--vcd") {
+      need(1);
+      vcd_path = argv[++i];
+    } else if (a == "--dot") {
+      need(1);
+      dot_path = argv[++i];
+    } else if (a == "--verilog") {
+      need(1);
+      verilog_path = argv[++i];
+    } else if (a == "--disasm") {
+      need(2);
+      disasm_from = std::atoi(argv[++i]);
+      disasm_count = std::atoi(argv[++i]);
+    } else if (a == "--report") {
+      report = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (looped) {
+    std::printf("fourqc: building blocked/looped controller (%s variant)...\n",
+                topt.endo == trace::EndoVariant::kFunctional ? "functional" : "paper-cost");
+    asic::LoopedSmOptions lopt;
+    lopt.endo = topt.endo;
+    lopt.cfg.mul_latency = copt.cfg.mul_latency;
+    lopt.cfg.forwarding = copt.cfg.forwarding;
+    asic::LoopedSm lsm = asic::build_looped_sm(lopt);
+    std::printf("  prologue %d + %d x body %d + epilogue %d = %d cycles/SM\n",
+                lsm.prologue.cycles(), lsm.iterations, lsm.body.cycles(),
+                lsm.epilogue.cycles(), lsm.total_cycles());
+    std::printf("  ROM: %d words (vs %d for the flat controller's unrolled program)\n",
+                lsm.rom_words(), lsm.total_cycles());
+    if (!verify_hex.empty()) {
+      U256 k = U256::from_hex(verify_hex);
+      curve::Affine p = curve::deterministic_point(1);
+      trace::InputBindings b;
+      b.emplace_back(lsm.in_zero, curve::Fp2());
+      b.emplace_back(lsm.in_one, curve::Fp2::from_u64(1));
+      b.emplace_back(lsm.in_two_d, curve::curve_2d());
+      b.emplace_back(lsm.in_px, p.x);
+      b.emplace_back(lsm.in_py, p.y);
+      for (size_t i = 0; i < lsm.in_endo_consts.size(); ++i)
+        b.emplace_back(lsm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
+      curve::Decomposition dec = curve::decompose(k);
+      curve::RecodedScalar rec = curve::recode(dec.a);
+      asic::SimResult res =
+          asic::simulate_looped(lsm, b, trace::EvalContext{&rec, dec.k_was_even});
+      if (lopt.endo == trace::EndoVariant::kFunctional) {
+        curve::Affine expect = curve::to_affine(curve::scalar_mul(k, p));
+        bool ok = res.outputs.at("x") == expect.x && res.outputs.at("y") == expect.y;
+        std::printf("fourqc: verify vs curve-level [k]P: %s\n", ok ? "MATCH" : "MISMATCH");
+        if (!ok) return 1;
+      } else {
+        std::printf("fourqc: simulated %d cycles (paper-cost variant, no curve check)\n",
+                    res.stats.cycles);
+      }
+    }
+    if (disasm_from >= 0) {
+      std::printf("-- body segment --\n%s",
+                  asic::disassemble(lsm.body, disasm_from, disasm_count).c_str());
+    }
+    if (report) {
+      power::Sotb65Model chip(lsm.total_cycles());
+      for (double v : {1.20, 0.32}) {
+        auto op = chip.at(v);
+        std::printf("  @%.2f V: fmax %.1f MHz, %.2f us/SM, %.3f uJ/SM\n", v, op.fmax_mhz,
+                    op.latency_us, op.energy_uj);
+      }
+    }
+    return 0;
+  }
+
+  std::printf("fourqc: tracing SM program (%s variant)...\n",
+              topt.endo == trace::EndoVariant::kFunctional ? "functional" : "paper-cost");
+  trace::SmTrace sm = trace::build_sm_trace(topt);
+  trace::OpStats ops = trace::count_ops(sm.program);
+  std::printf("  %d muls + %d add/subs (%.1f%% muls)\n", ops.muls, ops.addsubs,
+              100.0 * ops.mul_fraction());
+
+  std::printf("fourqc: scheduling...\n");
+  sched::CompileResult r = sched::compile_program(sm.program, copt);
+  std::printf("  makespan %d cycles, register pressure %d/%d\n", r.schedule.makespan,
+              r.register_pressure, copt.cfg.rf_size);
+
+  if (!verify_hex.empty()) {
+    U256 k = U256::from_hex(verify_hex);
+    curve::Affine p = curve::deterministic_point(1);
+    trace::InputBindings b;
+    b.emplace_back(sm.in_zero, curve::Fp2());
+    b.emplace_back(sm.in_one, curve::Fp2::from_u64(1));
+    b.emplace_back(sm.in_two_d, curve::curve_2d());
+    b.emplace_back(sm.in_px, p.x);
+    b.emplace_back(sm.in_py, p.y);
+    for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+      b.emplace_back(sm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    trace::EvalContext ctx{&rec, dec.k_was_even};
+    asic::SimResult res = asic::simulate(r.sm, b, ctx);
+    auto ref = trace::evaluate(sm.program, b, ctx);
+    bool ok = true;
+    for (const auto& [name, v] : ref)
+      if (res.outputs.at(name) != v) ok = false;
+    if (topt.endo == trace::EndoVariant::kFunctional && topt.include_inversion) {
+      curve::Affine expect = curve::to_affine(curve::scalar_mul(k, p));
+      ok = ok && res.outputs.at("x") == expect.x && res.outputs.at("y") == expect.y;
+      std::printf("fourqc: verify vs curve-level [k]P: %s\n", ok ? "MATCH" : "MISMATCH");
+    } else {
+      std::printf("fourqc: verify vs trace interpreter: %s\n", ok ? "MATCH" : "MISMATCH");
+    }
+    if (!ok) return 1;
+  }
+
+  if (disasm_from >= 0) {
+    std::printf("%s", asic::disassemble(r.sm, disasm_from, disasm_count).c_str());
+  }
+
+  if (!save_path.empty()) {
+    std::ofstream out(save_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", save_path.c_str());
+      return 1;
+    }
+    asic::save_rom(r.sm, out);
+    std::printf("fourqc: ROM image written to %s\n", save_path.c_str());
+  }
+
+  if (!vcd_path.empty()) {
+    std::ofstream out(vcd_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", vcd_path.c_str());
+      return 1;
+    }
+    asic::write_vcd(r.sm, out);
+    std::printf("fourqc: VCD waveform written to %s\n", vcd_path.c_str());
+  }
+
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", dot_path.c_str());
+      return 1;
+    }
+    asic::write_dot(r.problem, r.schedule, out);
+    std::printf("fourqc: DOT graph written to %s\n", dot_path.c_str());
+  }
+
+  if (!verilog_path.empty()) {
+    std::ofstream out(verilog_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", verilog_path.c_str());
+      return 1;
+    }
+    out << asic::emit_verilog(r.sm, "fourq_sm_unit");
+    std::printf("fourqc: Verilog skeleton written to %s\n", verilog_path.c_str());
+  }
+
+  if (report) {
+    asic::RomStats rs = asic::rom_stats(r.sm);
+    power::AreaOptions aopt;
+    aopt.cfg = copt.cfg;
+    aopt.rom_words = rs.words;
+    aopt.ctrl_word_bits = rs.word_bits;
+    power::AreaBreakdown area = power::estimate_area(aopt);
+    power::Sotb65Model chip(r.sm.cycles());
+    std::printf("\nreport:\n");
+    std::printf("  ROM: %d words x %d bits = %.1f kbit\n", rs.words, rs.word_bits,
+                rs.total_kbits);
+    std::printf("  area: %.0f kGE (multiplier %.0f, RF %.0f, ROM %.0f)\n", area.total_kge(),
+                area.fp2_multiplier_kge, area.register_file_kge, area.rom_kge);
+    for (double v : {1.20, 0.32}) {
+      auto op = chip.at(v);
+      std::printf("  @%.2f V: fmax %.1f MHz, %.2f us/SM, %.3f uJ/SM\n", v, op.fmax_mhz,
+                  op.latency_us, op.energy_uj);
+    }
+  }
+  return 0;
+}

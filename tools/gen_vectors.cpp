@@ -1,0 +1,42 @@
+// gen_vectors — emits known-answer vectors for FourQ scalar multiplication
+// on the validated standard generator (usable for cross-implementation
+// comparison; the same values are pinned in tests/test_known_answers.cpp).
+//
+//   gen_vectors [count] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "curve/params.hpp"
+#include "curve/scalarmul.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fourq;
+  int count = argc > 1 ? std::atoi(argv[1]) : 8;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 2019;
+
+  auto v = curve::validate_params();
+  if (!v.all_ok()) {
+    std::fprintf(stderr, "FourQ parameters failed validation; refusing to emit vectors\n");
+    return 1;
+  }
+  curve::Affine g{curve::candidate_generator_x(), curve::candidate_generator_y()};
+
+  std::printf("# FourQ scalar-multiplication vectors: [k]G on the standard generator\n");
+  std::printf("# fields: k, x.re, x.im, y.re, y.im (hex, little-endian limbs rendered "
+              "big-endian)\n");
+  // A few structured scalars first, then seeded-random ones.
+  std::vector<U256> ks = {U256(1), U256(2), U256(0xffffffffull),
+                          U256(~0ull, ~0ull, ~0ull, ~0ull)};
+  Rng rng(seed);
+  while (static_cast<int>(ks.size()) < count) ks.push_back(rng.next_u256());
+
+  for (const U256& k : ks) {
+    curve::Affine r = curve::to_affine(curve::scalar_mul(k, g));
+    std::printf("%s %s %s %s %s\n", k.to_hex().c_str(), r.x.re().to_hex().c_str(),
+                r.x.im().to_hex().c_str(), r.y.re().to_hex().c_str(),
+                r.y.im().to_hex().c_str());
+  }
+  return 0;
+}
