@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_p256_hw_model.cpp" "bench/CMakeFiles/bench_p256_hw_model.dir/bench_p256_hw_model.cpp.o" "gcc" "bench/CMakeFiles/bench_p256_hw_model.dir/bench_p256_hw_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asic/CMakeFiles/fourq_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fourq_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/fourq_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fourq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fourq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/fourq_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/fourq_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fourq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

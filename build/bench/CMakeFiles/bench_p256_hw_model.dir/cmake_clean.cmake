@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p256_hw_model.dir/bench_p256_hw_model.cpp.o"
+  "CMakeFiles/bench_p256_hw_model.dir/bench_p256_hw_model.cpp.o.d"
+  "bench_p256_hw_model"
+  "bench_p256_hw_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p256_hw_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

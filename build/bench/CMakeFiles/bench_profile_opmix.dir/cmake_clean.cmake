@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profile_opmix.dir/bench_profile_opmix.cpp.o"
+  "CMakeFiles/bench_profile_opmix.dir/bench_profile_opmix.cpp.o.d"
+  "bench_profile_opmix"
+  "bench_profile_opmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_opmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

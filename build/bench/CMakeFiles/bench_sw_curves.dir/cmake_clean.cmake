@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sw_curves.dir/bench_sw_curves.cpp.o"
+  "CMakeFiles/bench_sw_curves.dir/bench_sw_curves.cpp.o.d"
+  "bench_sw_curves"
+  "bench_sw_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sw_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_schedule.dir/bench_table1_schedule.cpp.o"
+  "CMakeFiles/bench_table1_schedule.dir/bench_table1_schedule.cpp.o.d"
+  "bench_table1_schedule"
+  "bench_table1_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ecdh.cpp" "examples/CMakeFiles/ecdh.dir/ecdh.cpp.o" "gcc" "examples/CMakeFiles/ecdh.dir/ecdh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/curve/CMakeFiles/fourq_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fourq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fourq_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/fourq_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fourq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdh.dir/ecdh.cpp.o"
+  "CMakeFiles/ecdh.dir/ecdh.cpp.o.d"
+  "ecdh"
+  "ecdh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

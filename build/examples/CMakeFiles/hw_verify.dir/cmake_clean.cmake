@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_verify.dir/hw_verify.cpp.o"
+  "CMakeFiles/hw_verify.dir/hw_verify.cpp.o.d"
+  "hw_verify"
+  "hw_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

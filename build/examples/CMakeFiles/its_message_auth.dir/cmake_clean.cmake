@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/its_message_auth.dir/its_message_auth.cpp.o"
+  "CMakeFiles/its_message_auth.dir/its_message_auth.cpp.o.d"
+  "its_message_auth"
+  "its_message_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/its_message_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

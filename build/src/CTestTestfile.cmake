@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("field")
+subdirs("curve")
+subdirs("baseline")
+subdirs("hash")
+subdirs("dsa")
+subdirs("trace")
+subdirs("sched")
+subdirs("asic")
+subdirs("power")
+subdirs("models")
+subdirs("rtl")

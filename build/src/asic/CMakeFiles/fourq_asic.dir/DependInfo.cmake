@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asic/looped.cpp" "src/asic/CMakeFiles/fourq_asic.dir/looped.cpp.o" "gcc" "src/asic/CMakeFiles/fourq_asic.dir/looped.cpp.o.d"
+  "/root/repo/src/asic/machine_state.cpp" "src/asic/CMakeFiles/fourq_asic.dir/machine_state.cpp.o" "gcc" "src/asic/CMakeFiles/fourq_asic.dir/machine_state.cpp.o.d"
+  "/root/repo/src/asic/romfile.cpp" "src/asic/CMakeFiles/fourq_asic.dir/romfile.cpp.o" "gcc" "src/asic/CMakeFiles/fourq_asic.dir/romfile.cpp.o.d"
+  "/root/repo/src/asic/simulator.cpp" "src/asic/CMakeFiles/fourq_asic.dir/simulator.cpp.o" "gcc" "src/asic/CMakeFiles/fourq_asic.dir/simulator.cpp.o.d"
+  "/root/repo/src/asic/verilog.cpp" "src/asic/CMakeFiles/fourq_asic.dir/verilog.cpp.o" "gcc" "src/asic/CMakeFiles/fourq_asic.dir/verilog.cpp.o.d"
+  "/root/repo/src/asic/waveform.cpp" "src/asic/CMakeFiles/fourq_asic.dir/waveform.cpp.o" "gcc" "src/asic/CMakeFiles/fourq_asic.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/fourq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fourq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/fourq_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/fourq_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fourq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

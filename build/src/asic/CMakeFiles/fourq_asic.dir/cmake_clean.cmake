@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_asic.dir/looped.cpp.o"
+  "CMakeFiles/fourq_asic.dir/looped.cpp.o.d"
+  "CMakeFiles/fourq_asic.dir/machine_state.cpp.o"
+  "CMakeFiles/fourq_asic.dir/machine_state.cpp.o.d"
+  "CMakeFiles/fourq_asic.dir/romfile.cpp.o"
+  "CMakeFiles/fourq_asic.dir/romfile.cpp.o.d"
+  "CMakeFiles/fourq_asic.dir/simulator.cpp.o"
+  "CMakeFiles/fourq_asic.dir/simulator.cpp.o.d"
+  "CMakeFiles/fourq_asic.dir/verilog.cpp.o"
+  "CMakeFiles/fourq_asic.dir/verilog.cpp.o.d"
+  "CMakeFiles/fourq_asic.dir/waveform.cpp.o"
+  "CMakeFiles/fourq_asic.dir/waveform.cpp.o.d"
+  "libfourq_asic.a"
+  "libfourq_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_baseline.dir/p256.cpp.o"
+  "CMakeFiles/fourq_baseline.dir/p256.cpp.o.d"
+  "CMakeFiles/fourq_baseline.dir/x25519.cpp.o"
+  "CMakeFiles/fourq_baseline.dir/x25519.cpp.o.d"
+  "libfourq_baseline.a"
+  "libfourq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

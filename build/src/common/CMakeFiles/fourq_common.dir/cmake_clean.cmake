@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_common.dir/hexutil.cpp.o"
+  "CMakeFiles/fourq_common.dir/hexutil.cpp.o.d"
+  "CMakeFiles/fourq_common.dir/modint.cpp.o"
+  "CMakeFiles/fourq_common.dir/modint.cpp.o.d"
+  "CMakeFiles/fourq_common.dir/rng.cpp.o"
+  "CMakeFiles/fourq_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fourq_common.dir/u256.cpp.o"
+  "CMakeFiles/fourq_common.dir/u256.cpp.o.d"
+  "libfourq_common.a"
+  "libfourq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

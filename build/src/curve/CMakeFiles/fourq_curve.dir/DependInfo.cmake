@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/curve/encoding.cpp" "src/curve/CMakeFiles/fourq_curve.dir/encoding.cpp.o" "gcc" "src/curve/CMakeFiles/fourq_curve.dir/encoding.cpp.o.d"
+  "/root/repo/src/curve/fixed_base.cpp" "src/curve/CMakeFiles/fourq_curve.dir/fixed_base.cpp.o" "gcc" "src/curve/CMakeFiles/fourq_curve.dir/fixed_base.cpp.o.d"
+  "/root/repo/src/curve/multiscalar.cpp" "src/curve/CMakeFiles/fourq_curve.dir/multiscalar.cpp.o" "gcc" "src/curve/CMakeFiles/fourq_curve.dir/multiscalar.cpp.o.d"
+  "/root/repo/src/curve/params.cpp" "src/curve/CMakeFiles/fourq_curve.dir/params.cpp.o" "gcc" "src/curve/CMakeFiles/fourq_curve.dir/params.cpp.o.d"
+  "/root/repo/src/curve/point.cpp" "src/curve/CMakeFiles/fourq_curve.dir/point.cpp.o" "gcc" "src/curve/CMakeFiles/fourq_curve.dir/point.cpp.o.d"
+  "/root/repo/src/curve/scalar.cpp" "src/curve/CMakeFiles/fourq_curve.dir/scalar.cpp.o" "gcc" "src/curve/CMakeFiles/fourq_curve.dir/scalar.cpp.o.d"
+  "/root/repo/src/curve/scalarmul.cpp" "src/curve/CMakeFiles/fourq_curve.dir/scalarmul.cpp.o" "gcc" "src/curve/CMakeFiles/fourq_curve.dir/scalarmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/field/CMakeFiles/fourq_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fourq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

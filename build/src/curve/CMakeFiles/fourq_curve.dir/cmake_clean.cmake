@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_curve.dir/encoding.cpp.o"
+  "CMakeFiles/fourq_curve.dir/encoding.cpp.o.d"
+  "CMakeFiles/fourq_curve.dir/fixed_base.cpp.o"
+  "CMakeFiles/fourq_curve.dir/fixed_base.cpp.o.d"
+  "CMakeFiles/fourq_curve.dir/multiscalar.cpp.o"
+  "CMakeFiles/fourq_curve.dir/multiscalar.cpp.o.d"
+  "CMakeFiles/fourq_curve.dir/params.cpp.o"
+  "CMakeFiles/fourq_curve.dir/params.cpp.o.d"
+  "CMakeFiles/fourq_curve.dir/point.cpp.o"
+  "CMakeFiles/fourq_curve.dir/point.cpp.o.d"
+  "CMakeFiles/fourq_curve.dir/scalar.cpp.o"
+  "CMakeFiles/fourq_curve.dir/scalar.cpp.o.d"
+  "CMakeFiles/fourq_curve.dir/scalarmul.cpp.o"
+  "CMakeFiles/fourq_curve.dir/scalarmul.cpp.o.d"
+  "libfourq_curve.a"
+  "libfourq_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

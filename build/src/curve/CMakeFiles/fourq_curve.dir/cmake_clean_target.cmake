@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfourq_curve.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_dsa.dir/ecdsa_fourq.cpp.o"
+  "CMakeFiles/fourq_dsa.dir/ecdsa_fourq.cpp.o.d"
+  "CMakeFiles/fourq_dsa.dir/ecdsa_p256.cpp.o"
+  "CMakeFiles/fourq_dsa.dir/ecdsa_p256.cpp.o.d"
+  "CMakeFiles/fourq_dsa.dir/schnorrq.cpp.o"
+  "CMakeFiles/fourq_dsa.dir/schnorrq.cpp.o.d"
+  "libfourq_dsa.a"
+  "libfourq_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

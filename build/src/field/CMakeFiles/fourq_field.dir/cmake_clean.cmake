@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_field.dir/fp.cpp.o"
+  "CMakeFiles/fourq_field.dir/fp.cpp.o.d"
+  "CMakeFiles/fourq_field.dir/fp2.cpp.o"
+  "CMakeFiles/fourq_field.dir/fp2.cpp.o.d"
+  "libfourq_field.a"
+  "libfourq_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

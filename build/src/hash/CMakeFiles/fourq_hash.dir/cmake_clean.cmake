@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_hash.dir/hmac.cpp.o"
+  "CMakeFiles/fourq_hash.dir/hmac.cpp.o.d"
+  "CMakeFiles/fourq_hash.dir/rfc6979.cpp.o"
+  "CMakeFiles/fourq_hash.dir/rfc6979.cpp.o.d"
+  "CMakeFiles/fourq_hash.dir/sha256.cpp.o"
+  "CMakeFiles/fourq_hash.dir/sha256.cpp.o.d"
+  "libfourq_hash.a"
+  "libfourq_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_models.dir/p256_hw.cpp.o"
+  "CMakeFiles/fourq_models.dir/p256_hw.cpp.o.d"
+  "libfourq_models.a"
+  "libfourq_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

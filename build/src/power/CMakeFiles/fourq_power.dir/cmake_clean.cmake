@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_power.dir/activity_energy.cpp.o"
+  "CMakeFiles/fourq_power.dir/activity_energy.cpp.o.d"
+  "CMakeFiles/fourq_power.dir/area.cpp.o"
+  "CMakeFiles/fourq_power.dir/area.cpp.o.d"
+  "CMakeFiles/fourq_power.dir/sotb65.cpp.o"
+  "CMakeFiles/fourq_power.dir/sotb65.cpp.o.d"
+  "libfourq_power.a"
+  "libfourq_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/fp2_mul_pipeline.cpp" "src/rtl/CMakeFiles/fourq_rtl.dir/fp2_mul_pipeline.cpp.o" "gcc" "src/rtl/CMakeFiles/fourq_rtl.dir/fp2_mul_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/field/CMakeFiles/fourq_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fourq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

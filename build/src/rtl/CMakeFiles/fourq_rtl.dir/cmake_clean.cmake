@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_rtl.dir/fp2_mul_pipeline.cpp.o"
+  "CMakeFiles/fourq_rtl.dir/fp2_mul_pipeline.cpp.o.d"
+  "libfourq_rtl.a"
+  "libfourq_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/anneal.cpp" "src/sched/CMakeFiles/fourq_sched.dir/anneal.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/anneal.cpp.o.d"
+  "/root/repo/src/sched/bnb.cpp" "src/sched/CMakeFiles/fourq_sched.dir/bnb.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/bnb.cpp.o.d"
+  "/root/repo/src/sched/compile.cpp" "src/sched/CMakeFiles/fourq_sched.dir/compile.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/compile.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/sched/CMakeFiles/fourq_sched.dir/list_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/microcode.cpp" "src/sched/CMakeFiles/fourq_sched.dir/microcode.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/microcode.cpp.o.d"
+  "/root/repo/src/sched/modulo.cpp" "src/sched/CMakeFiles/fourq_sched.dir/modulo.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/modulo.cpp.o.d"
+  "/root/repo/src/sched/problem.cpp" "src/sched/CMakeFiles/fourq_sched.dir/problem.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/problem.cpp.o.d"
+  "/root/repo/src/sched/regalloc.cpp" "src/sched/CMakeFiles/fourq_sched.dir/regalloc.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/regalloc.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/fourq_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/fourq_sched.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/fourq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/fourq_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/fourq_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fourq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_sched.dir/anneal.cpp.o"
+  "CMakeFiles/fourq_sched.dir/anneal.cpp.o.d"
+  "CMakeFiles/fourq_sched.dir/bnb.cpp.o"
+  "CMakeFiles/fourq_sched.dir/bnb.cpp.o.d"
+  "CMakeFiles/fourq_sched.dir/compile.cpp.o"
+  "CMakeFiles/fourq_sched.dir/compile.cpp.o.d"
+  "CMakeFiles/fourq_sched.dir/list_scheduler.cpp.o"
+  "CMakeFiles/fourq_sched.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/fourq_sched.dir/microcode.cpp.o"
+  "CMakeFiles/fourq_sched.dir/microcode.cpp.o.d"
+  "CMakeFiles/fourq_sched.dir/modulo.cpp.o"
+  "CMakeFiles/fourq_sched.dir/modulo.cpp.o.d"
+  "CMakeFiles/fourq_sched.dir/problem.cpp.o"
+  "CMakeFiles/fourq_sched.dir/problem.cpp.o.d"
+  "CMakeFiles/fourq_sched.dir/regalloc.cpp.o"
+  "CMakeFiles/fourq_sched.dir/regalloc.cpp.o.d"
+  "CMakeFiles/fourq_sched.dir/validate.cpp.o"
+  "CMakeFiles/fourq_sched.dir/validate.cpp.o.d"
+  "libfourq_sched.a"
+  "libfourq_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/eval.cpp" "src/trace/CMakeFiles/fourq_trace.dir/eval.cpp.o" "gcc" "src/trace/CMakeFiles/fourq_trace.dir/eval.cpp.o.d"
+  "/root/repo/src/trace/ir.cpp" "src/trace/CMakeFiles/fourq_trace.dir/ir.cpp.o" "gcc" "src/trace/CMakeFiles/fourq_trace.dir/ir.cpp.o.d"
+  "/root/repo/src/trace/optimize.cpp" "src/trace/CMakeFiles/fourq_trace.dir/optimize.cpp.o" "gcc" "src/trace/CMakeFiles/fourq_trace.dir/optimize.cpp.o.d"
+  "/root/repo/src/trace/sm_trace.cpp" "src/trace/CMakeFiles/fourq_trace.dir/sm_trace.cpp.o" "gcc" "src/trace/CMakeFiles/fourq_trace.dir/sm_trace.cpp.o.d"
+  "/root/repo/src/trace/tracer.cpp" "src/trace/CMakeFiles/fourq_trace.dir/tracer.cpp.o" "gcc" "src/trace/CMakeFiles/fourq_trace.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/curve/CMakeFiles/fourq_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/fourq_field.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fourq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourq_trace.dir/eval.cpp.o"
+  "CMakeFiles/fourq_trace.dir/eval.cpp.o.d"
+  "CMakeFiles/fourq_trace.dir/ir.cpp.o"
+  "CMakeFiles/fourq_trace.dir/ir.cpp.o.d"
+  "CMakeFiles/fourq_trace.dir/optimize.cpp.o"
+  "CMakeFiles/fourq_trace.dir/optimize.cpp.o.d"
+  "CMakeFiles/fourq_trace.dir/sm_trace.cpp.o"
+  "CMakeFiles/fourq_trace.dir/sm_trace.cpp.o.d"
+  "CMakeFiles/fourq_trace.dir/tracer.cpp.o"
+  "CMakeFiles/fourq_trace.dir/tracer.cpp.o.d"
+  "libfourq_trace.a"
+  "libfourq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

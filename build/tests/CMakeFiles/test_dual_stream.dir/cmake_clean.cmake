@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_stream.dir/test_dual_stream.cpp.o"
+  "CMakeFiles/test_dual_stream.dir/test_dual_stream.cpp.o.d"
+  "test_dual_stream"
+  "test_dual_stream.pdb"
+  "test_dual_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

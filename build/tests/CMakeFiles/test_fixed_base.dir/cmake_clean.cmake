@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_base.dir/test_fixed_base.cpp.o"
+  "CMakeFiles/test_fixed_base.dir/test_fixed_base.cpp.o.d"
+  "test_fixed_base"
+  "test_fixed_base.pdb"
+  "test_fixed_base[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp2.dir/test_fp2.cpp.o"
+  "CMakeFiles/test_fp2.dir/test_fp2.cpp.o.d"
+  "test_fp2"
+  "test_fp2.pdb"
+  "test_fp2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fourq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsa/CMakeFiles/fourq_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/fourq_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fourq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/fourq_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/fourq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fourq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/curve/CMakeFiles/fourq_curve.dir/DependInfo.cmake"
+  "/root/repo/build/src/field/CMakeFiles/fourq_field.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

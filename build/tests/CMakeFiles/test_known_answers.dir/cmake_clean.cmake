@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_known_answers.dir/test_known_answers.cpp.o"
+  "CMakeFiles/test_known_answers.dir/test_known_answers.cpp.o.d"
+  "test_known_answers"
+  "test_known_answers.pdb"
+  "test_known_answers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_known_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

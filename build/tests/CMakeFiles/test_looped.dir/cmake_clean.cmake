@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_looped.dir/test_looped.cpp.o"
+  "CMakeFiles/test_looped.dir/test_looped.cpp.o.d"
+  "test_looped"
+  "test_looped.pdb"
+  "test_looped[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_looped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

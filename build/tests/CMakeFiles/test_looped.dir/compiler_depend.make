@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_looped.
+# This may be replaced when dependencies are built.

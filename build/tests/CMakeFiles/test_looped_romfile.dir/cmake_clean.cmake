@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_looped_romfile.dir/test_looped_romfile.cpp.o"
+  "CMakeFiles/test_looped_romfile.dir/test_looped_romfile.cpp.o.d"
+  "test_looped_romfile"
+  "test_looped_romfile.pdb"
+  "test_looped_romfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_looped_romfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

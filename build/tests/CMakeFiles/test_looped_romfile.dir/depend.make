@@ -1,0 +1,2 @@
+# Empty dependencies file for test_looped_romfile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modint.dir/test_modint.cpp.o"
+  "CMakeFiles/test_modint.dir/test_modint.cpp.o.d"
+  "test_modint"
+  "test_modint.pdb"
+  "test_modint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiscalar.dir/test_multiscalar.cpp.o"
+  "CMakeFiles/test_multiscalar.dir/test_multiscalar.cpp.o.d"
+  "test_multiscalar"
+  "test_multiscalar.pdb"
+  "test_multiscalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiscalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p256.dir/test_p256.cpp.o"
+  "CMakeFiles/test_p256.dir/test_p256.cpp.o.d"
+  "test_p256"
+  "test_p256.pdb"
+  "test_p256[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

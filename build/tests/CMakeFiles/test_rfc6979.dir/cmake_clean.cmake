@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rfc6979.dir/test_rfc6979.cpp.o"
+  "CMakeFiles/test_rfc6979.dir/test_rfc6979.cpp.o.d"
+  "test_rfc6979"
+  "test_rfc6979.pdb"
+  "test_rfc6979[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rfc6979.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

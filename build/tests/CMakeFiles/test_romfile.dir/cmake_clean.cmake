@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_romfile.dir/test_romfile.cpp.o"
+  "CMakeFiles/test_romfile.dir/test_romfile.cpp.o.d"
+  "test_romfile"
+  "test_romfile.pdb"
+  "test_romfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_romfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalarmul.dir/test_scalarmul.cpp.o"
+  "CMakeFiles/test_scalarmul.dir/test_scalarmul.cpp.o.d"
+  "test_scalarmul"
+  "test_scalarmul.pdb"
+  "test_scalarmul[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalarmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

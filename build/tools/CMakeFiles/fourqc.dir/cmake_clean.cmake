@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fourqc.dir/fourqc.cpp.o"
+  "CMakeFiles/fourqc.dir/fourqc.cpp.o.d"
+  "fourqc"
+  "fourqc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fourqc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_vectors.dir/gen_vectors.cpp.o"
+  "CMakeFiles/gen_vectors.dir/gen_vectors.cpp.o.d"
+  "gen_vectors"
+  "gen_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
