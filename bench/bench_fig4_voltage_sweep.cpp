@@ -20,6 +20,16 @@ int main() {
   power::Sotb65Model model(r.sm.cycles());
 
   std::printf("Program: %d cycles per scalar multiplication\n\n", r.sm.cycles());
+  bench::JsonRecorder jrec("fig4_voltage_sweep");
+  jrec.record("cycles_per_sm", r.sm.cycles(), "cycles");
+  for (double v : {1.20, 0.32}) {
+    auto op = model.at(v);
+    std::string pfx = v > 1.0 ? "v1.20." : "v0.32.";
+    jrec.record(pfx + "fmax_mhz", op.fmax_mhz, "MHz");
+    jrec.record(pfx + "latency_us", op.latency_us, "us");
+    jrec.record(pfx + "energy_uj", op.energy_uj, "uJ");
+  }
+  jrec.record("energy_optimal_vdd", model.energy_optimal_vdd(), "V");
   std::printf("%8s %14s %16s %14s %s\n", "VDD [V]", "fmax [MHz]", "Latency [us]",
               "Energy [uJ]", "");
   bench::print_rule(64);
@@ -53,6 +63,12 @@ int main() {
     auto bd = act.breakdown(v);
     std::printf("%8.2f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n", v, bd.mul_uj,
                 bd.addsub_uj, bd.rf_uj, bd.ctrl_uj, bd.leak_uj, bd.total_uj());
+    if (v > 1.0) {
+      jrec.record("v1.20.energy_mul_uj", bd.mul_uj, "uJ");
+      jrec.record("v1.20.energy_addsub_uj", bd.addsub_uj, "uJ");
+      jrec.record("v1.20.energy_rf_uj", bd.rf_uj, "uJ");
+      jrec.record("v1.20.energy_total_uj", bd.total_uj(), "uJ");
+    }
   }
   std::printf("\nThe multiplier dominates switching energy at all voltages; leakage\n"
               "integrated over the 85x longer runtime takes over below ~0.4 V —\n"

@@ -50,6 +50,7 @@ int main() {
   using namespace fourq::sched;
 
   bench::print_header("E7 / §III-C — scheduling ablation");
+  bench::JsonRecorder rec("sched_ablation");
 
   MachineConfig cfg;
 
@@ -95,6 +96,13 @@ int main() {
               "-", bnbb.proven_optimal ? "(optimal)" : "(budget)");
   std::printf("\nPaper: automated solver scheduling replaces error-prone hand scheduling;\n"
               "the loop body lands at 25 cycles (Table I).\n");
+  rec.record("body.sequential", sb.makespan, "cycles");
+  rec.record("body.list", lb.makespan, "cycles");
+  rec.record("body.anneal", annb.makespan, "cycles");
+  rec.record("body.bnb", bnbb.schedule.makespan, "cycles");
+  rec.record("full.sequential", sf.makespan, "cycles");
+  rec.record("full.list", lf.makespan, "cycles");
+  rec.record("full.anneal", annf.makespan, "cycles");
 
   // (b) Global vs blocked scheduling of an unrolled loop segment.
   std::printf("\n(b) Global vs blocked scheduling of N unrolled loop iterations\n\n");
@@ -108,6 +116,8 @@ int main() {
     int global_ms = list_schedule(pru).makespan;
     std::printf("%6d %22d %22d %11.2fx\n", n, body_ms * n, global_ms,
                 static_cast<double>(body_ms * n) / global_ms);
+    rec.record("unroll" + std::to_string(n) + ".blocked", body_ms * n, "cycles");
+    rec.record("unroll" + std::to_string(n) + ".global", global_ms, "cycles");
   }
   std::printf("\nPaper: dividing the trace into small hand-schedulable blocks loses the\n"
               "cross-boundary overlap and yields local optima (§III-C).\n");
@@ -125,6 +135,10 @@ int main() {
               flat.sm.cycles(), flat.sm.cfg.rf_size);
   std::printf("%-26s %14d %14d %12d\n", "blocked/looped", looped.total_cycles(),
               looped.rom_words(), looped.rf_size);
+  rec.record("flat.cycles", flat.sm.cycles(), "cycles");
+  rec.record("flat.rom_words", flat.sm.cycles());
+  rec.record("looped.cycles", looped.total_cycles(), "cycles");
+  rec.record("looped.rom_words", looped.rom_words());
   for (int u : {5, 13}) {
     asic::LoopedSmOptions uo;
     uo.body_unroll = u;
@@ -154,6 +168,9 @@ int main() {
     std::printf("  ResMII (15 muls / 1 multiplier)   : %d cycles\n", mr.res_mii);
     std::printf("  RecMII (accumulator recurrence)   : %d cycles\n", mr.rec_mii);
     std::printf("  achieved steady-state II          : %d cycles/iteration\n", mr.ii);
+    rec.record("modulo.res_mii", mr.res_mii, "cycles");
+    rec.record("modulo.rec_mii", mr.rec_mii, "cycles");
+    rec.record("modulo.ii", mr.ii, "cycles");
     std::printf("  block schedule (no overlap)       : %d cycles/iteration\n",
                 list_schedule(prk).makespan);
     std::printf("\n  The kernel is recurrence-limited: the accumulator's dependence cycle,\n"

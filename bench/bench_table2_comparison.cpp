@@ -37,6 +37,18 @@ int main() {
               cycles, r.problem.nodes.size(), r.register_pressure);
   std::printf("Area model: %.0f kGE (paper: 1400 kGE)\n\n", area.total_kge());
 
+  bench::JsonRecorder rec("table2_comparison");
+  rec.record("cycles_per_sm", cycles, "cycles");
+  rec.record("register_pressure", r.register_pressure);
+  rec.record("area_kge", area.total_kge(), "kGE");
+  for (double v : {1.20, 0.32}) {
+    auto op = model.at(v);
+    std::string pfx = v > 1.0 ? "v1.20." : "v0.32.";
+    rec.record(pfx + "latency_us", op.latency_us, "us");
+    rec.record(pfx + "throughput_ops", 1e6 / op.latency_us, "op/s");
+    rec.record(pfx + "energy_uj", op.energy_uj, "uJ");
+  }
+
   std::printf("%-26s %-12s %7s %13s %16s %12s %14s\n", "Design", "Curve", "VDD[V]",
               "Latency[ms]", "Thruput[op/s]", "Energy[uJ]", "Lat*Area");
   bench::print_rule(106);

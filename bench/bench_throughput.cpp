@@ -54,6 +54,16 @@ int main() {
 
   std::printf("\nRegister pressure: single %d, dual %d (of %d)\n", single.register_pressure,
               dual.register_pressure, dual_opt.cfg.rf_size);
+
+  bench::JsonRecorder rec("throughput");
+  rec.record("single.cycles_per_sm", single.sm.cycles(), "cycles");
+  rec.record("dual.cycles_per_sm", dual.sm.cycles() / 2.0, "cycles");
+  rec.record("single.kge", kge_single, "kGE");
+  rec.record("dual.kge", kge_dual, "kGE");
+  rec.record("single.sm_per_s", f_mhz * 1e6 / single.sm.cycles(), "SM/s");
+  rec.record("dual.sm_per_s", f_mhz * 1e6 / (dual.sm.cycles() / 2.0), "SM/s");
+  rec.record("single.register_pressure", single.register_pressure);
+  rec.record("dual.register_pressure", dual.register_pressure);
   std::printf(
       "\nDual-stream scheduling raises throughput per area over replication: the\n"
       "second stream reuses the same multiplier during dependence stalls of the\n"

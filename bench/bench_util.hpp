@@ -1,17 +1,58 @@
 // Shared helpers for the experiment-reproduction binaries: fixed-width
-// table printing and the standard trace/compile shortcuts.
+// table printing, machine-readable result records, and the standard
+// trace/compile shortcuts.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "curve/scalarmul.hpp"
+#include "obs/span.hpp"
 #include "sched/compile.hpp"
 #include "trace/eval.hpp"
 #include "trace/sm_trace.hpp"
 
 namespace fourq::bench {
+
+// Machine-readable companion to the console tables: one JSON object per
+// recorded metric, written to BENCH_<name>.json (JSON lines) in
+// $FOURQ_BENCH_JSON_DIR (default: the working directory). The records use
+// the same {"bench","metric","value"} shape tools/perf_regress consumes,
+// so bench results can be diffed against a checked-in baseline directly.
+class JsonRecorder {
+ public:
+  explicit JsonRecorder(const std::string& bench) : bench_(bench) {
+    const char* dir = std::getenv("FOURQ_BENCH_JSON_DIR");
+    std::string path = (dir && *dir) ? std::string(dir) + "/" : std::string();
+    path += "BENCH_" + bench + ".json";
+    f_ = std::fopen(path.c_str(), "w");
+    if (!f_) std::fprintf(stderr, "bench: cannot open %s for JSON records\n", path.c_str());
+  }
+  ~JsonRecorder() {
+    if (f_) std::fclose(f_);
+  }
+  JsonRecorder(const JsonRecorder&) = delete;
+  JsonRecorder& operator=(const JsonRecorder&) = delete;
+
+  void record(const std::string& metric, double value, const std::string& unit = "") {
+    if (!f_) return;
+    std::string line = "{\"bench\":\"" + obs::json_escape(bench_) + "\",\"metric\":\"" +
+                       obs::json_escape(metric) + "\"";
+    char num[48];
+    std::snprintf(num, sizeof num, "%.10g", value);
+    line += std::string(",\"value\":") + num;
+    if (!unit.empty()) line += ",\"unit\":\"" + obs::json_escape(unit) + "\"";
+    line += "}\n";
+    std::fputs(line.c_str(), f_);
+    std::fflush(f_);
+  }
+
+ private:
+  std::string bench_;
+  std::FILE* f_ = nullptr;
+};
 
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');

@@ -340,8 +340,10 @@ LoopedSm build_looped_sm(const LoopedSmOptions& opt) {
 }
 
 SimResult simulate_looped(const LoopedSm& sm, const trace::InputBindings& inputs,
-                          const trace::EvalContext& base_ctx) {
+                          const trace::EvalContext& base_ctx,
+                          obs::CycleEventSink* sink) {
   detail::MachineState m(sm.prologue.cfg, sm.rf_size, &base_ctx);
+  m.set_event_sink(sink);
 
   // Bind prologue inputs.
   for (const auto& [op_id, reg] : sm.prologue.preload) {
@@ -392,7 +394,7 @@ SimResult simulate_looped(const LoopedSm& sm, const trace::InputBindings& inputs
 
   SimResult res;
   res.stats = m.stats();
-  res.stats.cycles = t;
+  FOURQ_CHECK_MSG(res.stats.cycles == t, "event-derived cycle count out of sync");
   for (const auto& [name, reg] : sm.epilogue.outputs) res.outputs[name] = m.peek(reg);
   return res;
 }

@@ -55,7 +55,10 @@ struct LoopedSm {
 
 LoopedSm build_looped_sm(const LoopedSmOptions& opt = {});
 
+// `sink`, when non-null, receives the cycle-level event stream (absolute
+// cycles across prologue, body replays and epilogue).
 SimResult simulate_looped(const LoopedSm& sm, const trace::InputBindings& inputs,
-                          const trace::EvalContext& ctx);
+                          const trace::EvalContext& ctx,
+                          obs::CycleEventSink* sink = nullptr);
 
 }  // namespace fourq::asic

@@ -21,6 +21,12 @@ MachineState::MachineState(const sched::MachineConfig& cfg, int rf_slots,
       add_due_(static_cast<size_t>(cfg.num_addsubs)),
       mul_last_issue_(static_cast<size_t>(cfg.num_multipliers), -1) {}
 
+void MachineState::emit(obs::SimEventKind kind, int16_t unit, int32_t arg) {
+  obs::CycleEvent e{kind, cycle_, unit, arg};
+  stats_sink_.on_event(e);
+  if (extra_sink_) extra_sink_->on_event(e);
+}
+
 int MachineState::xlat(int reg, const RegTranslate& translate) const {
   if (translate.empty()) return reg;
   FOURQ_CHECK(reg >= 0 && reg < static_cast<int>(translate.size()));
@@ -46,7 +52,7 @@ Fp2 MachineState::read_reg(int reg) {
   FOURQ_CHECK(reg >= 0 && reg < static_cast<int>(rf_.size()));
   const auto& v = rf_[static_cast<size_t>(reg)];
   FOURQ_CHECK_MSG(v.has_value(), "read of uninitialised register r" + std::to_string(reg));
-  ++stats_.rf_reads;
+  emit(obs::SimEventKind::kRfRead, -1, reg);
   ++reads_this_cycle_;
   return *v;
 }
@@ -87,7 +93,7 @@ Fp2 MachineState::resolve(const SrcSel& src, const std::vector<SelectMap>& maps,
       auto& due = mul_due_[static_cast<size_t>(src.unit)];
       auto it = due.find(t);
       FOURQ_CHECK_MSG(it != due.end(), "multiplier bus empty at forwarding cycle");
-      ++stats_.forwarded_operands;
+      emit(obs::SimEventKind::kForward, static_cast<int16_t>(src.unit), 1);
       return it->second;
     }
     case SrcSel::Kind::kAddBus: {
@@ -95,7 +101,7 @@ Fp2 MachineState::resolve(const SrcSel& src, const std::vector<SelectMap>& maps,
       auto& due = add_due_[static_cast<size_t>(src.unit)];
       auto it = due.find(t);
       FOURQ_CHECK_MSG(it != due.end(), "adder bus empty at forwarding cycle");
-      ++stats_.forwarded_operands;
+      emit(obs::SimEventKind::kForward, static_cast<int16_t>(src.unit), 0);
       return it->second;
     }
     case SrcSel::Kind::kNone:
@@ -106,7 +112,10 @@ Fp2 MachineState::resolve(const SrcSel& src, const std::vector<SelectMap>& maps,
 
 void MachineState::step(const CtrlWord& w, const std::vector<SelectMap>& maps, int t,
                         const RegTranslate& translate, const trace::EvalContext& ctx) {
+  cycle_ = t;
   reads_this_cycle_ = 0;
+  emit(obs::SimEventKind::kCycle);
+  if (w.mul.empty() && w.addsub.empty()) emit(obs::SimEventKind::kStall);
 
   // 1. Operand fetch + issue (reads observe the RF before this cycle's
   //    writebacks land).
@@ -127,7 +136,7 @@ void MachineState::step(const CtrlWord& w, const std::vector<SelectMap>& maps, i
     auto& pipe = mul_due_[inst];
     FOURQ_CHECK_MSG(pipe.find(due) == pipe.end(), "multiplier pipeline collision");
     pipe.emplace(due, Fp2::mul_karatsuba(a, b));
-    ++stats_.mul_issues;
+    emit(obs::SimEventKind::kMulIssue, static_cast<int16_t>(u.unit));
   }
   FOURQ_CHECK_MSG(static_cast<int>(w.addsub.size()) <= cfg_.num_addsubs,
                   "more adder issues than instances");
@@ -154,12 +163,11 @@ void MachineState::step(const CtrlWord& w, const std::vector<SelectMap>& maps, i
     auto& pipe = add_due_[inst];
     FOURQ_CHECK_MSG(pipe.find(due) == pipe.end(), "adder pipeline collision");
     pipe.emplace(due, r);
-    ++stats_.addsub_issues;
+    emit(obs::SimEventKind::kAddsubIssue, static_cast<int16_t>(u.unit));
   }
 
   FOURQ_CHECK_MSG(reads_this_cycle_ <= cfg_.rf_read_ports,
                   "read-port limit exceeded at cycle " + std::to_string(t));
-  stats_.max_reads_in_cycle = std::max(stats_.max_reads_in_cycle, reads_this_cycle_);
 
   // 2. Writebacks (end of cycle).
   FOURQ_CHECK_MSG(static_cast<int>(w.writebacks.size()) <= cfg_.rf_write_ports,
@@ -170,8 +178,9 @@ void MachineState::step(const CtrlWord& w, const std::vector<SelectMap>& maps, i
     auto& due = pipes[static_cast<size_t>(wb.unit)];
     auto it = due.find(t);
     FOURQ_CHECK_MSG(it != due.end(), "writeback with no result due");
-    rf_[static_cast<size_t>(xlat(wb.reg, translate))] = it->second;
-    ++stats_.rf_writes;
+    int reg = xlat(wb.reg, translate);
+    rf_[static_cast<size_t>(reg)] = it->second;
+    emit(obs::SimEventKind::kRfWrite, static_cast<int16_t>(wb.unit), reg);
   }
 
   // 3. Bus values expire after their cycle.

@@ -2,6 +2,10 @@
 // (simulator.cpp) and the looped-controller simulator (looped.cpp):
 // register file, per-instance unit pipelines, port accounting, and
 // execution of one control word. Not part of the public API.
+//
+// Every action is published as an obs::CycleEvent: once to the internal
+// SimStatsSink (the sole source of SimStats) and, when set, to an external
+// sink for recording/energy attribution.
 #pragma once
 
 #include <map>
@@ -20,6 +24,9 @@ class MachineState {
   MachineState(const sched::MachineConfig& cfg, int rf_slots,
                const trace::EvalContext* ctx);
 
+  // Extra consumer of the event stream (nullptr = stats only).
+  void set_event_sink(obs::CycleEventSink* sink) { extra_sink_ = sink; }
+
   // Executes one control word at absolute cycle t. `translate` remaps every
   // register index (empty = identity). `ctx` may change between calls (the
   // loop counter advances).
@@ -30,10 +37,10 @@ class MachineState {
   field::Fp2 peek(int reg) const;
   bool pipelines_empty() const;
 
-  SimStats& stats() { return stats_; }
-  const SimStats& stats() const { return stats_; }
+  const SimStats& stats() const { return stats_sink_.stats(); }
 
  private:
+  void emit(obs::SimEventKind kind, int16_t unit = -1, int32_t arg = 0);
   int xlat(int reg, const RegTranslate& translate) const;
   field::Fp2 read_reg(int reg);
   field::Fp2 resolve(const sched::SrcSel& src, const std::vector<sched::SelectMap>& maps,
@@ -46,7 +53,9 @@ class MachineState {
   std::vector<std::optional<field::Fp2>> rf_;
   std::vector<std::map<int, field::Fp2>> mul_due_, add_due_;
   std::vector<int> mul_last_issue_;  // per instance, for II enforcement
-  SimStats stats_;
+  SimStatsSink stats_sink_;
+  obs::CycleEventSink* extra_sink_ = nullptr;
+  int cycle_ = 0;  // absolute cycle of the control word being stepped
   int reads_this_cycle_ = 0;
 };
 

@@ -1,13 +1,54 @@
 #include "asic/simulator.hpp"
 
+#include <algorithm>
+
 #include "asic/machine_state.hpp"
 #include "common/check.hpp"
 
 namespace fourq::asic {
 
+void SimStatsSink::on_event(const obs::CycleEvent& e) {
+  using obs::SimEventKind;
+  switch (e.kind) {
+    case SimEventKind::kCycle:
+      ++stats_.cycles;
+      reads_this_cycle_ = 0;
+      writes_this_cycle_ = 0;
+      break;
+    case SimEventKind::kMulIssue:
+      ++stats_.mul_issues;
+      break;
+    case SimEventKind::kAddsubIssue:
+      ++stats_.addsub_issues;
+      break;
+    case SimEventKind::kRfRead:
+      ++stats_.rf_reads;
+      stats_.max_reads_in_cycle = std::max(stats_.max_reads_in_cycle, ++reads_this_cycle_);
+      break;
+    case SimEventKind::kRfWrite:
+      ++stats_.rf_writes;
+      stats_.max_writes_in_cycle =
+          std::max(stats_.max_writes_in_cycle, ++writes_this_cycle_);
+      break;
+    case SimEventKind::kForward:
+      ++stats_.forwarded_operands;
+      break;
+    case SimEventKind::kStall:
+      ++stats_.stall_cycles;
+      break;
+  }
+}
+
+SimStats stats_from_events(const std::vector<obs::CycleEvent>& events) {
+  SimStatsSink sink;
+  for (const obs::CycleEvent& e : events) sink.on_event(e);
+  return sink.stats();
+}
+
 SimResult simulate(const sched::CompiledSm& sm, const trace::InputBindings& inputs,
-                   const trace::EvalContext& ctx) {
+                   const trace::EvalContext& ctx, obs::CycleEventSink* sink) {
   detail::MachineState m(sm.cfg, sm.rf_slots, &ctx);
+  m.set_event_sink(sink);
 
   // Preload inputs into their allocated registers.
   for (const auto& [op_id, reg] : sm.preload) {
@@ -29,7 +70,6 @@ SimResult simulate(const sched::CompiledSm& sm, const trace::InputBindings& inpu
 
   SimResult res;
   res.stats = m.stats();
-  res.stats.cycles = sm.cycles();
   for (const auto& [name, reg] : sm.outputs) res.outputs[name] = m.peek(reg);
   return res;
 }

@@ -7,11 +7,18 @@
 // timing rules (it executes control words; it never looks at the schedule):
 // agreement with the trace interpreter on every output is the
 // functional-equivalence check between "RTL" and golden model.
+//
+// Every micro-architectural action is published as an obs::CycleEvent
+// (issue / RF read / forward / writeback / stall, one kCycle per control
+// word). SimStats is *derived* from that stream by SimStatsSink — the
+// counters below are a fold over the events, not hand-maintained state —
+// and callers may pass their own sink to observe the raw stream.
 #pragma once
 
 #include <map>
 #include <string>
 
+#include "obs/events.hpp"
 #include "sched/microcode.hpp"
 #include "trace/eval.hpp"
 
@@ -24,11 +31,35 @@ struct SimStats {
   int rf_reads = 0;           // port-consuming reads
   int forwarded_operands = 0; // operands taken from a unit output bus
   int rf_writes = 0;
+  int stall_cycles = 0;       // control words issuing nothing on any unit
   int max_reads_in_cycle = 0;
+  int max_writes_in_cycle = 0;
   double mul_utilisation() const {
     return cycles == 0 ? 0.0 : static_cast<double>(mul_issues) / cycles;
   }
+  double addsub_utilisation() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(addsub_issues) / cycles;
+  }
+  bool operator==(const SimStats&) const = default;
 };
+
+// Folds the event stream into SimStats (cycles = number of kCycle events,
+// maxima tracked per cycle). The simulators route their own events through
+// one of these, so internal stats and any external recording agree by
+// construction.
+class SimStatsSink final : public obs::CycleEventSink {
+ public:
+  void on_event(const obs::CycleEvent& e) override;
+  const SimStats& stats() const { return stats_; }
+  void reset() { *this = SimStatsSink(); }
+
+ private:
+  SimStats stats_;
+  int reads_this_cycle_ = 0;
+  int writes_this_cycle_ = 0;
+};
+
+SimStats stats_from_events(const std::vector<obs::CycleEvent>& events);
 
 struct SimResult {
   std::map<std::string, field::Fp2> outputs;
@@ -37,8 +68,10 @@ struct SimResult {
 
 // Executes the compiled program. `inputs` binds input-op ids to values
 // (same bindings as the trace interpreter); `ctx` supplies the recoded
-// digits and the even-k flag for indexed reads.
+// digits and the even-k flag for indexed reads. `sink`, when non-null,
+// receives the cycle-level event stream as it is produced.
 SimResult simulate(const sched::CompiledSm& sm, const trace::InputBindings& inputs,
-                   const trace::EvalContext& ctx);
+                   const trace::EvalContext& ctx,
+                   obs::CycleEventSink* sink = nullptr);
 
 }  // namespace fourq::asic

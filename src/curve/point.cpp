@@ -1,10 +1,12 @@
 #include "curve/point.hpp"
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace fourq::curve {
 
 Affine to_affine(const PointR1& p) {
+  FOURQ_SPAN("curve.normalize");
   FOURQ_CHECK_MSG(!p.Z.is_zero(), "point at infinity has no affine form");
   Fp2 zi = p.Z.inv();
   return Affine{p.X * zi, p.Y * zi};

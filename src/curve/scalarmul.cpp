@@ -1,6 +1,7 @@
 #include "curve/scalarmul.hpp"
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace fourq::curve {
 
@@ -40,24 +41,41 @@ std::array<PointR2, 8> build_table(const BasePoints& bp) {
 }
 
 PointR1 scalar_mul(const U256& k, const Affine& p) {
-  BasePoints bp = compute_base_points(p);
-  std::array<PointR2, 8> table = build_table(bp);
-  Decomposition dec = decompose(k);
-  RecodedScalar rec = recode(dec.a);
+  FOURQ_SPAN("curve.scalar_mul");
+  FOURQ_COUNTER_INC("curve.scalar_mul.calls");
+
+  BasePoints bp;
+  std::array<PointR2, 8> table;
+  {
+    FOURQ_SPAN("curve.precompute");
+    bp = compute_base_points(p);
+    table = build_table(bp);
+  }
+
+  Decomposition dec;
+  RecodedScalar rec;
+  {
+    FOURQ_SPAN("curve.decompose");
+    dec = decompose(k);
+    rec = recode(dec.a);
+  }
 
   // Uniform main loop: Q starts at the identity and the digit-64 addition is
   // folded into the same complete-addition step as every other digit.
   PointR1 q = identity();
-  for (int i = kDigits - 1; i >= 0; --i) {
-    if (i != kDigits - 1) q = dbl(q);
-    const PointR2& entry = table[rec.digit[i]];
-    q = add(q, rec.sign[i] > 0 ? entry : neg_r2(entry));
-  }
+  {
+    FOURQ_SPAN("curve.loop");
+    for (int i = kDigits - 1; i >= 0; --i) {
+      if (i != kDigits - 1) q = dbl(q);
+      const PointR2& entry = table[rec.digit[i]];
+      q = add(q, rec.sign[i] > 0 ? entry : neg_r2(entry));
+    }
 
-  // Uniform even-k correction: always one more complete addition; the
-  // operand is -P when k was even and the identity otherwise.
-  PointR2 correction = dec.k_was_even ? neg_r2(to_r2(bp.p)) : to_r2(identity());
-  q = add(q, correction);
+    // Uniform even-k correction: always one more complete addition; the
+    // operand is -P when k was even and the identity otherwise.
+    PointR2 correction = dec.k_was_even ? neg_r2(to_r2(bp.p)) : to_r2(identity());
+    q = add(q, correction);
+  }
   return q;
 }
 

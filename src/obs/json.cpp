@@ -1,0 +1,212 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace fourq::obs::json {
+
+const Value& Value::at(const std::string& key) const {
+  FOURQ_CHECK_MSG(type == Type::kObject, "json: member access on non-object");
+  auto it = obj.find(key);
+  FOURQ_CHECK_MSG(it != obj.end(), "json: missing key \"" + key + "\"");
+  return *it->second;
+}
+
+const Value& Value::at(size_t i) const {
+  FOURQ_CHECK_MSG(type == Type::kArray && i < arr.size(), "json: bad array index");
+  return *arr[i];
+}
+
+double Value::number() const {
+  FOURQ_CHECK_MSG(type == Type::kNumber, "json: value is not a number");
+  return num;
+}
+
+const std::string& Value::string() const {
+  FOURQ_CHECK_MSG(type == Type::kString, "json: value is not a string");
+  return str;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const std::string& m) {
+    if (err.empty()) err = m;
+    return false;
+  }
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p >= end) return fail("bad escape");
+        char e = *p++;
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case '/': out->push_back('/'); break;
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'u': {
+            if (end - p < 4) return fail("bad \\u escape");
+            out->append("\\u").append(p, 4);  // pass-through, not decoded
+            p += 4;
+            break;
+          }
+          default: return fail("bad escape char");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_value(ValuePtr* out) {
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    *out = std::make_shared<Value>();
+    Value& v = **out;
+    char c = *p;
+    if (c == '{') {
+      ++p;
+      v.type = Type::kObject;
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!parse_string(&key)) return false;
+        if (!consume(':')) return false;
+        ValuePtr member;
+        if (!parse_value(&member)) return false;
+        v.obj[key] = member;
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          skip_ws();
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++p;
+      v.type = Type::kArray;
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        ValuePtr elem;
+        if (!parse_value(&elem)) return false;
+        v.arr.push_back(elem);
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      v.type = Type::kString;
+      return parse_string(&v.str);
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      const char* words[] = {"true", "false", "null"};
+      for (const char* w : words) {
+        size_t n = std::string(w).size();
+        if (static_cast<size_t>(end - p) >= n && std::string(p, n) == w) {
+          p += n;
+          if (*w == 'n') {
+            v.type = Type::kNull;
+          } else {
+            v.type = Type::kBool;
+            v.b = (*w == 't');
+          }
+          return true;
+        }
+      }
+      return fail("bad literal");
+    }
+    // Number.
+    char* numend = nullptr;
+    v.type = Type::kNumber;
+    v.num = std::strtod(p, &numend);
+    if (numend == p || numend > end) return fail("bad number");
+    p = numend;
+    return true;
+  }
+};
+
+}  // namespace
+
+ValuePtr parse(const std::string& text, std::string* error) {
+  Parser ps{text.data(), text.data() + text.size(), {}};
+  ValuePtr v;
+  bool ok = ps.parse_value(&v);
+  if (ok) {
+    ps.skip_ws();
+    if (ps.p != ps.end) {
+      ok = false;
+      ps.fail("trailing garbage after document");
+    }
+  }
+  if (!ok) {
+    if (error) *error = ps.err;
+    return nullptr;
+  }
+  return v;
+}
+
+std::vector<ValuePtr> parse_lines(const std::string& text, std::string* error) {
+  std::vector<ValuePtr> out;
+  size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string err;
+    ValuePtr v = parse(line, &err);
+    if (!v) {
+      if (error) *error = "line " + std::to_string(lineno) + ": " + err;
+      return {};
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace fourq::obs::json

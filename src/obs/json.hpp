@@ -1,0 +1,46 @@
+// Minimal recursive-descent JSON reader — just enough to validate the
+// telemetry exporters' output (Chrome trace JSON, metrics JSONL) and to
+// drive tools/perf_regress. Not a general-purpose library: numbers are
+// doubles, no \uXXXX decoding beyond pass-through, inputs are trusted
+// telemetry files.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fourq::obs::json {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+struct Value {
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<ValuePtr> arr;
+  std::map<std::string, ValuePtr> obj;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+  // Object member access; throws (FOURQ_CHECK) on missing key / wrong type.
+  const Value& at(const std::string& key) const;
+  const Value& at(size_t i) const;
+  double number() const;
+  const std::string& string() const;
+};
+
+// Parses one JSON document. Returns nullptr (and sets *error when given)
+// on malformed input or trailing garbage.
+ValuePtr parse(const std::string& text, std::string* error = nullptr);
+
+// Parses JSON-lines: one document per non-empty line; any bad line fails
+// the whole parse.
+std::vector<ValuePtr> parse_lines(const std::string& text, std::string* error = nullptr);
+
+}  // namespace fourq::obs::json

@@ -1,0 +1,119 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fourq::obs {
+
+namespace {
+
+// Prints a double the way JSON expects (no trailing garbage, integral
+// values without an exponent).
+std::string num_str(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  ++counts_[i];
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::upper_bound(size_t i) const {
+  return i < bounds_.size() ? bounds_[i] : std::numeric_limits<double>::infinity();
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void Registry::reset() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::to_jsonl() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "{\"metric\":\"" + name + "\",\"type\":\"counter\",\"value\":" +
+           std::to_string(c->value()) + "}\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "{\"metric\":\"" + name + "\",\"type\":\"gauge\",\"value\":" +
+           num_str(g->value()) + "}\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "{\"metric\":\"" + name + "\",\"type\":\"histogram\",\"count\":" +
+           std::to_string(h->count()) + ",\"sum\":" + num_str(h->sum()) +
+           ",\"buckets\":[";
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      if (i) out += ",";
+      out += "{\"le\":";
+      double ub = h->upper_bound(i);
+      out += std::isinf(ub) ? "\"inf\"" : num_str(ub);
+      out += ",\"count\":" + std::to_string(h->bucket_count(i)) + "}";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string Registry::to_table() const {
+  std::string out;
+  char line[160];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof line, "%-44s %16llu  counter\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof line, "%-44s %16.4f  gauge\n", name.c_str(), g->value());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof line, "%-44s %16llu  histogram (sum %.4g)\n", name.c_str(),
+                  static_cast<unsigned long long>(h->count()), h->sum());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fourq::obs

@@ -1,0 +1,86 @@
+// Metrics registry — the counter/gauge/histogram vocabulary every layer of
+// the pipeline reports into (docs/OBSERVABILITY.md). The registry plays the
+// role hardware performance counters play on the real chip: cheap monotonic
+// accumulators that a single exporter drains at the end of a run.
+//
+// Handles returned by Registry::counter()/gauge()/histogram() stay valid for
+// the registry's lifetime (entries are never erased; reset() only zeroes
+// values), so call sites may cache references in function-local statics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fourq::obs {
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_ += n; }
+  uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  double v_ = 0;
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+// N buckets; one overflow bucket catches everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  // Upper bound of bucket i; the overflow bucket reports +inf.
+  double upper_bound(size_t i) const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;  // bounds_.size() + 1 entries
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+// Named metric store. Lookup creates on first use; `bounds` on a histogram
+// is honoured only at creation. Not thread-safe (the pipeline is
+// single-threaded); iteration order is the metric name order, so exports
+// are deterministic.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Zeroes every metric but keeps all entries (handles stay valid).
+  void reset();
+
+  // One JSON object per line: {"metric":NAME,"type":T,"value":V} for
+  // counters/gauges; histograms add "count","sum","buckets".
+  std::string to_jsonl() const;
+  // Fixed-width human-readable listing.
+  std::string to_table() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fourq::obs

@@ -1,0 +1,105 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace fourq::obs {
+
+namespace {
+
+uint64_t steady_ns() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer() : epoch_ns_(steady_ns()) {}
+
+uint64_t SpanTracer::now_us() const { return (steady_ns() - epoch_ns_) / 1000; }
+
+void SpanTracer::begin(const std::string& name) { open_.push_back({name, now_us()}); }
+
+void SpanTracer::end() {
+  FOURQ_CHECK_MSG(!open_.empty(), "span end() without matching begin()");
+  Open o = std::move(open_.back());
+  open_.pop_back();
+  SpanRecord r;
+  r.name = std::move(o.name);
+  r.depth = static_cast<int>(open_.size());
+  r.start_us = o.start_us;
+  r.dur_us = now_us() - o.start_us;
+  spans_.push_back(std::move(r));
+}
+
+void SpanTracer::reset() {
+  open_.clear();
+  spans_.clear();
+  epoch_ns_ = steady_ns();
+}
+
+std::string SpanTracer::chrome_trace_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(s.name) +
+           "\",\"cat\":\"fourq\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" +
+           std::to_string(s.start_us) + ",\"dur\":" + std::to_string(s.dur_us) +
+           ",\"args\":{\"depth\":" + std::to_string(s.depth) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string SpanTracer::to_table() const {
+  // Spans complete children-first; re-emit in start order for readability.
+  std::vector<const SpanRecord*> by_start;
+  by_start.reserve(spans_.size());
+  for (const SpanRecord& s : spans_) by_start.push_back(&s);
+  std::stable_sort(by_start.begin(), by_start.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->start_us != b->start_us) return a->start_us < b->start_us;
+                     return a->depth < b->depth;  // parents before ties
+                   });
+  std::string out;
+  char line[192];
+  for (const SpanRecord* s : by_start) {
+    std::string name(static_cast<size_t>(2 * s->depth), ' ');
+    name += s->name;
+    std::snprintf(line, sizeof line, "%-44s %12.3f ms  (at +%.3f ms)\n", name.c_str(),
+                  s->dur_us / 1000.0, s->start_us / 1000.0);
+    out += line;
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace fourq::obs

@@ -1,0 +1,68 @@
+// Scoped span tracer — nested wall-clock timing for the software pipeline
+// (decompose/precompute/loop/normalize, scheduler stages, simulation).
+// Completed spans export as Chrome trace_event JSON ("X" complete events),
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fourq::obs {
+
+struct SpanRecord {
+  std::string name;
+  int depth = 0;         // nesting level at begin time (0 = top level)
+  uint64_t start_us = 0; // microseconds since the tracer epoch
+  uint64_t dur_us = 0;
+};
+
+class SpanTracer {
+ public:
+  SpanTracer();
+
+  void begin(const std::string& name);
+  void end();
+
+  // Completed spans, in completion order (children before parents).
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  int open_depth() const { return static_cast<int>(open_.size()); }
+
+  // Microseconds since the tracer was constructed (or last reset).
+  uint64_t now_us() const;
+
+  // {"traceEvents":[...]} — one "X" (complete) event per finished span.
+  std::string chrome_trace_json() const;
+  // Indented human-readable listing (children under parents).
+  std::string to_table() const;
+
+  // Drops all records and restarts the epoch. Spans still open are
+  // abandoned.
+  void reset();
+
+ private:
+  struct Open {
+    std::string name;
+    uint64_t start_us;
+  };
+  std::vector<Open> open_;
+  std::vector<SpanRecord> spans_;
+  uint64_t epoch_ns_ = 0;
+};
+
+// RAII guard: FOURQ_SPAN expands to one of these.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer& t, const char* name) : t_(&t) { t_->begin(name); }
+  ~ScopedSpan() { t_->end(); }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTracer* t_;
+};
+
+// Escapes a string for embedding in a JSON literal (used by every exporter).
+std::string json_escape(const std::string& s);
+
+}  // namespace fourq::obs

@@ -29,14 +29,39 @@ ActivityEnergyModel::ActivityEnergyModel(const asic::SimStats& activity,
 }
 
 EnergyBreakdown ActivityEnergyModel::breakdown(double vdd) const {
+  return breakdown_for(activity_, vdd);
+}
+
+EnergyBreakdown ActivityEnergyModel::breakdown_for(const asic::SimStats& window,
+                                                   double vdd) const {
   EnergyBreakdown b;
   double e = unit_scale_ * vdd * vdd;
-  b.mul_uj = e * kMulWeight * activity_.mul_issues;
-  b.addsub_uj = e * kAddsubWeight * activity_.addsub_issues;
-  b.rf_uj = e * kRfAccessWeight * (activity_.rf_reads + activity_.rf_writes);
-  b.ctrl_uj = e * kCycleWeight * activity_.cycles;
-  b.leak_uj = chip_.leakage_uj(vdd);
+  b.mul_uj = e * kMulWeight * window.mul_issues;
+  b.addsub_uj = e * kAddsubWeight * window.addsub_issues;
+  b.rf_uj = e * kRfAccessWeight * (window.rf_reads + window.rf_writes);
+  b.ctrl_uj = e * kCycleWeight * window.cycles;
+  b.leak_uj = chip_.leakage_uj(vdd) * static_cast<double>(window.cycles) /
+              static_cast<double>(activity_.cycles);
   return b;
+}
+
+std::vector<PhaseEnergy> ActivityEnergyModel::attribute_phases(
+    double vdd, const std::vector<obs::CycleEvent>& events,
+    const std::vector<PhaseWindow>& phases) const {
+  std::vector<PhaseEnergy> out;
+  out.reserve(phases.size());
+  for (const PhaseWindow& w : phases) {
+    FOURQ_CHECK_MSG(w.begin_cycle <= w.end_cycle, "phase window is inverted");
+    asic::SimStatsSink sink;
+    for (const obs::CycleEvent& e : events)
+      if (e.cycle >= w.begin_cycle && e.cycle < w.end_cycle) sink.on_event(e);
+    PhaseEnergy pe;
+    pe.window = w;
+    pe.activity = sink.stats();
+    pe.energy = breakdown_for(pe.activity, vdd);
+    out.push_back(std::move(pe));
+  }
+  return out;
 }
 
 }  // namespace fourq::power

@@ -7,7 +7,11 @@
 // the per-unit split and its scaling with activity.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "asic/simulator.hpp"
+#include "obs/events.hpp"
 #include "power/sotb65.hpp"
 
 namespace fourq::power {
@@ -21,6 +25,20 @@ struct EnergyBreakdown {
   double total_uj() const { return mul_uj + addsub_uj + rf_uj + ctrl_uj + leak_uj; }
 };
 
+// A named cycle window [begin_cycle, end_cycle) of the simulated program —
+// e.g. the looped controller's prologue/loop/epilogue segments.
+struct PhaseWindow {
+  std::string name;
+  int begin_cycle = 0;
+  int end_cycle = 0;
+};
+
+struct PhaseEnergy {
+  PhaseWindow window;
+  asic::SimStats activity;  // events folded over the window only
+  EnergyBreakdown energy;
+};
+
 class ActivityEnergyModel {
  public:
   // `activity` is the per-SM event record from the simulator; `chip` the
@@ -28,6 +46,18 @@ class ActivityEnergyModel {
   ActivityEnergyModel(const asic::SimStats& activity, const Sotb65Model& chip);
 
   EnergyBreakdown breakdown(double vdd) const;
+
+  // Energy attributed to a sub-window of the same program, using the same
+  // calibration: dynamic terms scale with the window's event counts,
+  // leakage with its share of cycles. Summing windows that partition the
+  // program recovers breakdown(vdd) by construction.
+  EnergyBreakdown breakdown_for(const asic::SimStats& window, double vdd) const;
+
+  // Per-phase attribution over the simulator's recorded event stream
+  // (obs::RecordingSink). Windows may be any disjoint cycle ranges.
+  std::vector<PhaseEnergy> attribute_phases(double vdd,
+                                            const std::vector<obs::CycleEvent>& events,
+                                            const std::vector<PhaseWindow>& phases) const;
 
   // Relative per-event switched-capacitance weights (exposed for tests).
   static constexpr double kMulWeight = 1.00;    // one Fp2 Karatsuba issue

@@ -1,5 +1,6 @@
 #include "sched/compile.hpp"
 
+#include "obs/obs.hpp"
 #include "sched/validate.hpp"
 
 namespace fourq::sched {
@@ -7,6 +8,7 @@ namespace fourq::sched {
 namespace {
 
 Schedule run_solver(const Problem& pr, const CompileOptions& opt) {
+  FOURQ_SPAN("sched.solve");
   switch (opt.solver) {
     case Solver::kSequential:
       return sequential_schedule(pr);
@@ -20,29 +22,49 @@ Schedule run_solver(const Problem& pr, const CompileOptions& opt) {
   return list_schedule(pr);
 }
 
+// Shared stage pipeline; `pinned_alloc` selects the register allocator.
+template <typename AllocFn>
+CompileResult compile_stages(const trace::Program& p, const CompileOptions& opt,
+                             AllocFn alloc) {
+  FOURQ_SPAN("sched.compile");
+  CompileResult res;
+  {
+    FOURQ_SPAN("sched.extract_dag");
+    res.problem = build_problem(p, opt.cfg);
+  }
+  res.schedule = run_solver(res.problem, opt);
+  {
+    FOURQ_SPAN("sched.validate");
+    require_valid(res.problem, res.schedule);
+  }
+  res.register_pressure = register_pressure(res.problem, res.schedule);
+  {
+    FOURQ_SPAN("sched.regalloc");
+    res.alloc = alloc(res.problem, res.schedule);
+  }
+  {
+    FOURQ_SPAN("sched.emit_microcode");
+    res.sm = emit_microcode(res.problem, res.schedule, res.alloc);
+  }
+  FOURQ_COUNTER_INC("sched.compiles");
+  FOURQ_GAUGE_SET("sched.makespan", res.schedule.makespan);
+  FOURQ_GAUGE_SET("sched.register_pressure", res.register_pressure);
+  return res;
+}
+
 }  // namespace
 
 CompileResult compile_program(const trace::Program& p, const CompileOptions& opt) {
-  CompileResult res;
-  res.problem = build_problem(p, opt.cfg);
-  res.schedule = run_solver(res.problem, opt);
-  require_valid(res.problem, res.schedule);
-  res.register_pressure = register_pressure(res.problem, res.schedule);
-  res.alloc = allocate_registers(res.problem, res.schedule);
-  res.sm = emit_microcode(res.problem, res.schedule, res.alloc);
-  return res;
+  return compile_stages(p, opt, [](const Problem& pr, const Schedule& s) {
+    return allocate_registers(pr, s);
+  });
 }
 
 CompileResult compile_block(const trace::Program& p, const CompileOptions& opt,
                             const PinSpec& spec) {
-  CompileResult res;
-  res.problem = build_problem(p, opt.cfg);
-  res.schedule = run_solver(res.problem, opt);
-  require_valid(res.problem, res.schedule);
-  res.register_pressure = register_pressure(res.problem, res.schedule);
-  res.alloc = allocate_registers_pinned(res.problem, res.schedule, spec);
-  res.sm = emit_microcode(res.problem, res.schedule, res.alloc);
-  return res;
+  return compile_stages(p, opt, [&spec](const Problem& pr, const Schedule& s) {
+    return allocate_registers_pinned(pr, s, spec);
+  });
 }
 
 }  // namespace fourq::sched

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace fourq::sched {
 
@@ -89,6 +90,10 @@ Problem build_problem(const Program& p, const MachineConfig& cfg) {
       a = std::max(a, pr.asap[ni] + lat);
     }
   }
+  size_t edges = 0;
+  for (const auto& c : pr.consumers) edges += c.size();
+  FOURQ_COUNTER_ADD("sched.dag.nodes", pr.nodes.size());
+  FOURQ_COUNTER_ADD("sched.dag.edges", edges);
   return pr;
 }
 

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "curve/point.hpp"
 #include "curve/scalar.hpp"
+#include "obs/obs.hpp"
 
 namespace fourq::trace {
 
@@ -137,6 +138,7 @@ CoreOutputs trace_sm_core(Tracer& t, const CoreInputs& in, const SmTraceOptions&
 }  // namespace
 
 SmTrace build_sm_trace(const SmTraceOptions& opt) {
+  FOURQ_SPAN("trace.build_sm");
   FOURQ_CHECK(opt.digits >= 2 && opt.digits <= curve::kDigits);
   SmTrace out;
   out.options = opt;

@@ -1,0 +1,254 @@
+// Telemetry layer tests: metric semantics, span nesting, Chrome trace
+// export well-formedness, the JSON reader, and the golden event-stream
+// check — SimStats derived from the published cycle events must equal the
+// simulator's own stats on the Table I loop body.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "asic/simulator.hpp"
+#include "curve/point.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "sched/compile.hpp"
+#include "trace/sm_trace.hpp"
+
+namespace fourq {
+namespace {
+
+using obs::Registry;
+using obs::SpanTracer;
+
+TEST(Metrics, CounterSemantics) {
+  Registry reg;
+  obs::Counter& c = reg.counter("a.calls");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Lookup by the same name returns the same instance.
+  EXPECT_EQ(&reg.counter("a.calls"), &c);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // handle survives reset with value zeroed
+  c.inc(7);
+  EXPECT_EQ(reg.counter("a.calls").value(), 7u);
+}
+
+TEST(Metrics, GaugeSemantics) {
+  Registry reg;
+  obs::Gauge& g = reg.gauge("makespan");
+  g.set(25);
+  g.set(23.5);
+  EXPECT_DOUBLE_EQ(g.value(), 23.5);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBuckets) {
+  Registry reg;
+  obs::Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 bounds + overflow
+  for (double x : {0.5, 1.0, 5.0, 50.0, 1000.0}) h.observe(x);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1056.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 0.5 and the inclusive bound 1.0
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow
+  EXPECT_DOUBLE_EQ(h.upper_bound(1), 10.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(3), 0u);
+}
+
+TEST(Metrics, JsonlExportParses) {
+  Registry reg;
+  reg.counter("sim.cycles").inc(1973);
+  reg.gauge("sched.makespan").set(25);
+  reg.histogram("span.dur", {10.0, 100.0}).observe(42.0);
+
+  std::string err;
+  auto lines = obs::json::parse_lines(reg.to_jsonl(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(lines.size(), 3u);
+  for (const auto& v : lines) {
+    ASSERT_TRUE(v->is_object());
+    EXPECT_TRUE(v->has("metric"));
+    EXPECT_TRUE(v->has("type"));
+  }
+  // Counters sort before gauges before histograms within the export.
+  bool found = false;
+  for (const auto& v : lines)
+    if (v->at("metric").string() == "sim.cycles") {
+      EXPECT_EQ(v->at("type").string(), "counter");
+      EXPECT_DOUBLE_EQ(v->at("value").number(), 1973.0);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Spans, NestingDepths) {
+  SpanTracer t;
+  t.begin("outer");
+  EXPECT_EQ(t.open_depth(), 1);
+  {
+    obs::ScopedSpan inner(t, "inner");
+    EXPECT_EQ(t.open_depth(), 2);
+  }
+  t.end();
+  EXPECT_EQ(t.open_depth(), 0);
+
+  // Completion order is children-first; depth reflects nesting at begin.
+  ASSERT_EQ(t.spans().size(), 2u);
+  EXPECT_EQ(t.spans()[0].name, "inner");
+  EXPECT_EQ(t.spans()[0].depth, 1);
+  EXPECT_EQ(t.spans()[1].name, "outer");
+  EXPECT_EQ(t.spans()[1].depth, 0);
+  EXPECT_GE(t.spans()[1].dur_us, t.spans()[0].dur_us);
+  EXPECT_LE(t.spans()[1].start_us, t.spans()[0].start_us);
+
+  t.reset();
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(Spans, ChromeTraceJsonWellFormed) {
+  SpanTracer t;
+  t.begin("phase \"a\"\n");  // name needing escaping
+  t.begin("child");
+  t.end();
+  t.end();
+
+  std::string err;
+  obs::json::ValuePtr v = obs::json::parse(t.chrome_trace_json(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_TRUE(v->is_object());
+  const obs::json::Value& events = v->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.arr.size(), 2u);
+  for (size_t i = 0; i < events.arr.size(); ++i) {
+    const obs::json::Value& e = events.at(i);
+    EXPECT_EQ(e.at("ph").string(), "X");
+    EXPECT_EQ(e.at("cat").string(), "fourq");
+    EXPECT_TRUE(e.has("ts"));
+    EXPECT_TRUE(e.has("dur"));
+    EXPECT_TRUE(e.at("args").has("depth"));
+  }
+  // The escaped name must round-trip through the parser (spans export in
+  // completion order, so the outer span is last).
+  EXPECT_EQ(events.at(1).at("name").string(), "phase \"a\"\n");
+}
+
+TEST(Macros, GlobalRegistryWiring) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  obs::global().reset();
+  uint64_t before = obs::global().metrics.counter("test.macro.calls").value();
+  FOURQ_COUNTER_INC("test.macro.calls");
+  FOURQ_COUNTER_ADD("test.macro.calls", 2);
+  FOURQ_GAUGE_SET("test.macro.gauge", 3.5);
+  {
+    FOURQ_SPAN("test.macro.span");
+  }
+  EXPECT_EQ(obs::global().metrics.counter("test.macro.calls").value(), before + 3);
+  EXPECT_DOUBLE_EQ(obs::global().metrics.gauge("test.macro.gauge").value(), 3.5);
+  bool saw_span = false;
+  for (const auto& s : obs::global().spans.spans())
+    if (s.name == "test.macro.span") saw_span = true;
+  EXPECT_TRUE(saw_span);
+}
+
+// Golden check: run the Table I loop body through the cycle-accurate
+// simulator with a recording sink, then rebuild SimStats purely from the
+// event stream. Both views must agree exactly, and the event-derived cycle
+// count must equal the scheduled program length.
+TEST(EventStream, LoopBodyStatsMatchEvents) {
+  trace::LoopBodyTrace body = trace::build_loop_body_trace();
+  sched::CompileResult r = sched::compile_program(body.program, {});
+
+  curve::PointR1 q = curve::dbl(curve::to_r1(curve::deterministic_point(31)));
+  curve::PointR2 e = curve::to_r2(curve::to_r1(curve::deterministic_point(32)));
+  trace::InputBindings b;
+  b.emplace_back(body.q_inputs[0], q.X);
+  b.emplace_back(body.q_inputs[1], q.Y);
+  b.emplace_back(body.q_inputs[2], q.Z);
+  b.emplace_back(body.q_inputs[3], q.Ta);
+  b.emplace_back(body.q_inputs[4], q.Tb);
+  b.emplace_back(body.table_inputs[0], e.xpy);
+  b.emplace_back(body.table_inputs[1], e.ymx);
+  b.emplace_back(body.table_inputs[2], e.z2);
+  b.emplace_back(body.table_inputs[3], e.dt2);
+
+  obs::RecordingSink sink;
+  asic::SimResult sim = asic::simulate(r.sm, b, trace::EvalContext{}, &sink);
+
+  ASSERT_FALSE(sink.events.empty());
+  asic::SimStats derived = asic::stats_from_events(sink.events);
+  EXPECT_EQ(derived, sim.stats);
+
+  int kcycles = 0;
+  for (const obs::CycleEvent& ev : sink.events)
+    if (ev.kind == obs::SimEventKind::kCycle) ++kcycles;
+  EXPECT_EQ(kcycles, sim.stats.cycles);
+  EXPECT_EQ(sim.stats.cycles, r.sm.cycles());
+
+  // Port limits observed by the event-derived maxima.
+  EXPECT_LE(sim.stats.max_reads_in_cycle, r.sm.cfg.rf_read_ports);
+  EXPECT_LE(sim.stats.max_writes_in_cycle, r.sm.cfg.rf_write_ports);
+  EXPECT_GE(sim.stats.max_writes_in_cycle, 1);
+  EXPECT_EQ(sim.stats.mul_issues, 15);
+
+  // The exported event log parses line-by-line.
+  std::string err;
+  auto lines = obs::json::parse_lines(obs::events_to_jsonl(sink.events), &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(lines.size(), sink.events.size());
+}
+
+TEST(EventStream, UtilisationAndStalls) {
+  trace::LoopBodyTrace body = trace::build_loop_body_trace();
+  sched::CompileResult r = sched::compile_program(body.program, {});
+  obs::RecordingSink sink;
+  trace::InputBindings b;
+  curve::PointR1 q = curve::dbl(curve::to_r1(curve::deterministic_point(7)));
+  curve::PointR2 e = curve::to_r2(curve::to_r1(curve::deterministic_point(8)));
+  b.emplace_back(body.q_inputs[0], q.X);
+  b.emplace_back(body.q_inputs[1], q.Y);
+  b.emplace_back(body.q_inputs[2], q.Z);
+  b.emplace_back(body.q_inputs[3], q.Ta);
+  b.emplace_back(body.q_inputs[4], q.Tb);
+  b.emplace_back(body.table_inputs[0], e.xpy);
+  b.emplace_back(body.table_inputs[1], e.ymx);
+  b.emplace_back(body.table_inputs[2], e.z2);
+  b.emplace_back(body.table_inputs[3], e.dt2);
+  asic::SimResult sim = asic::simulate(r.sm, b, trace::EvalContext{}, &sink);
+
+  EXPECT_GT(sim.stats.mul_utilisation(), 0.0);
+  EXPECT_LE(sim.stats.mul_utilisation(), 1.0);
+  EXPECT_GT(sim.stats.addsub_utilisation(), 0.0);
+  // Stalls + issue cycles bound: a stall cycle by definition issues nothing.
+  EXPECT_LE(sim.stats.stall_cycles + std::max(sim.stats.mul_issues, sim.stats.addsub_issues),
+            sim.stats.cycles);
+}
+
+TEST(Json, ParserBasics) {
+  std::string err;
+  obs::json::ValuePtr v =
+      obs::json::parse("{\"a\":[1,2.5,-3e2],\"b\":{\"s\":\"x\\ny\"},\"t\":true,\"n\":null}",
+                       &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_DOUBLE_EQ(v->at("a").at(1).number(), 2.5);
+  EXPECT_DOUBLE_EQ(v->at("a").at(2).number(), -300.0);
+  EXPECT_EQ(v->at("b").at("s").string(), "x\ny");
+  EXPECT_EQ(v->at("t").type, obs::json::Type::kBool);
+  EXPECT_EQ(v->at("n").type, obs::json::Type::kNull);
+
+  obs::json::parse("{\"a\":", &err);
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  obs::json::parse("[1,]", &err);
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace fourq

@@ -8,8 +8,10 @@
 //   fourqc --solver anneal --anneal-iters 1000 --save-rom sm.rom
 //   fourqc --multipliers 2 --read-ports 8 --write-ports 3 --report
 //   fourqc --disasm 0 30
+//   fourqc profile --out profile_out
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -19,6 +21,8 @@
 #include "asic/verilog.hpp"
 #include "asic/waveform.hpp"
 #include "curve/scalarmul.hpp"
+#include "obs/obs.hpp"
+#include "power/activity_energy.hpp"
 #include "power/area.hpp"
 #include "power/sotb65.hpp"
 #include "sched/compile.hpp"
@@ -30,7 +34,7 @@ using namespace fourq;
 
 void usage() {
   std::printf(
-      "usage: fourqc [options]\n"
+      "usage: fourqc [profile] [options]\n"
       "  --variant functional|paper-cost   endomorphism phase (default paper-cost)\n"
       "  --solver seq|list|anneal|bnb      scheduler (default list)\n"
       "  --anneal-iters N                  SA iterations (default 400)\n"
@@ -46,7 +50,205 @@ void usage() {
       "  --vcd FILE                        write a VCD activity waveform\n"
       "  --dot FILE                        write the scheduled DAG as Graphviz\n"
       "  --verilog FILE                    write the RTL skeleton + packed ROM\n"
-      "  --report                          print cycle/area/power report\n");
+      "  --report                          print cycle/area/power report\n"
+      "\n"
+      "profile subcommand — run one SM end-to-end (software, flat microcode,\n"
+      "looped controller) and dump the telemetry bundle:\n"
+      "  --out DIR                         bundle directory (default profile_out)\n"
+      "  --scalar HEX                      scalar to profile (default fixed)\n"
+      "  --events                          also dump the raw cycle event log\n"
+      "  (bundle: trace.json [chrome://tracing], metrics.jsonl, phases.json,\n"
+      "   summary.txt, events.jsonl)\n");
+}
+
+bool write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "fourqc: cannot open %s\n", path.string().c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+std::string phases_json(const std::vector<power::PhaseEnergy>& phases, double vdd) {
+  std::string out = "{\"vdd\":" + std::to_string(vdd) + ",\"phases\":[";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const power::PhaseEnergy& p = phases[i];
+    if (i) out += ",";
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"name\":\"%s\",\"begin_cycle\":%d,\"end_cycle\":%d,\"cycles\":%d,"
+        "\"mul_issues\":%d,\"addsub_issues\":%d,\"rf_reads\":%d,\"rf_writes\":%d,"
+        "\"energy_uj\":{\"mul\":%.6g,\"addsub\":%.6g,\"rf\":%.6g,\"ctrl\":%.6g,"
+        "\"leak\":%.6g,\"total\":%.6g}}",
+        obs::json_escape(p.window.name).c_str(), p.window.begin_cycle, p.window.end_cycle,
+        p.activity.cycles, p.activity.mul_issues, p.activity.addsub_issues,
+        p.activity.rf_reads, p.activity.rf_writes, p.energy.mul_uj, p.energy.addsub_uj,
+        p.energy.rf_uj, p.energy.ctrl_uj, p.energy.leak_uj, p.energy.total_uj());
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void record_sim_metrics(const std::string& prefix, const asic::SimStats& s) {
+  obs::Registry& m = obs::global().metrics;
+  m.counter(prefix + ".cycles").inc(static_cast<uint64_t>(s.cycles));
+  m.counter(prefix + ".mul_issues").inc(static_cast<uint64_t>(s.mul_issues));
+  m.counter(prefix + ".addsub_issues").inc(static_cast<uint64_t>(s.addsub_issues));
+  m.counter(prefix + ".rf_reads").inc(static_cast<uint64_t>(s.rf_reads));
+  m.counter(prefix + ".rf_writes").inc(static_cast<uint64_t>(s.rf_writes));
+  m.counter(prefix + ".forwarded_operands").inc(static_cast<uint64_t>(s.forwarded_operands));
+  m.counter(prefix + ".stall_cycles").inc(static_cast<uint64_t>(s.stall_cycles));
+  m.gauge(prefix + ".max_reads_in_cycle").set(s.max_reads_in_cycle);
+  m.gauge(prefix + ".max_writes_in_cycle").set(s.max_writes_in_cycle);
+  m.gauge(prefix + ".mul_utilisation").set(s.mul_utilisation());
+  m.gauge(prefix + ".addsub_utilisation").set(s.addsub_utilisation());
+}
+
+int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOptions& copt,
+                const std::string& out_dir, const std::string& scalar_hex,
+                bool dump_events) {
+  obs::Telemetry& tel = obs::global();
+  tel.reset();
+
+  U256 k;
+  try {
+    k = U256::from_hex(scalar_hex);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fourqc profile: bad --scalar value: %s\n", e.what());
+    return 2;
+  }
+  curve::Affine p = curve::deterministic_point(1);
+
+  // 1. Software pipeline: spans for decompose/precompute/loop/normalize.
+  curve::Affine sw;
+  {
+    FOURQ_SPAN("profile.software_sm");
+    sw = curve::to_affine(curve::scalar_mul(k, p));
+  }
+
+  // 2. Hardware flow: trace -> schedule -> flat simulation with a recorder.
+  trace::SmTraceOptions topt = topt_in;
+  obs::RecordingSink flat_events;
+  asic::SimResult flat_res;
+  {
+    FOURQ_SPAN("profile.flat_sm");
+    trace::SmTrace sm = trace::build_sm_trace(topt);
+    sched::CompileResult r = sched::compile_program(sm.program, copt);
+    trace::InputBindings b;
+    b.emplace_back(sm.in_zero, curve::Fp2());
+    b.emplace_back(sm.in_one, curve::Fp2::from_u64(1));
+    b.emplace_back(sm.in_two_d, curve::curve_2d());
+    b.emplace_back(sm.in_px, p.x);
+    b.emplace_back(sm.in_py, p.y);
+    for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+      b.emplace_back(sm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    trace::EvalContext ctx{&rec, dec.k_was_even};
+    {
+      FOURQ_SPAN("asic.simulate_flat");
+      flat_res = asic::simulate(r.sm, b, ctx, &flat_events);
+    }
+    if (topt.endo == trace::EndoVariant::kFunctional && topt.include_inversion) {
+      if (flat_res.outputs.at("x") != sw.x || flat_res.outputs.at("y") != sw.y) {
+        std::fprintf(stderr, "fourqc profile: simulator disagrees with software SM\n");
+        return 1;
+      }
+    }
+  }
+  record_sim_metrics("sim.flat", flat_res.stats);
+
+  // 3. Looped controller: segment boundaries give the hardware-phase
+  //    windows for energy attribution.
+  obs::RecordingSink loop_events;
+  asic::LoopedSm lsm;
+  asic::SimResult loop_res;
+  {
+    FOURQ_SPAN("profile.looped_sm");
+    asic::LoopedSmOptions lopt;
+    lopt.endo = topt.endo;
+    lopt.cfg.mul_latency = copt.cfg.mul_latency;
+    lopt.cfg.forwarding = copt.cfg.forwarding;
+    lsm = asic::build_looped_sm(lopt);
+    trace::InputBindings b;
+    b.emplace_back(lsm.in_zero, curve::Fp2());
+    b.emplace_back(lsm.in_one, curve::Fp2::from_u64(1));
+    b.emplace_back(lsm.in_two_d, curve::curve_2d());
+    b.emplace_back(lsm.in_px, p.x);
+    b.emplace_back(lsm.in_py, p.y);
+    for (size_t i = 0; i < lsm.in_endo_consts.size(); ++i)
+      b.emplace_back(lsm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
+    curve::Decomposition dec = curve::decompose(k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    {
+      FOURQ_SPAN("asic.simulate_looped");
+      loop_res = asic::simulate_looped(lsm, b, trace::EvalContext{&rec, dec.k_was_even},
+                                       &loop_events);
+    }
+  }
+  record_sim_metrics("sim.looped", loop_res.stats);
+
+  // 4. Per-phase energy attribution from the looped event stream.
+  const double vdd = power::Sotb65Model::kVNominal;
+  power::Sotb65Model chip(lsm.total_cycles());
+  power::ActivityEnergyModel energy(loop_res.stats, chip);
+  int pro_end = lsm.prologue.cycles();
+  int loop_end = pro_end + lsm.iterations * lsm.body.cycles();
+  std::vector<power::PhaseWindow> windows = {
+      {"precompute", 0, pro_end},
+      {"loop", pro_end, loop_end},
+      {"normalize", loop_end, lsm.total_cycles()},
+  };
+  std::vector<power::PhaseEnergy> phases =
+      energy.attribute_phases(vdd, loop_events.events, windows);
+  for (const power::PhaseEnergy& ph : phases)
+    tel.metrics.gauge("energy." + ph.window.name + "_uj").set(ph.energy.total_uj());
+  tel.metrics.gauge("energy.sm_total_uj").set(energy.breakdown(vdd).total_uj());
+
+  // 5. Export the bundle.
+  std::filesystem::path dir(out_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "fourqc: cannot create %s\n", dir.string().c_str());
+    return 1;
+  }
+  std::string summary;
+  summary += "== spans (wall clock) ==\n" + tel.spans.to_table();
+  summary += "\n== metrics ==\n" + tel.metrics.to_table();
+  summary += "\n== per-phase energy (looped controller @ " + std::to_string(vdd) +
+             " V) ==\n";
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%-12s %10s %10s %10s %12s\n", "phase", "cycles",
+                  "muls", "add/subs", "energy (uJ)");
+    summary += buf;
+    for (const power::PhaseEnergy& ph : phases) {
+      std::snprintf(buf, sizeof buf, "%-12s %10d %10d %10d %12.4f\n",
+                    ph.window.name.c_str(), ph.activity.cycles, ph.activity.mul_issues,
+                    ph.activity.addsub_issues, ph.energy.total_uj());
+      summary += buf;
+    }
+  }
+  if (!obs::compiled_in())
+    summary += "\n(note: built with FOURQ_OBS=OFF — span/counter macros compiled out)\n";
+
+  bool ok = write_file(dir / "trace.json", tel.spans.chrome_trace_json()) &&
+            write_file(dir / "metrics.jsonl", tel.metrics.to_jsonl()) &&
+            write_file(dir / "phases.json", phases_json(phases, vdd)) &&
+            write_file(dir / "summary.txt", summary);
+  if (ok && dump_events)
+    ok = write_file(dir / "events.jsonl", obs::events_to_jsonl(flat_events.events));
+  if (!ok) return 1;
+
+  std::printf("%s", summary.c_str());
+  std::printf("\nfourqc profile: bundle written to %s%s\n", dir.string().c_str(),
+              dump_events ? " (with events.jsonl)" : "");
+  return 0;
 }
 
 }  // namespace
@@ -62,7 +264,18 @@ int main(int argc, char** argv) {
   std::string save_path, verify_hex, vcd_path, dot_path, verilog_path;
   int disasm_from = -1, disasm_count = 0;
 
-  for (int i = 1; i < argc; ++i) {
+  bool profile_mode = false;
+  bool profile_events = false;
+  std::string profile_out = "profile_out";
+  std::string profile_scalar = "1f2e3d4c5b6a79880123456789abcdef0fedcba987654321aa55aa55aa55aa55";
+
+  int argstart = 1;
+  if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
+    profile_mode = true;
+    argstart = 2;
+  }
+
+  for (int i = argstart; i < argc; ++i) {
     auto need = [&](int n) {
       if (i + n >= argc) {
         usage();
@@ -137,6 +350,14 @@ int main(int argc, char** argv) {
       disasm_count = std::atoi(argv[++i]);
     } else if (a == "--report") {
       report = true;
+    } else if (profile_mode && a == "--out") {
+      need(1);
+      profile_out = argv[++i];
+    } else if (profile_mode && a == "--scalar") {
+      need(1);
+      profile_scalar = argv[++i];
+    } else if (profile_mode && a == "--events") {
+      profile_events = true;
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -146,6 +367,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (profile_mode)
+    return run_profile(topt, copt, profile_out, profile_scalar, profile_events);
 
   if (looped) {
     std::printf("fourqc: building blocked/looped controller (%s variant)...\n",

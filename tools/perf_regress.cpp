@@ -1,0 +1,144 @@
+// perf_regress — compares a telemetry/bench metrics file (JSON lines, as
+// written by `fourqc profile` or the bench_util JSON recorder) against a
+// checked-in baseline, with per-metric tolerances.
+//
+//   perf_regress BASELINE CURRENT [--tol PCT]
+//
+// Baseline lines look like the current-file lines:
+//   {"metric":"sim.flat.cycles","type":"counter","value":6623}
+// and may carry two optional fields:
+//   "tol_pct": N   — relative tolerance in percent for this metric
+//                    (default: the --tol value; counters default to exact)
+//   "dir":"le"|"ge" — one-sided check: current must be <= / >= baseline
+//                    (within tolerance); default is two-sided
+// Bench records ({"bench":...,"metric":...}) are keyed bench/metric.
+// Metrics present only in CURRENT are ignored (new instrumentation is not
+// a regression); metrics present only in BASELINE fail the run.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using fourq::obs::json::parse_lines;
+using fourq::obs::json::Type;
+using fourq::obs::json::Value;
+using fourq::obs::json::ValuePtr;
+
+struct Record {
+  double value = 0;
+  double tol_pct = -1;   // <0 = unset
+  std::string dir;       // "", "le", "ge"
+  bool is_counter = false;
+};
+
+std::string record_key(const Value& v) {
+  std::string key;
+  if (v.has("bench")) key += v.at("bench").string() + "/";
+  key += v.at("metric").string();
+  return key;
+}
+
+bool load(const char* path, std::map<std::string, Record>* out, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    *err = std::string("cannot open ") + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::vector<ValuePtr> lines = parse_lines(ss.str(), err);
+  if (!err->empty()) return false;
+  for (const ValuePtr& v : lines) {
+    if (!v->is_object() || !v->has("metric")) continue;
+    // Histograms carry bucket vectors, not a single value — compare count.
+    Record r;
+    if (v->has("value")) {
+      r.value = v->at("value").number();
+    } else if (v->has("count")) {
+      r.value = v->at("count").number();
+    } else {
+      continue;
+    }
+    if (v->has("type")) r.is_counter = v->at("type").string() == "counter";
+    if (v->has("tol_pct")) r.tol_pct = v->at("tol_pct").number();
+    if (v->has("dir")) r.dir = v->at("dir").string();
+    (*out)[record_key(*v)] = r;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double default_tol = 1.0;  // percent, for non-counter metrics
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
+      default_tol = std::atof(argv[++i]);
+    } else if (!baseline_path) {
+      baseline_path = argv[i];
+    } else if (!current_path) {
+      current_path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: perf_regress BASELINE CURRENT [--tol PCT]\n");
+      return 2;
+    }
+  }
+  if (!baseline_path || !current_path) {
+    std::fprintf(stderr, "usage: perf_regress BASELINE CURRENT [--tol PCT]\n");
+    return 2;
+  }
+
+  std::map<std::string, Record> base, cur;
+  std::string err;
+  if (!load(baseline_path, &base, &err)) {
+    std::fprintf(stderr, "perf_regress: %s: %s\n", baseline_path, err.c_str());
+    return 2;
+  }
+  if (!load(current_path, &cur, &err)) {
+    std::fprintf(stderr, "perf_regress: %s: %s\n", current_path, err.c_str());
+    return 2;
+  }
+
+  int failures = 0;
+  std::printf("%-44s %14s %14s %9s  %s\n", "metric", "baseline", "current", "delta%",
+              "status");
+  for (const auto& [key, b] : base) {
+    auto it = cur.find(key);
+    if (it == cur.end()) {
+      std::printf("%-44s %14.6g %14s %9s  MISSING\n", key.c_str(), b.value, "-", "-");
+      ++failures;
+      continue;
+    }
+    double c = it->second.value;
+    double tol = b.tol_pct >= 0 ? b.tol_pct : (b.is_counter ? 0.0 : default_tol);
+    double denom = std::abs(b.value) > 0 ? std::abs(b.value) : 1.0;
+    double delta_pct = 100.0 * (c - b.value) / denom;
+    bool ok;
+    if (b.dir == "le") {
+      ok = delta_pct <= tol;
+    } else if (b.dir == "ge") {
+      ok = delta_pct >= -tol;
+    } else {
+      ok = std::abs(delta_pct) <= tol;
+    }
+    std::printf("%-44s %14.6g %14.6g %+8.3f%%  %s\n", key.c_str(), b.value, c, delta_pct,
+                ok ? "ok" : "REGRESSION");
+    if (!ok) ++failures;
+  }
+  if (failures) {
+    std::printf("\nperf_regress: %d metric(s) regressed vs %s\n", failures, baseline_path);
+    return 1;
+  }
+  std::printf("\nperf_regress: all %zu baseline metrics within tolerance\n", base.size());
+  return 0;
+}
