@@ -10,8 +10,9 @@
 #include "power/area.hpp"
 #include "power/sotb65.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
   using namespace fourq::sched;
 
   bench::print_header("E8 / §III-B — datapath ablations");

@@ -12,8 +12,9 @@
 #include "bench_util.hpp"
 #include "power/area.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
 
   bench::print_header("Extension — design-space exploration (cycles vs area, full SM)");
 

@@ -7,8 +7,9 @@
 #include "bench_util.hpp"
 #include "power/area.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
   bench::print_header("E4 / Fig. 3 — SM unit complexity breakdown (kGE, 2-input NAND eq.)");
 
   // ROM depth from the compiled program.

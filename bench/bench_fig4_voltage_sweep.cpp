@@ -8,8 +8,9 @@
 #include "power/activity_energy.hpp"
 #include "power/sotb65.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
   bench::print_header("E3 / Fig. 4 — supply-voltage sweep (calibrated 65nm SOTB model)");
 
   // Cycle count from the scheduled paper-cost program.

@@ -9,8 +9,9 @@
 #include "models/p256_hw.hpp"
 #include "power/area.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
 
   bench::print_header(
       "E2b / Table II — FourQ vs P-256 cycle ratio derived from the architectures");

@@ -7,8 +7,9 @@
 #include "bench_util.hpp"
 #include "trace/optimize.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
   bench::print_header("E5 / §III-B — operation-mix profile of the SM microinstruction trace");
 
   auto report = [](const char* name, const trace::Program& p) {

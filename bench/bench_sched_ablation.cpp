@@ -45,8 +45,9 @@ trace::Program unrolled_loop(int iterations) {
 }  // namespace
 }  // namespace fourq
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
   using namespace fourq::sched;
 
   bench::print_header("E7 / §III-C — scheduling ablation");

@@ -10,8 +10,9 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
   using Clock = std::chrono::steady_clock;
 
   bench::print_header("E6 / §I — software scalar multiplication: FourQ vs P-256 vs Curve25519");

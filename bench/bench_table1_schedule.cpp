@@ -54,8 +54,9 @@ void print_schedule_table(const Problem& pr, const Schedule& s) {
 }  // namespace
 }  // namespace fourq
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
   using namespace fourq::sched;
 
   bench::print_header(

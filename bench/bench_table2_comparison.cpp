@@ -11,8 +11,9 @@
 #include "power/area.hpp"
 #include "power/sotb65.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
 
   bench::print_header("E2 / Table II — comparison to prior art");
 

@@ -10,8 +10,9 @@
 #include "power/area.hpp"
 #include "power/sotb65.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fourq;
+  bench::parse_bench_args(argc, argv);
 
   bench::print_header("Extension — dual-stream throughput scheduling vs replication");
 

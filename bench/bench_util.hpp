@@ -5,6 +5,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -16,16 +18,59 @@
 
 namespace fourq::bench {
 
+// Where JsonRecorder writes its BENCH_<name>.json files. Resolution order:
+// the --json-dir flag (via parse_bench_args), $FOURQ_BENCH_JSON_DIR, then
+// the working directory. The directory is created on first use.
+inline std::string& json_dir_override() {
+  static std::string dir;
+  return dir;
+}
+
+inline std::string json_dir() {
+  if (!json_dir_override().empty()) return json_dir_override();
+  const char* env = std::getenv("FOURQ_BENCH_JSON_DIR");
+  return (env && *env) ? std::string(env) : std::string();
+}
+
+// Standard CLI handling for the bench binaries: `--json-dir DIR` routes the
+// machine-readable records, `--help` documents it. Unknown flags abort so
+// typos fail loudly in scripts.
+inline void parse_bench_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-dir") == 0 && i + 1 < argc) {
+      json_dir_override() = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [--json-dir DIR]\n\n"
+                  "  --json-dir DIR  write BENCH_<name>.json records into DIR\n"
+                  "                  (default: $FOURQ_BENCH_JSON_DIR, else cwd)\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n", argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+}
+
 // Machine-readable companion to the console tables: one JSON object per
-// recorded metric, written to BENCH_<name>.json (JSON lines) in
-// $FOURQ_BENCH_JSON_DIR (default: the working directory). The records use
-// the same {"bench","metric","value"} shape tools/perf_regress consumes,
-// so bench results can be diffed against a checked-in baseline directly.
+// recorded metric, written to BENCH_<name>.json (JSON lines) in the
+// directory selected by json_dir() (default: the working directory). The
+// records use the same {"bench","metric","value"} shape tools/perf_regress
+// consumes, so bench results can be diffed against a checked-in baseline
+// directly.
 class JsonRecorder {
  public:
   explicit JsonRecorder(const std::string& bench) : bench_(bench) {
-    const char* dir = std::getenv("FOURQ_BENCH_JSON_DIR");
-    std::string path = (dir && *dir) ? std::string(dir) + "/" : std::string();
+    std::string dir = json_dir();
+    std::string path;
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec)
+        std::fprintf(stderr, "bench: cannot create %s: %s\n", dir.c_str(),
+                     ec.message().c_str());
+      path = dir + "/";
+    }
     path += "BENCH_" + bench + ".json";
     f_ = std::fopen(path.c_str(), "w");
     if (!f_) std::fprintf(stderr, "bench: cannot open %s for JSON records\n", path.c_str());

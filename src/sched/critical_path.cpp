@@ -1,0 +1,147 @@
+#include "sched/critical_path.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fourq::sched {
+
+namespace {
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+// Issue bound for one unit class: the last of `n` issues cannot start
+// before (ceil(n/cap)-1)*ii, and its result lands `lat` cycles later.
+int issue_bound(int n, int cap, int ii, int lat) {
+  if (n == 0) return 0;
+  return (ceil_div(n, cap) - 1) * ii + lat + 1;
+}
+
+char kind_symbol(trace::OpKind k) {
+  switch (k) {
+    case trace::OpKind::kAdd: return '+';
+    case trace::OpKind::kSub: return '-';
+    case trace::OpKind::kConj: return '~';
+    default: return '*';
+  }
+}
+
+}  // namespace
+
+int LowerBounds::tightest() const {
+  return std::max({dep_height, mul_issue, addsub_issue, rf_port()});
+}
+
+const char* LowerBounds::tightest_name() const {
+  int t = tightest();
+  // Tie-break in report order: the structural bound first, then units,
+  // then ports.
+  if (t == dep_height) return "dep-height";
+  if (t == mul_issue) return "mul-issue";
+  if (t == addsub_issue) return "addsub-issue";
+  return "rf-port";
+}
+
+CriticalPathInfo analyze_critical_path(const Problem& pr) {
+  CriticalPathInfo info;
+  const size_t n = pr.nodes.size();
+  const int horizon = pr.critical_path();
+
+  info.asap = pr.asap;
+  info.alap.resize(n);
+  info.slack.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // height counts the node's own latency, so issuing at horizon - height
+    // still finishes the longest downstream chain exactly at the horizon.
+    info.alap[i] = horizon - pr.height[i];
+    info.slack[i] = info.alap[i] - info.asap[i];
+    FOURQ_CHECK_MSG(info.slack[i] >= 0, "negative slack: inconsistent ASAP/height");
+    if (info.slack[i] == 0) info.critical.push_back(static_cast<int>(i));
+  }
+
+  // One maximal chain: start at a zero-slack source, repeatedly step to a
+  // zero-slack consumer that is latency-tight against the current node.
+  int cur = -1;
+  for (int ni : info.critical)
+    if (info.asap[static_cast<size_t>(ni)] == 0) {
+      cur = ni;
+      break;
+    }
+  while (cur >= 0) {
+    info.chain.push_back(cur);
+    int lat = latency(pr.cfg, pr.nodes[static_cast<size_t>(cur)].kind);
+    int next = -1;
+    for (int c : pr.consumers[static_cast<size_t>(cur)]) {
+      if (info.slack[static_cast<size_t>(c)] == 0 &&
+          info.asap[static_cast<size_t>(c)] == info.asap[static_cast<size_t>(cur)] + lat) {
+        next = c;
+        break;
+      }
+    }
+    cur = next;
+  }
+
+  // Lower bounds.
+  LowerBounds& lb = info.bounds;
+  lb.dep_height = n == 0 ? 0 : horizon + 1;
+
+  int muls = 0, addsubs = 0;
+  for (const Node& node : pr.nodes)
+    (node.kind == trace::OpKind::kMul ? muls : addsubs) += 1;
+  lb.mul_issue =
+      issue_bound(muls, pr.cfg.num_multipliers, pr.cfg.mul_ii, pr.cfg.mul_latency);
+  lb.addsub_issue = issue_bound(addsubs, pr.cfg.num_addsubs, 1, pr.cfg.addsub_latency);
+
+  // Port bounds. Every compute node writes its result back (the microcode
+  // emitter writes even forwarded values), and an operand can skip its
+  // read port only by forwarding — impossible for indexed table reads and
+  // for preloaded inputs, which only ever live in the register file.
+  int min_lat = 0;
+  if (muls > 0 && addsubs > 0)
+    min_lat = std::min(pr.cfg.mul_latency, pr.cfg.addsub_latency);
+  else if (muls > 0)
+    min_lat = pr.cfg.mul_latency;
+  else if (addsubs > 0)
+    min_lat = pr.cfg.addsub_latency;
+
+  int must_reads = 0;
+  for (const Node& node : pr.nodes) {
+    for (const OperandReq& req : node.operands) {
+      if (req.is_select) {
+        ++must_reads;
+        continue;
+      }
+      FOURQ_CHECK(req.producers.size() == 1);
+      if (pr.node_of_op[static_cast<size_t>(req.producers[0])] < 0) ++must_reads;
+    }
+  }
+  if (n > 0) {
+    lb.rf_write_port = ceil_div(static_cast<int>(n), pr.cfg.rf_write_ports) + min_lat;
+    lb.rf_read_port =
+        must_reads == 0 ? 0 : ceil_div(must_reads, pr.cfg.rf_read_ports) + min_lat;
+  }
+  return info;
+}
+
+BoundGap gap_to_bounds(const LowerBounds& lb, int makespan) {
+  BoundGap g;
+  g.makespan = makespan;
+  g.tightest = lb.tightest();
+  g.gap = makespan - g.tightest;
+  g.efficiency = makespan == 0 ? 0.0 : static_cast<double>(g.tightest) / makespan;
+  return g;
+}
+
+std::string describe_chain(const Problem& pr, const std::vector<int>& chain) {
+  std::string out;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const Node& node = pr.nodes[static_cast<size_t>(chain[i])];
+    const trace::Op& op = pr.program->ops[static_cast<size_t>(node.op_id)];
+    if (i) out += " -> ";
+    out += op.label.empty() ? "v" + std::to_string(node.op_id) : op.label;
+    out += kind_symbol(node.kind);
+  }
+  return out;
+}
+
+}  // namespace fourq::sched

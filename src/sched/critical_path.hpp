@@ -1,0 +1,71 @@
+// Schedule explainability, part 1: dependency-DAG critical-path analysis
+// and per-program makespan lower bounds (docs/OBSERVABILITY.md).
+//
+// Three bounds, each a provable floor on any legal schedule's makespan:
+//  * dependence height — the longest latency chain through the DAG
+//    (issue-to-writeback, +1 because makespan = last writeback cycle + 1);
+//  * multiplier issue — the single multiplier accepts one issue per II
+//    cycles, so N multiplications need (ceil(N/cap)-1)*II cycles of issue
+//    span before the last result can even start its pipeline;
+//  * register-file ports — every result takes a write port and every
+//    operand that cannot forward (indexed table reads, preloaded inputs)
+//    takes a read port, both capped per cycle.
+//
+// `gap_to_bounds` turns a schedule's makespan into "how far from provably
+// optimal": a gap of 0 against the tightest bound is a certificate of
+// optimality; a non-zero gap names the resource to attack next.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/problem.hpp"
+
+namespace fourq::sched {
+
+// Makespan lower bounds, in cycles (directly comparable to
+// Schedule::makespan).
+struct LowerBounds {
+  int dep_height = 0;     // latency chain through the DAG
+  int mul_issue = 0;      // multiplier capacity / initiation interval
+  int addsub_issue = 0;   // adder/subtractor capacity (reported alongside)
+  int rf_write_port = 0;  // every result needs a write port
+  int rf_read_port = 0;   // non-forwardable operands need read ports
+  // The register-file-port bound of the report: max of read/write sides.
+  int rf_port() const { return rf_write_port > rf_read_port ? rf_write_port : rf_read_port; }
+  // Unit-issue bound: the binding unit class.
+  int issue() const { return mul_issue > addsub_issue ? mul_issue : addsub_issue; }
+  int tightest() const;
+  // One of "dep-height", "mul-issue", "addsub-issue", "rf-port".
+  const char* tightest_name() const;
+};
+
+// Per-node timing freedom under the latency-only relaxation: ALAP is
+// computed against the dependence-height horizon, so slack == 0 marks the
+// nodes on a critical chain (Problem::mobility agrees by construction).
+struct CriticalPathInfo {
+  std::vector<int> asap;      // earliest issue cycle (latency-only)
+  std::vector<int> alap;      // latest issue cycle keeping the horizon
+  std::vector<int> slack;     // alap - asap
+  std::vector<int> critical;  // node indices with zero slack
+  std::vector<int> chain;     // one maximal source->sink chain (node indices)
+  LowerBounds bounds;
+};
+
+CriticalPathInfo analyze_critical_path(const Problem& pr);
+
+// A schedule's distance from provable optimality.
+struct BoundGap {
+  int makespan = 0;
+  int tightest = 0;     // tightest lower bound
+  int gap = 0;          // makespan - tightest; 0 == proven optimal
+  double efficiency = 0;  // tightest / makespan in (0, 1]
+};
+
+BoundGap gap_to_bounds(const LowerBounds& lb, int makespan);
+
+// Human-readable chain listing ("v12* -> v15+ -> ..."), using op labels
+// when the trace carries them.
+std::string describe_chain(const Problem& pr, const std::vector<int>& chain);
+
+}  // namespace fourq::sched

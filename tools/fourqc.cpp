@@ -9,23 +9,30 @@
 //   fourqc --multipliers 2 --read-ports 8 --write-ports 3 --report
 //   fourqc --disasm 0 30
 //   fourqc profile --out profile_out
+//   fourqc explain
+//   fourqc explain --program sm --backends seq,list,anneal
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "asic/explain.hpp"
 #include "asic/looped.hpp"
 #include "asic/romfile.hpp"
 #include "asic/simulator.hpp"
 #include "asic/verilog.hpp"
 #include "asic/waveform.hpp"
+#include "curve/point.hpp"
 #include "curve/scalarmul.hpp"
 #include "obs/obs.hpp"
 #include "power/activity_energy.hpp"
 #include "power/area.hpp"
 #include "power/sotb65.hpp"
 #include "sched/compile.hpp"
+#include "sched/critical_path.hpp"
+#include "sched/modulo.hpp"
 #include "trace/sm_trace.hpp"
 
 namespace {
@@ -34,11 +41,12 @@ using namespace fourq;
 
 void usage() {
   std::printf(
-      "usage: fourqc [profile] [options]\n"
+      "usage: fourqc [profile|explain] [options]\n"
       "  --variant functional|paper-cost   endomorphism phase (default paper-cost)\n"
       "  --solver seq|list|anneal|bnb      scheduler (default list)\n"
       "  --anneal-iters N                  SA iterations (default 400)\n"
       "  --mul-latency N                   multiplier pipeline depth (default 3)\n"
+      "  --mul-ii N                        multiplier initiation interval (default 1)\n"
       "  --read-ports N / --write-ports N  register-file ports (default 4/2)\n"
       "  --multipliers N / --addsubs N     unit instances (default 1/1)\n"
       "  --no-forwarding                   disable forwarding paths\n"
@@ -58,7 +66,16 @@ void usage() {
       "  --scalar HEX                      scalar to profile (default fixed)\n"
       "  --events                          also dump the raw cycle event log\n"
       "  (bundle: trace.json [chrome://tracing], metrics.jsonl, phases.json,\n"
-      "   summary.txt, events.jsonl)\n");
+      "   summary.txt, events.jsonl)\n"
+      "\n"
+      "explain subcommand — schedule explainability: critical-path lower\n"
+      "bounds, bound gaps and stall root-cause attribution, side by side for\n"
+      "every scheduler backend:\n"
+      "  --program loop|sm                 Alg. 1 loop body (default) or full SM\n"
+      "  --backends a,b,...                subset of seq,list,anneal,bnb\n"
+      "  --gantt / --no-gantt              occupancy timeline (default: on for loop)\n"
+      "  --out DIR                         also write report.txt, explain.json,\n"
+      "                                    metrics.jsonl to DIR\n");
 }
 
 bool write_file(const std::filesystem::path& path, const std::string& content) {
@@ -108,9 +125,25 @@ void record_sim_metrics(const std::string& prefix, const asic::SimStats& s) {
   m.gauge(prefix + ".addsub_utilisation").set(s.addsub_utilisation());
 }
 
+// Creates (or validates) an output directory up front so a bad --out path
+// fails before the expensive run instead of after it.
+bool ensure_out_dir(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec || !std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "fourqc: cannot create output directory %s%s%s\n",
+                 dir.string().c_str(), ec ? ": " : "", ec ? ec.message().c_str() : "");
+    return false;
+  }
+  return true;
+}
+
 int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOptions& copt,
                 const std::string& out_dir, const std::string& scalar_hex,
                 bool dump_events) {
+  std::filesystem::path out_path(out_dir);
+  if (!ensure_out_dir(out_path)) return 2;
+
   obs::Telemetry& tel = obs::global();
   tel.reset();
 
@@ -209,14 +242,8 @@ int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOption
     tel.metrics.gauge("energy." + ph.window.name + "_uj").set(ph.energy.total_uj());
   tel.metrics.gauge("energy.sm_total_uj").set(energy.breakdown(vdd).total_uj());
 
-  // 5. Export the bundle.
-  std::filesystem::path dir(out_dir);
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    std::fprintf(stderr, "fourqc: cannot create %s\n", dir.string().c_str());
-    return 1;
-  }
+  // 5. Export the bundle (directory already created up front).
+  const std::filesystem::path& dir = out_path;
   std::string summary;
   summary += "== spans (wall clock) ==\n" + tel.spans.to_table();
   summary += "\n== metrics ==\n" + tel.metrics.to_table();
@@ -251,6 +278,290 @@ int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOption
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// fourqc explain — schedule explainability report (docs/OBSERVABILITY.md).
+
+struct ExplainOptions {
+  std::string program = "loop";  // "loop" (Alg. 1 body) or "sm" (full trace)
+  std::vector<std::string> backends;  // default filled per program
+  int gantt = -1;                // -1 = auto (on for loop, off for sm)
+  std::string out_dir;           // empty = console only
+};
+
+void record_explain_metrics(const std::string& backend, const sched::BoundGap& gap,
+                            const asic::StallAttribution& attr) {
+  obs::Registry& m = obs::global().metrics;
+  m.gauge("explain." + backend + ".cycles").set(gap.makespan);
+  m.gauge("explain." + backend + ".bound_gap").set(gap.gap);
+  m.gauge("explain." + backend + ".efficiency").set(gap.efficiency);
+  for (int c = 0; c < asic::kNumStallClasses; ++c) {
+    auto cls = static_cast<asic::StallClass>(c);
+    m.counter("explain." + backend + ".stall." + asic::stall_class_name(cls))
+        .inc(static_cast<uint64_t>(attr.stalls.by_class[static_cast<size_t>(c)]));
+  }
+}
+
+int run_explain(const trace::SmTraceOptions& topt, const sched::CompileOptions& copt_base,
+                const ExplainOptions& eopt) {
+  obs::Telemetry& tel = obs::global();
+  tel.reset();
+
+  std::filesystem::path out_path(eopt.out_dir);
+  if (!eopt.out_dir.empty() && !ensure_out_dir(out_path)) return 2;
+
+  const bool loop_mode = eopt.program == "loop";
+  std::vector<std::string> backends = eopt.backends;
+  if (backends.empty()) {
+    backends = {"seq", "list", "anneal"};
+    if (loop_mode) backends.push_back("bnb");  // exact search: small blocks only
+  }
+  bool show_gantt = eopt.gantt < 0 ? loop_mode : eopt.gantt > 0;
+
+  // 1. Build the program and its input bindings.
+  trace::Program program;
+  trace::InputBindings bindings;
+  trace::EvalContext ctx{};
+  curve::Decomposition dec;  // keeps the recoded digits alive for ctx
+  curve::RecodedScalar rec;
+  trace::LoopBodyTrace body;
+  trace::SmTrace sm;
+  if (loop_mode) {
+    body = trace::build_loop_body_trace();
+    program = body.program;
+    curve::PointR1 q = curve::dbl(curve::to_r1(curve::deterministic_point(31)));
+    curve::PointR2 e = curve::to_r2(curve::to_r1(curve::deterministic_point(32)));
+    bindings.emplace_back(body.q_inputs[0], q.X);
+    bindings.emplace_back(body.q_inputs[1], q.Y);
+    bindings.emplace_back(body.q_inputs[2], q.Z);
+    bindings.emplace_back(body.q_inputs[3], q.Ta);
+    bindings.emplace_back(body.q_inputs[4], q.Tb);
+    bindings.emplace_back(body.table_inputs[0], e.xpy);
+    bindings.emplace_back(body.table_inputs[1], e.ymx);
+    bindings.emplace_back(body.table_inputs[2], e.z2);
+    bindings.emplace_back(body.table_inputs[3], e.dt2);
+  } else {
+    sm = trace::build_sm_trace(topt);
+    program = sm.program;
+    curve::Affine p = curve::deterministic_point(1);
+    bindings.emplace_back(sm.in_zero, curve::Fp2());
+    bindings.emplace_back(sm.in_one, curve::Fp2::from_u64(1));
+    bindings.emplace_back(sm.in_two_d, curve::curve_2d());
+    bindings.emplace_back(sm.in_px, p.x);
+    bindings.emplace_back(sm.in_py, p.y);
+    for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+      bindings.emplace_back(sm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
+    U256 k = U256::from_hex(
+        "1f2e3d4c5b6a79880123456789abcdef0fedcba987654321aa55aa55aa55aa55");
+    dec = curve::decompose(k);
+    rec = curve::recode(dec.a);
+    ctx = trace::EvalContext{&rec, dec.k_was_even};
+  }
+
+  trace::OpStats ops = trace::count_ops(program);
+  std::string report;
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "== fourqc explain: %s ==\n"
+                "program: %d Fp2 muls + %d add/subs (%d compute ops)\n"
+                "machine: %d multiplier(s) (latency %d, II %d), %d add/sub (latency %d),"
+                " RF %dR/%dW, forwarding %s\n\n",
+                loop_mode ? "Alg. 1 double-and-add loop body" : "full scalar multiplication",
+                ops.muls, ops.addsubs, ops.muls + ops.addsubs, copt_base.cfg.num_multipliers,
+                copt_base.cfg.mul_latency, copt_base.cfg.mul_ii, copt_base.cfg.num_addsubs,
+                copt_base.cfg.addsub_latency, copt_base.cfg.rf_read_ports,
+                copt_base.cfg.rf_write_ports, copt_base.cfg.forwarding ? "on" : "off");
+  report += buf;
+
+  // 2. Bounds come from the DAG alone — identical for every backend.
+  sched::Problem pr = sched::build_problem(program, copt_base.cfg);
+  sched::CriticalPathInfo cp = sched::analyze_critical_path(pr);
+  const sched::LowerBounds& lb = cp.bounds;
+  std::snprintf(buf, sizeof buf,
+                "lower bounds (cycles): dep-height %d | mul-issue %d | addsub-issue %d | "
+                "rf-port %d (write %d, read %d)\n"
+                "tightest bound: %d (%s); %zu of %zu ops on a critical chain\n",
+                lb.dep_height, lb.mul_issue, lb.addsub_issue, lb.rf_port(),
+                lb.rf_write_port, lb.rf_read_port, lb.tightest(), lb.tightest_name(),
+                cp.critical.size(), pr.nodes.size());
+  report += buf;
+  {
+    std::vector<int> chain = cp.chain;
+    size_t total = chain.size();
+    if (chain.size() > 12) chain.resize(12);
+    report += "critical chain: " + sched::describe_chain(pr, chain);
+    if (total > chain.size())
+      report += " -> ... (" + std::to_string(total) + " ops total)";
+    report += "\n\n";
+  }
+  tel.metrics.gauge("explain.bound.dep_height").set(lb.dep_height);
+  tel.metrics.gauge("explain.bound.mul_issue").set(lb.mul_issue);
+  tel.metrics.gauge("explain.bound.rf_port").set(lb.rf_port());
+  tel.metrics.gauge("explain.bound.tightest").set(lb.tightest());
+
+  // 3. Schedule, simulate and attribute stalls per backend.
+  std::vector<asic::BackendExplain> results;
+  std::vector<std::string> gantts;
+  int best_makespan = -1;
+  for (const std::string& name : backends) {
+    sched::CompileOptions copt = copt_base;
+    if (name == "seq") {
+      copt.solver = sched::Solver::kSequential;
+    } else if (name == "list") {
+      copt.solver = sched::Solver::kList;
+    } else if (name == "anneal") {
+      copt.solver = sched::Solver::kAnneal;
+    } else if (name == "bnb") {
+      if (pr.nodes.size() > 64) {
+        std::fprintf(stderr,
+                     "fourqc explain: skipping bnb (%zu ops; exact search is for "
+                     "block-sized programs)\n",
+                     pr.nodes.size());
+        continue;
+      }
+      copt.solver = sched::Solver::kBnb;
+      if (best_makespan > 0) copt.bnb.upper_bound = best_makespan + 1;
+    } else {
+      std::fprintf(stderr, "fourqc explain: unknown backend '%s'\n", name.c_str());
+      return 2;
+    }
+
+    sched::CompileResult r = sched::compile_program(program, copt);
+    obs::RecordingSink sink;
+    asic::SimResult res = asic::simulate(r.sm, bindings, ctx, &sink);
+    asic::StallAttribution attr = asic::attribute_stalls(r.sm, sink.events);
+    if (!attr.conservation_ok) {
+      std::fprintf(stderr,
+                   "fourqc explain: stall conservation check FAILED for %s "
+                   "(attributed %d, simulator counted %d)\n",
+                   name.c_str(), attr.stalls.total(), res.stats.stall_cycles);
+      return 1;
+    }
+
+    asic::BackendExplain be;
+    be.name = name;
+    be.gap = sched::gap_to_bounds(lb, r.schedule.makespan);
+    be.stats = res.stats;
+    be.attribution = attr;
+    record_explain_metrics(name, be.gap, attr);
+    if (best_makespan < 0 || r.schedule.makespan < best_makespan)
+      best_makespan = r.schedule.makespan;
+    if (show_gantt)
+      gantts.push_back("-- occupancy timeline: " + name + " (" +
+                       std::to_string(r.schedule.makespan) + " cycles) --\n" +
+                       asic::render_gantt(r.sm, attr));
+    results.push_back(std::move(be));
+  }
+
+  // 4. Side-by-side comparison table.
+  std::snprintf(buf, sizeof buf, "%-8s %7s %5s %6s %6s | %5s %6s %6s %6s %8s %s\n",
+                "backend", "cycles", "gap", "eff%", "mulU%", "raw", "rfport", "width",
+                "drain", "unforced", "sum=stalls");
+  report += buf;
+  report += std::string(92, '-') + "\n";
+  for (const asic::BackendExplain& be : results) {
+    const asic::StallBreakdown& s = be.attribution.stalls;
+    std::snprintf(buf, sizeof buf,
+                  "%-8s %7d %5d %5.1f%% %5.1f%% | %5d %6d %6d %6d %8d %d=%d %s\n",
+                  be.name.c_str(), be.gap.makespan, be.gap.gap, 100.0 * be.gap.efficiency,
+                  100.0 * be.stats.mul_utilisation(), s.of(asic::StallClass::kRawHazard),
+                  s.of(asic::StallClass::kRfPort), s.of(asic::StallClass::kIssueWidth),
+                  s.of(asic::StallClass::kDrain), s.of(asic::StallClass::kUnforced),
+                  s.total(), be.stats.stall_cycles, be.attribution.conservation_ok ? "ok" : "FAIL");
+    report += buf;
+  }
+  report += "\nstall classes: ";
+  for (int c = 0; c < asic::kNumStallClasses; ++c) {
+    auto cls = static_cast<asic::StallClass>(c);
+    std::snprintf(buf, sizeof buf, "%s%c=%s", c ? "; " : "", asic::stall_class_letter(cls),
+                  asic::stall_class_name(cls));
+    report += buf;
+  }
+  report += "\n\n";
+
+  // 5. Loop mode: how much further software pipelining could go (modulo
+  //    scheduling analysis, steady-state cycles/iteration).
+  if (loop_mode) {
+    std::vector<int> outs;
+    for (const auto& [id, name] : program.outputs) {
+      (void)name;
+      outs.push_back(id);
+    }
+    std::vector<sched::CarriedDep> carried =
+        sched::body_carried_deps(pr, body.q_inputs, outs);
+    sched::ModuloResult mr = sched::modulo_schedule(pr, carried);
+    if (mr.feasible) {
+      std::snprintf(buf, sizeof buf,
+                    "modulo scheduling (steady-state analysis): II %d (ResMII %d, RecMII "
+                    "%d), kernel %d cycles\n"
+                    "  -> overlapped iterations would cost %d cycles/digit vs %d for the "
+                    "best block schedule\n\n",
+                    mr.ii, mr.res_mii, mr.rec_mii, mr.kernel_length, mr.ii, best_makespan);
+      report += buf;
+      tel.metrics.gauge("explain.modulo.ii").set(mr.ii);
+    }
+  }
+
+  // 6. Full-SM mode: hardware-phase occupancy from the looped controller's
+  //    segment boundaries (the same windows `fourqc profile` prices).
+  if (!loop_mode) {
+    asic::LoopedSmOptions lopt;
+    lopt.endo = topt.endo;
+    lopt.cfg.mul_latency = copt_base.cfg.mul_latency;
+    lopt.cfg.forwarding = copt_base.cfg.forwarding;
+    asic::LoopedSm lsm = asic::build_looped_sm(lopt);
+    trace::InputBindings lb_bind;
+    curve::Affine p = curve::deterministic_point(1);
+    lb_bind.emplace_back(lsm.in_zero, curve::Fp2());
+    lb_bind.emplace_back(lsm.in_one, curve::Fp2::from_u64(1));
+    lb_bind.emplace_back(lsm.in_two_d, curve::curve_2d());
+    lb_bind.emplace_back(lsm.in_px, p.x);
+    lb_bind.emplace_back(lsm.in_py, p.y);
+    for (size_t i = 0; i < lsm.in_endo_consts.size(); ++i)
+      lb_bind.emplace_back(lsm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
+    obs::RecordingSink loop_events;
+    asic::simulate_looped(lsm, lb_bind, ctx, &loop_events);
+    int pro_end = lsm.prologue.cycles();
+    int loop_end = pro_end + lsm.iterations * lsm.body.cycles();
+    struct Win {
+      const char* name;
+      int begin, end;
+    } wins[] = {{"precompute", 0, pro_end},
+                {"loop", pro_end, loop_end},
+                {"normalize", loop_end, lsm.total_cycles()}};
+    report += "per-phase occupancy (looped controller):\n";
+    std::snprintf(buf, sizeof buf, "%-12s %8s %8s %9s %7s %7s\n", "phase", "cycles",
+                  "muls", "add/subs", "mulU%", "stalls");
+    report += buf;
+    for (const Win& w : wins) {
+      asic::SimStats ws = asic::stats_in_window(loop_events.events, w.begin, w.end);
+      std::snprintf(buf, sizeof buf, "%-12s %8d %8d %9d %6.1f%% %7d\n", w.name, ws.cycles,
+                    ws.mul_issues, ws.addsub_issues, 100.0 * ws.mul_utilisation(),
+                    ws.stall_cycles);
+      report += buf;
+    }
+    report += "\n";
+  }
+
+  std::printf("%s", report.c_str());
+  for (const std::string& g : gantts) std::printf("%s", g.c_str());
+
+  std::string json = asic::explain_json(lb, results);
+  std::printf("== json ==\n%s\n", json.c_str());
+  if (!obs::compiled_in())
+    std::printf("(note: built with FOURQ_OBS=OFF — registry metrics not recorded)\n");
+
+  if (!eopt.out_dir.empty()) {
+    std::string full = report;
+    for (const std::string& g : gantts) full += g;
+    bool ok = write_file(out_path / "report.txt", full) &&
+              write_file(out_path / "explain.json", json + "\n") &&
+              write_file(out_path / "metrics.jsonl", tel.metrics.to_jsonl());
+    if (!ok) return 1;
+    std::printf("\nfourqc explain: report written to %s\n", out_path.string().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -269,9 +580,15 @@ int main(int argc, char** argv) {
   std::string profile_out = "profile_out";
   std::string profile_scalar = "1f2e3d4c5b6a79880123456789abcdef0fedcba987654321aa55aa55aa55aa55";
 
+  bool explain_mode = false;
+  ExplainOptions eopt;
+
   int argstart = 1;
   if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
     profile_mode = true;
+    argstart = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
+    explain_mode = true;
     argstart = 2;
   }
 
@@ -311,6 +628,9 @@ int main(int argc, char** argv) {
     } else if (a == "--mul-latency") {
       need(1);
       copt.cfg.mul_latency = std::atoi(argv[++i]);
+    } else if (a == "--mul-ii") {
+      need(1);
+      copt.cfg.mul_ii = std::atoi(argv[++i]);
     } else if (a == "--read-ports") {
       need(1);
       copt.cfg.rf_read_ports = std::atoi(argv[++i]);
@@ -358,6 +678,30 @@ int main(int argc, char** argv) {
       profile_scalar = argv[++i];
     } else if (profile_mode && a == "--events") {
       profile_events = true;
+    } else if (explain_mode && a == "--program") {
+      need(1);
+      eopt.program = argv[++i];
+      if (eopt.program != "loop" && eopt.program != "sm") {
+        usage();
+        return 2;
+      }
+    } else if (explain_mode && a == "--backends") {
+      need(1);
+      std::string list = argv[++i];
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > pos) eopt.backends.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+    } else if (explain_mode && a == "--gantt") {
+      eopt.gantt = 1;
+    } else if (explain_mode && a == "--no-gantt") {
+      eopt.gantt = 0;
+    } else if (explain_mode && a == "--out") {
+      need(1);
+      eopt.out_dir = argv[++i];
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -370,6 +714,7 @@ int main(int argc, char** argv) {
 
   if (profile_mode)
     return run_profile(topt, copt, profile_out, profile_scalar, profile_events);
+  if (explain_mode) return run_explain(topt, copt, eopt);
 
   if (looped) {
     std::printf("fourqc: building blocked/looped controller (%s variant)...\n",

@@ -2,7 +2,7 @@
 // written by `fourqc profile` or the bench_util JSON recorder) against a
 // checked-in baseline, with per-metric tolerances.
 //
-//   perf_regress BASELINE CURRENT [--tol PCT]
+//   perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline]
 //
 // Baseline lines look like the current-file lines:
 //   {"metric":"sim.flat.cycles","type":"counter","value":6623}
@@ -14,6 +14,12 @@
 // Bench records ({"bench":...,"metric":...}) are keyed bench/metric.
 // Metrics present only in CURRENT are ignored (new instrumentation is not
 // a regression); metrics present only in BASELINE fail the run.
+//
+// --update-baseline rewrites BASELINE in place with CURRENT's values,
+// preserving each metric's tolerance annotations (tol_pct, dir, type).
+// Metrics no longer present in CURRENT are dropped with a warning, so a
+// single run refreshes tools/baselines/profile_baseline.jsonl after an
+// intentional performance change.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -37,6 +44,13 @@ struct Record {
   double tol_pct = -1;   // <0 = unset
   std::string dir;       // "", "le", "ge"
   bool is_counter = false;
+  // Retained verbatim so --update-baseline can re-serialise the line with
+  // only the numeric value replaced.
+  std::string bench;        // empty for non-bench records
+  std::string metric;
+  std::string type;         // "", "counter", "gauge", ...
+  std::string unit;
+  std::string value_field;  // "value" or "count" (histogram records)
 };
 
 std::string record_key(const Value& v) {
@@ -62,12 +76,20 @@ bool load(const char* path, std::map<std::string, Record>* out, std::string* err
     Record r;
     if (v->has("value")) {
       r.value = v->at("value").number();
+      r.value_field = "value";
     } else if (v->has("count")) {
       r.value = v->at("count").number();
+      r.value_field = "count";
     } else {
       continue;
     }
-    if (v->has("type")) r.is_counter = v->at("type").string() == "counter";
+    if (v->has("bench")) r.bench = v->at("bench").string();
+    r.metric = v->at("metric").string();
+    if (v->has("type")) {
+      r.type = v->at("type").string();
+      r.is_counter = r.type == "counter";
+    }
+    if (v->has("unit")) r.unit = v->at("unit").string();
     if (v->has("tol_pct")) r.tol_pct = v->at("tol_pct").number();
     if (v->has("dir")) r.dir = v->at("dir").string();
     (*out)[record_key(*v)] = r;
@@ -75,26 +97,79 @@ bool load(const char* path, std::map<std::string, Record>* out, std::string* err
   return true;
 }
 
+std::string serialize(const Record& r) {
+  std::string line = "{";
+  if (!r.bench.empty()) line += "\"bench\": \"" + fourq::obs::json_escape(r.bench) + "\", ";
+  line += "\"metric\": \"" + fourq::obs::json_escape(r.metric) + "\"";
+  if (!r.type.empty()) line += ", \"type\": \"" + r.type + "\"";
+  char num[48];
+  std::snprintf(num, sizeof num, "%.12g", r.value);
+  line += ", \"" + r.value_field + "\": " + num;
+  if (!r.unit.empty()) line += ", \"unit\": \"" + fourq::obs::json_escape(r.unit) + "\"";
+  if (r.dir == "le" || r.dir == "ge") line += ", \"dir\": \"" + r.dir + "\"";
+  if (r.tol_pct >= 0) {
+    std::snprintf(num, sizeof num, "%.6g", r.tol_pct);
+    line += std::string(", \"tol_pct\": ") + num;
+  }
+  line += "}";
+  return line;
+}
+
+// Rewrites `baseline_path` with current values, keeping each baseline
+// record's tolerance annotations. Returns the process exit code.
+int update_baseline(const char* baseline_path, const std::map<std::string, Record>& base,
+                    const std::map<std::string, Record>& cur) {
+  std::ostringstream out;
+  int refreshed = 0, dropped = 0;
+  for (const auto& [key, b] : base) {
+    auto it = cur.find(key);
+    if (it == cur.end()) {
+      std::fprintf(stderr, "perf_regress: dropping %s (absent from current run)\n",
+                   key.c_str());
+      ++dropped;
+      continue;
+    }
+    Record merged = b;
+    merged.value = it->second.value;
+    out << serialize(merged) << "\n";
+  }
+  std::ofstream f(baseline_path, std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "perf_regress: cannot write %s\n", baseline_path);
+    return 2;
+  }
+  f << out.str();
+  refreshed = static_cast<int>(base.size()) - dropped;
+  std::printf("perf_regress: refreshed %d metric(s) in %s%s\n", refreshed, baseline_path,
+              dropped ? " (see dropped-metric warnings)" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double default_tol = 1.0;  // percent, for non-counter metrics
+  bool update = false;
   const char* baseline_path = nullptr;
   const char* current_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tol") == 0 && i + 1 < argc) {
       default_tol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--update-baseline") == 0) {
+      update = true;
     } else if (!baseline_path) {
       baseline_path = argv[i];
     } else if (!current_path) {
       current_path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: perf_regress BASELINE CURRENT [--tol PCT]\n");
+      std::fprintf(stderr,
+                   "usage: perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline]\n");
       return 2;
     }
   }
   if (!baseline_path || !current_path) {
-    std::fprintf(stderr, "usage: perf_regress BASELINE CURRENT [--tol PCT]\n");
+    std::fprintf(stderr,
+                 "usage: perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline]\n");
     return 2;
   }
 
@@ -108,6 +183,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "perf_regress: %s: %s\n", current_path, err.c_str());
     return 2;
   }
+
+  if (update) return update_baseline(baseline_path, base, cur);
 
   int failures = 0;
   std::printf("%-44s %14s %14s %9s  %s\n", "metric", "baseline", "current", "delta%",

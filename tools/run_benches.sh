@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Runs every experiment-reproduction binary and collects their
+# BENCH_<name>.json records in one directory, ready for perf_regress:
+#
+#   tools/run_benches.sh [-B BUILD_DIR] [-o OUT_DIR] [--] [extra bench args]
+#
+#   -B BUILD_DIR   build tree holding bench/ binaries (default: build)
+#   -o OUT_DIR     where JSON records land (default: BUILD_DIR/bench-results)
+#
+# Console tables go to OUT_DIR/<bench>.log; the JSON records are written by
+# the binaries themselves via $FOURQ_BENCH_JSON_DIR. bench_field_ops (the
+# google-benchmark harness) is skipped: it has its own CLI and emits no
+# BENCH_*.json records.
+set -eu
+
+build_dir=build
+out_dir=
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -B) build_dir=$2; shift 2 ;;
+    -o) out_dir=$2; shift 2 ;;
+    --) shift; break ;;
+    -h|--help)
+      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0 ;;
+    *) echo "run_benches.sh: unknown argument '$1' (try --help)" >&2; exit 2 ;;
+  esac
+done
+[ -n "$out_dir" ] || out_dir=$build_dir/bench-results
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "run_benches.sh: $build_dir/bench not found — configure and build first" >&2
+  exit 2
+fi
+
+mkdir -p "$out_dir"
+FOURQ_BENCH_JSON_DIR=$out_dir
+export FOURQ_BENCH_JSON_DIR
+
+failures=0
+ran=0
+for bench in "$build_dir"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  case "$name" in
+    bench_field_ops) echo "skip  $name (google-benchmark harness)"; continue ;;
+    *.*) continue ;;  # skip non-binaries (e.g. .d files on some generators)
+  esac
+  ran=$((ran + 1))
+  if "$bench" "$@" > "$out_dir/$name.log" 2>&1; then
+    echo "ok    $name"
+  else
+    echo "FAIL  $name (see $out_dir/$name.log)" >&2
+    failures=$((failures + 1))
+  fi
+done
+
+echo
+echo "results: $out_dir"
+ls "$out_dir"/BENCH_*.json 2>/dev/null || echo "(no JSON records produced)"
+if [ "$failures" -gt 0 ]; then
+  echo "run_benches.sh: $failures of $ran benches failed" >&2
+  exit 1
+fi
