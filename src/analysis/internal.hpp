@@ -1,0 +1,35 @@
+// Internal interfaces between the lint passes. Not part of the public API.
+#pragma once
+
+#include "analysis/lint.hpp"
+
+namespace fourq::analysis::detail {
+
+// Appends a finding, enforcing the per-rule cap (the cap'th suppressed
+// finding becomes a single "... and N more" summary at report finish).
+class FindingSink {
+ public:
+  explicit FindingSink(LintReport& report) : report_(report) {}
+
+  void add(Rule rule, int cycle, int reg, std::string message);
+  // Emits the per-rule suppression summaries. Call once, after all passes.
+  void finish();
+
+  bool any_error() const { return errors_ > 0; }
+
+ private:
+  LintReport& report_;
+  int counts_[kNumRules] = {};
+  int errors_ = 0;
+};
+
+// Pass 1+3: symbolic execution of the ROM, SSA value-numbering equivalence
+// against the reference program, and the secret-independence certificate.
+void run_lift(const sched::CompiledSm& sm, const trace::Program& reference,
+              LintReport& report, FindingSink& sink);
+
+// Pass 2: ROM-only liveness, dead-write/never-read diagnostics, register
+// pressure, and port/issue/initiation-interval legality.
+void run_liveness(const sched::CompiledSm& sm, LintReport& report, FindingSink& sink);
+
+}  // namespace fourq::analysis::detail

@@ -1,0 +1,438 @@
+// ROM lifting: symbolic execution of the control words back into SSA, with
+// hash-consed value numbering shared between the lifted dataflow and the
+// reference trace::Program. See lint.hpp for the property catalogue.
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/internal.hpp"
+
+namespace fourq::analysis::detail {
+
+using sched::CompiledSm;
+using sched::CtrlWord;
+using sched::SelectMap;
+using sched::SrcSel;
+using sched::UnitCtrl;
+using sched::WbCtrl;
+using trace::Op;
+using trace::OpKind;
+using trace::Program;
+
+namespace {
+
+const char* opkind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kConj: return "conj";
+    case OpKind::kMul: return "mul";
+    case OpKind::kInput: return "input";
+    case OpKind::kSelect: return "select";
+  }
+  return "?";
+}
+
+// Hash-consed value numbers. Keys: (kInputTag, op id, 0) for leaves,
+// (kSelectTag, map/table, iter) for indexed reads, (kComputeTag + kind,
+// value a, value b) for unit results. Both sides intern through the same
+// table, so "same value" is key equality.
+class ValueTable {
+ public:
+  static constexpr int kInputTag = 0;
+  static constexpr int kSelectTag = 1;
+  static constexpr int kComputeTag = 8;  // + OpKind
+
+  struct Info {
+    bool in_trace = false;   // value appears in the reference DAG
+    bool produced = false;   // some ROM issue computed it
+    bool tainted = false;    // data-dependent on a secret selector
+    bool poisoned = false;   // derived from an error-recovery placeholder
+    int trace_op = -1;       // representative reference op (diagnostics)
+  };
+
+  int cons(int tag, int a, int b) {
+    auto [it, fresh] = ids_.try_emplace(std::make_tuple(tag, a, b),
+                                        static_cast<int>(info_.size()));
+    if (fresh) info_.emplace_back();
+    return it->second;
+  }
+
+  // Unique placeholder so analysis can continue past an error.
+  int opaque() {
+    int id = cons(-1, static_cast<int>(info_.size()), 0);
+    info_[static_cast<size_t>(id)].poisoned = true;
+    return id;
+  }
+
+  Info& at(int id) { return info_[static_cast<size_t>(id)]; }
+  const Info& at(int id) const { return info_[static_cast<size_t>(id)]; }
+  int size() const { return static_cast<int>(info_.size()); }
+
+ private:
+  std::map<std::tuple<int, int, int>, int> ids_;
+  std::vector<Info> info_;
+};
+
+struct PipeEntry {
+  int value = -1;
+  bool written = false;  // landed in the RF via a writeback
+};
+
+// Symbolic machine: value numbers in place of field elements.
+struct Lifter {
+  const CompiledSm& sm;
+  const Program& ref;
+  LintReport& report;
+  FindingSink& sink;
+  ValueTable vt;
+
+  std::vector<int> rf;                             // slot -> value (-1 undef)
+  std::vector<std::map<int, PipeEntry>> pipes[2];  // [class][instance]: due -> entry
+  std::vector<int> ref_vn;                         // reference op id -> value
+  // (map, variant, digit, rule) combinations already reported, so a bad
+  // candidate is flagged once, not at each of its read cycles.
+  std::set<std::tuple<int, int, int, int>> reported_candidates;
+
+  Lifter(const CompiledSm& s, const Program& r, LintReport& rep, FindingSink& snk)
+      : sm(s), ref(r), report(rep), sink(snk) {
+    rf.assign(static_cast<size_t>(std::max(sm.cfg.rf_size, sm.rf_slots)), -1);
+    pipes[0].resize(static_cast<size_t>(sm.cfg.num_multipliers));
+    pipes[1].resize(static_cast<size_t>(sm.cfg.num_addsubs));
+  }
+
+  bool reg_ok(int reg, int cycle) {
+    if (reg >= 0 && reg < static_cast<int>(rf.size())) return true;
+    sink.add(Rule::kRegisterOutOfRange, cycle, reg,
+             "register r" + std::to_string(reg) + " outside the register file (" +
+                 std::to_string(rf.size()) + " slots)");
+    return false;
+  }
+
+  void number_reference() {
+    ref_vn.assign(ref.ops.size(), -1);
+    for (size_t i = 0; i < ref.ops.size(); ++i) {
+      const Op& op = ref.ops[i];
+      int vn = -1;
+      switch (op.kind) {
+        case OpKind::kInput:
+          vn = vt.cons(ValueTable::kInputTag, static_cast<int>(i), 0);
+          break;
+        case OpKind::kSelect:
+          vn = vt.cons(ValueTable::kSelectTag, op.a.table, op.a.iter);
+          vt.at(vn).tainted = true;
+          break;
+        default: {
+          int a = ref_vn[static_cast<size_t>(op.a.ssa)];
+          int b = op.kind == OpKind::kConj ? -1 : ref_vn[static_cast<size_t>(op.b.ssa)];
+          vn = vt.cons(ValueTable::kComputeTag + static_cast<int>(op.kind), a, b);
+          break;
+        }
+      }
+      ref_vn[i] = vn;
+      ValueTable::Info& info = vt.at(vn);
+      if (!info.in_trace) {
+        info.in_trace = true;
+        info.trace_op = static_cast<int>(i);
+      }
+    }
+  }
+
+  void preload() {
+    std::vector<bool> covered(ref.ops.size(), false);
+    for (const auto& [op_id, reg] : sm.preload) {
+      if (op_id < 0 || op_id >= static_cast<int>(ref.ops.size()) ||
+          ref.ops[static_cast<size_t>(op_id)].kind != OpKind::kInput) {
+        sink.add(Rule::kPreloadConflict, -1, reg,
+                 "preload of op " + std::to_string(op_id) +
+                     ", which is not an input of the reference program");
+        continue;
+      }
+      if (!reg_ok(reg, -1)) continue;
+      if (rf[static_cast<size_t>(reg)] >= 0)
+        sink.add(Rule::kPreloadConflict, -1, reg,
+                 "input op " + std::to_string(op_id) + " preloaded into r" +
+                     std::to_string(reg) + ", clobbering an earlier preload");
+      rf[static_cast<size_t>(reg)] = ref_vn[static_cast<size_t>(op_id)];
+      covered[static_cast<size_t>(op_id)] = true;
+    }
+    for (size_t i = 0; i < ref.ops.size(); ++i)
+      if (ref.ops[i].kind == OpKind::kInput && !covered[i])
+        sink.add(Rule::kMissingValue, -1, -1,
+                 "input op " + std::to_string(i) + " (" + ref.ops[i].label +
+                     ") is never preloaded");
+  }
+
+  // Checks that an indexed read at `cycle` is uniform over every possible
+  // digit/sign (or correction-flag) value: the select map's shape matches
+  // the reference table, and each candidate register holds exactly the
+  // value the reference DAG expects. Any per-digit difference in behaviour
+  // is a secret-dependent difference — the constant-time property.
+  void check_select(int map, int cycle) {
+    const SelectMap& m = sm.select_maps[static_cast<size_t>(map)];
+    const trace::SelectTable& t = ref.tables[static_cast<size_t>(map)];
+    auto once = [&](int variant, int digit, Rule rule) {
+      return reported_candidates
+          .insert(std::make_tuple(map, variant, digit, static_cast<int>(rule)))
+          .second;
+    };
+    if (m.reg.size() != t.candidates.size()) {
+      if (once(-1, -1, Rule::kSelectShapeMismatch))
+        sink.add(Rule::kSelectShapeMismatch, cycle, -1,
+                 "select map " + std::to_string(map) + " has " +
+                     std::to_string(m.reg.size()) + " variants, reference table has " +
+                     std::to_string(t.candidates.size()));
+      return;
+    }
+    for (size_t v = 0; v < m.reg.size(); ++v) {
+      if (m.reg[v].size() != t.candidates[v].size()) {
+        if (once(static_cast<int>(v), -1, Rule::kSelectShapeMismatch))
+          sink.add(Rule::kSelectShapeMismatch, cycle, -1,
+                   "select map " + std::to_string(map) + " variant " + std::to_string(v) +
+                       " has " + std::to_string(m.reg[v].size()) +
+                       " candidates, reference table has " +
+                       std::to_string(t.candidates[v].size()));
+        continue;
+      }
+      for (size_t d = 0; d < m.reg[v].size(); ++d) {
+        int r = m.reg[v][d];
+        std::string where = "map " + std::to_string(map) + " variant " +
+                            std::to_string(v) + " digit " + std::to_string(d);
+        if (r < 0 || r >= static_cast<int>(rf.size())) {
+          if (once(static_cast<int>(v), static_cast<int>(d), Rule::kSelectShapeMismatch))
+            sink.add(Rule::kSelectShapeMismatch, cycle, r,
+                     where + " addresses r" + std::to_string(r) +
+                         ", outside the register file");
+          continue;
+        }
+        int have = rf[static_cast<size_t>(r)];
+        int want = ref_vn[static_cast<size_t>(t.candidates[v][d])];
+        if (have < 0) {
+          if (once(static_cast<int>(v), static_cast<int>(d),
+                   Rule::kSelectCandidateUndefined))
+            sink.add(Rule::kSelectCandidateUndefined, cycle, r,
+                     where + " would read undefined r" + std::to_string(r) +
+                         " — behaviour differs for that digit value");
+        } else if (have != want && !vt.at(have).poisoned) {
+          if (once(static_cast<int>(v), static_cast<int>(d),
+                   Rule::kSelectCandidateMismatch))
+            sink.add(Rule::kSelectCandidateMismatch, cycle, r,
+                     where + " reads r" + std::to_string(r) +
+                         ", which does not hold reference op " +
+                         std::to_string(t.candidates[v][d]) + "'s value");
+        }
+      }
+    }
+  }
+
+  int resolve(const SrcSel& src, int cycle) {
+    switch (src.kind) {
+      case SrcSel::Kind::kReg: {
+        if (!reg_ok(src.reg, cycle)) return vt.opaque();
+        int v = rf[static_cast<size_t>(src.reg)];
+        if (v < 0) {
+          sink.add(Rule::kUndefinedRead, cycle, src.reg,
+                   "read of r" + std::to_string(src.reg) + ", which holds no value");
+          return vt.opaque();
+        }
+        return v;
+      }
+      case SrcSel::Kind::kMulBus:
+      case SrcSel::Kind::kAddBus: {
+        int cls = src.kind == SrcSel::Kind::kMulBus ? 0 : 1;
+        if (src.unit < 0 || src.unit >= static_cast<int>(pipes[cls].size())) {
+          sink.add(Rule::kInstanceOutOfRange, cycle, -1,
+                   std::string(cls == 0 ? "multiplier" : "adder") + " bus instance " +
+                       std::to_string(src.unit) + " does not exist");
+          return vt.opaque();
+        }
+        auto& pipe = pipes[cls][static_cast<size_t>(src.unit)];
+        auto it = pipe.find(cycle);
+        if (it == pipe.end()) {
+          sink.add(Rule::kForwardingBusEmpty, cycle, -1,
+                   std::string(cls == 0 ? "multiplier" : "adder") + " bus " +
+                       std::to_string(src.unit) +
+                       " forwards nothing this cycle (no result completes)");
+          return vt.opaque();
+        }
+        return it->second.value;
+      }
+      case SrcSel::Kind::kIndexed: {
+        if (src.map < 0 || src.map >= static_cast<int>(sm.select_maps.size()) ||
+            src.map >= static_cast<int>(ref.tables.size())) {
+          sink.add(Rule::kSelectShapeMismatch, cycle, -1,
+                   "indexed read through select map " + std::to_string(src.map) +
+                       ", which does not exist");
+          return vt.opaque();
+        }
+        ++report.indexed_reads;
+        check_select(src.map, cycle);
+        int v = vt.cons(ValueTable::kSelectTag, src.map, src.iter);
+        vt.at(v).tainted = true;
+        return v;
+      }
+      case SrcSel::Kind::kNone:
+        break;
+    }
+    sink.add(Rule::kUndefinedRead, cycle, -1, "operand has no source selector");
+    return vt.opaque();
+  }
+
+  void issue(const UnitCtrl& u, int cls, int cycle, int latency) {
+    if (u.unit < 0 || u.unit >= static_cast<int>(pipes[cls].size())) {
+      sink.add(Rule::kInstanceOutOfRange, cycle, -1,
+               std::string(cls == 0 ? "multiplier" : "adder/subtractor") + " instance " +
+                   std::to_string(u.unit) + " does not exist");
+      return;
+    }
+    OpKind kind = cls == 0 ? OpKind::kMul : u.op;
+    int a = resolve(u.a, cycle);
+    int b = kind == OpKind::kConj ? -1 : resolve(u.b, cycle);
+    int v = vt.cons(ValueTable::kComputeTag + static_cast<int>(kind), a, b);
+    ValueTable::Info& info = vt.at(v);
+    info.produced = true;
+    bool poisoned = vt.at(a).poisoned || (b >= 0 && vt.at(b).poisoned);
+    info.poisoned = info.poisoned || poisoned;
+    info.tainted = info.tainted || vt.at(a).tainted || (b >= 0 && vt.at(b).tainted);
+    ++report.lifted_ops;
+    if (info.in_trace) {
+      ++report.matched_ops;
+    } else if (!info.poisoned) {
+      sink.add(Rule::kAlienValue, cycle, -1,
+               std::string(opkind_name(kind)) +
+                   " issue computes a value absent from the reference DAG "
+                   "(likely a clobbered or retargeted operand)");
+    }
+    auto& pipe = pipes[cls][static_cast<size_t>(u.unit)];
+    int due = cycle + latency;
+    if (!pipe.emplace(due, PipeEntry{v, false}).second)
+      sink.add(Rule::kPipelineCollision, cycle, -1,
+               std::string(cls == 0 ? "multiplier" : "adder") + " instance " +
+                   std::to_string(u.unit) + " already has a result due at c" +
+                   std::to_string(due));
+  }
+
+  void writeback(const WbCtrl& wb, int cycle) {
+    int cls = wb.from_mul ? 0 : 1;
+    if (wb.unit < 0 || wb.unit >= static_cast<int>(pipes[cls].size())) {
+      sink.add(Rule::kInstanceOutOfRange, cycle, wb.reg,
+               "writeback from missing " +
+                   std::string(cls == 0 ? "multiplier" : "adder") + " instance " +
+                   std::to_string(wb.unit));
+      return;
+    }
+    auto& pipe = pipes[cls][static_cast<size_t>(wb.unit)];
+    auto it = pipe.find(cycle);
+    if (it == pipe.end()) {
+      sink.add(Rule::kWritebackNoResult, cycle, wb.reg,
+               "writeback to r" + std::to_string(wb.reg) + " from " +
+                   std::string(cls == 0 ? "multiplier" : "adder") + " " +
+                   std::to_string(wb.unit) + ", but no result completes there");
+      return;
+    }
+    it->second.written = true;
+    if (!reg_ok(wb.reg, cycle)) return;
+    rf[static_cast<size_t>(wb.reg)] = it->second.value;
+  }
+
+  void expire(int cycle) {
+    for (int cls = 0; cls < 2; ++cls) {
+      for (size_t inst = 0; inst < pipes[cls].size(); ++inst) {
+        auto& pipe = pipes[cls][inst];
+        auto it = pipe.find(cycle);
+        if (it == pipe.end()) continue;
+        if (!it->second.written)
+          sink.add(Rule::kResultDropped, cycle, -1,
+                   std::string(cls == 0 ? "multiplier" : "adder") + " " +
+                       std::to_string(inst) +
+                       " result completes but is never written to the register file");
+        pipe.erase(it);
+      }
+    }
+  }
+
+  void finish() {
+    // Results still in flight past the last control word.
+    for (int cls = 0; cls < 2; ++cls)
+      for (size_t inst = 0; inst < pipes[cls].size(); ++inst)
+        for (const auto& [due, entry] : pipes[cls][inst]) {
+          (void)entry;
+          sink.add(Rule::kResultDropped, -1, -1,
+                   std::string(cls == 0 ? "multiplier" : "adder") + " " +
+                       std::to_string(inst) + " result due at c" + std::to_string(due) +
+                       " is beyond the last ROM word");
+        }
+
+    // Coverage: every distinct reference value must have been computed.
+    for (size_t i = 0; i < ref.ops.size(); ++i) {
+      const Op& op = ref.ops[i];
+      if (op.kind == OpKind::kInput || op.kind == OpKind::kSelect) continue;
+      const ValueTable::Info& info = vt.at(ref_vn[i]);
+      if (info.produced || info.trace_op != static_cast<int>(i)) continue;  // dedup
+      sink.add(Rule::kMissingValue, -1, -1,
+               "reference op " + std::to_string(i) + " (" + opkind_name(op.kind) +
+                   (op.label.empty() ? "" : " " + op.label) +
+                   ") is never computed by the ROM");
+    }
+
+    // Outputs by name.
+    std::map<std::string, int> want;
+    for (const auto& [id, name] : ref.outputs) want[name] = ref_vn[static_cast<size_t>(id)];
+    for (const auto& [name, reg] : sm.outputs) {
+      auto it = want.find(name);
+      if (it == want.end()) {
+        sink.add(Rule::kOutputMismatch, -1, reg,
+                 "ROM output '" + name + "' is not an output of the reference program");
+        continue;
+      }
+      int have = reg_ok(reg, -1) ? rf[static_cast<size_t>(reg)] : -1;
+      if (have < 0)
+        sink.add(Rule::kOutputMismatch, -1, reg,
+                 "output '" + name + "' reads r" + std::to_string(reg) +
+                     ", which holds no value at the end of the program");
+      else if (have != it->second && !vt.at(have).poisoned)
+        sink.add(Rule::kOutputMismatch, -1, reg,
+                 "output '" + name + "' reads r" + std::to_string(reg) +
+                     ", which holds the wrong value at the end of the program");
+      want.erase(it);
+    }
+    for (const auto& [name, vn] : want) {
+      (void)vn;
+      sink.add(Rule::kOutputMissing, -1, -1,
+               "reference output '" + name + "' is missing from the ROM");
+    }
+
+    for (int v = 0; v < vt.size(); ++v)
+      if (vt.at(v).tainted) ++report.tainted_values;
+  }
+};
+
+}  // namespace
+
+void run_lift(const CompiledSm& sm, const Program& reference, LintReport& report,
+              FindingSink& sink) {
+  Lifter lifter(sm, reference, report, sink);
+  lifter.number_reference();
+  lifter.preload();
+  for (int t = 0; t < sm.cycles(); ++t) {
+    const CtrlWord& w = sm.rom[static_cast<size_t>(t)];
+    for (const UnitCtrl& u : w.mul) lifter.issue(u, 0, t, sm.cfg.mul_latency);
+    for (const UnitCtrl& u : w.addsub) lifter.issue(u, 1, t, sm.cfg.addsub_latency);
+    for (const WbCtrl& wb : w.writebacks) lifter.writeback(wb, t);
+    lifter.expire(t);
+  }
+  lifter.finish();
+
+  // Equivalence is proven iff lifting raised no error; the constant-time
+  // certificate additionally needs every digit-uniformity check to hold
+  // (those are the select-* rules) and rests on the lifted dataflow being
+  // the reference dataflow, so it implies equivalence. The structural half
+  // of the certificate — fixed instruction sequence, static addressing and
+  // port counts — holds by construction of the control-word format.
+  report.equivalent = !sink.any_error();
+  report.constant_time = report.equivalent;
+}
+
+}  // namespace fourq::analysis::detail

@@ -1,0 +1,173 @@
+// ROM-only liveness and legality: re-derives per-cycle port usage, issue
+// width and initiation-interval legality, per-register live ranges (all
+// candidates of a select map stay live across its indexed reads), dead-write
+// and never-read diagnostics, and the register-pressure profile — from the
+// control words alone, in the same independent-re-derivation spirit as
+// sched/validate.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/internal.hpp"
+
+namespace fourq::analysis::detail {
+
+using sched::CompiledSm;
+using sched::CtrlWord;
+using sched::SrcSel;
+using sched::UnitCtrl;
+using sched::WbCtrl;
+
+namespace {
+
+struct RegEvents {
+  // Cycles, ascending. Preloads are defs at cycle -1; output reads are uses
+  // at cycle `cycles` (one past the last control word).
+  std::vector<int> defs;
+  std::vector<int> uses;
+};
+
+}  // namespace
+
+void run_liveness(const CompiledSm& sm, LintReport& report, FindingSink& sink) {
+  const int cycles = sm.cycles();
+  const int nregs = std::max(sm.cfg.rf_size, sm.rf_slots);
+  std::vector<RegEvents> regs(static_cast<size_t>(nregs));
+
+  auto use = [&](int reg, int cycle) {
+    if (reg >= 0 && reg < nregs) regs[static_cast<size_t>(reg)].uses.push_back(cycle);
+  };
+  auto def = [&](int reg, int cycle) {
+    if (reg >= 0 && reg < nregs) regs[static_cast<size_t>(reg)].defs.push_back(cycle);
+  };
+
+  for (const auto& [op_id, reg] : sm.preload) {
+    (void)op_id;
+    def(reg, -1);
+  }
+
+  // Port-consuming reads per operand: one for kReg, one for kIndexed (the
+  // sequencer resolves the digit, but the RF still services one read); bus
+  // operands consume no port. Liveness-wise an indexed read keeps every
+  // candidate of its map alive — the digit is secret, so all of them must
+  // hold valid values.
+  auto scan_operand = [&](const SrcSel& src, int t, int& reads) {
+    switch (src.kind) {
+      case SrcSel::Kind::kReg:
+        ++reads;
+        use(src.reg, t);
+        break;
+      case SrcSel::Kind::kIndexed: {
+        ++reads;
+        if (src.map >= 0 && src.map < static_cast<int>(sm.select_maps.size()))
+          for (const auto& variant : sm.select_maps[static_cast<size_t>(src.map)].reg)
+            for (int r : variant) use(r, t);
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
+  std::vector<int> mul_last(static_cast<size_t>(sm.cfg.num_multipliers),
+                            -(sm.cfg.mul_ii + 1));
+  for (int t = 0; t < cycles; ++t) {
+    const CtrlWord& w = sm.rom[static_cast<size_t>(t)];
+    int reads = 0;
+
+    if (static_cast<int>(w.mul.size()) > sm.cfg.num_multipliers)
+      sink.add(Rule::kIssueWidthOverflow, t, -1,
+               std::to_string(w.mul.size()) + " multiplier issues, " +
+                   std::to_string(sm.cfg.num_multipliers) + " instance(s) configured");
+    if (static_cast<int>(w.addsub.size()) > sm.cfg.num_addsubs)
+      sink.add(Rule::kIssueWidthOverflow, t, -1,
+               std::to_string(w.addsub.size()) + " adder/subtractor issues, " +
+                   std::to_string(sm.cfg.num_addsubs) + " instance(s) configured");
+
+    for (const UnitCtrl& u : w.mul) {
+      scan_operand(u.a, t, reads);
+      scan_operand(u.b, t, reads);
+      if (u.unit >= 0 && u.unit < sm.cfg.num_multipliers) {
+        int since = t - mul_last[static_cast<size_t>(u.unit)];
+        if (since < sm.cfg.mul_ii)
+          sink.add(Rule::kInitiationInterval, t, -1,
+                   "multiplier " + std::to_string(u.unit) + " issued " +
+                       std::to_string(since) + " cycle(s) after its previous issue; II is " +
+                       std::to_string(sm.cfg.mul_ii));
+        mul_last[static_cast<size_t>(u.unit)] = t;
+      }
+    }
+    for (const UnitCtrl& u : w.addsub) {
+      scan_operand(u.a, t, reads);
+      if (u.op != trace::OpKind::kConj) scan_operand(u.b, t, reads);
+    }
+
+    if (reads > sm.cfg.rf_read_ports)
+      sink.add(Rule::kReadPortOverflow, t, -1,
+               std::to_string(reads) + " register-file reads, " +
+                   std::to_string(sm.cfg.rf_read_ports) + " ports");
+    int writes = static_cast<int>(w.writebacks.size());
+    if (writes > sm.cfg.rf_write_ports)
+      sink.add(Rule::kWritePortOverflow, t, -1,
+               std::to_string(writes) + " writebacks, " +
+                   std::to_string(sm.cfg.rf_write_ports) + " ports");
+    report.max_reads_in_cycle = std::max(report.max_reads_in_cycle, reads);
+    report.max_writes_in_cycle = std::max(report.max_writes_in_cycle, writes);
+
+    for (const WbCtrl& wb : w.writebacks) def(wb.reg, t);
+  }
+
+  for (const auto& [name, reg] : sm.outputs) {
+    (void)name;
+    use(reg, cycles);
+  }
+
+  // Bind every use to the latest def strictly before it (reads observe the
+  // RF before the same cycle's writebacks land), then fold live intervals
+  // into the pressure profile.
+  std::vector<int> pressure_delta(static_cast<size_t>(cycles) + 2, 0);
+  for (int r = 0; r < nregs; ++r) {
+    RegEvents& ev = regs[static_cast<size_t>(r)];
+    if (ev.defs.empty()) continue;
+    std::sort(ev.uses.begin(), ev.uses.end());
+    // defs are already in cycle order (single pass; preloads first).
+    if (ev.uses.empty()) {
+      ++report.never_read_regs;
+      sink.add(Rule::kNeverReadRegister, ev.defs.front(), r,
+               "r" + std::to_string(r) + " is written " + std::to_string(ev.defs.size()) +
+                   " time(s) but never read and is not an output");
+      continue;
+    }
+    size_t u = 0;
+    for (size_t d = 0; d < ev.defs.size(); ++d) {
+      int start = ev.defs[d];
+      int end = d + 1 < ev.defs.size() ? ev.defs[d + 1] : cycles + 1;
+      // Uses in (start, end]: they read this def's value.
+      while (u < ev.uses.size() && ev.uses[u] <= start) ++u;
+      int last_use = -1;
+      while (u < ev.uses.size() && ev.uses[u] <= end) last_use = ev.uses[u++];
+      if (last_use < 0) {
+        ++report.dead_writes;
+        sink.add(Rule::kDeadWrite, start, r,
+                 "value written to r" + std::to_string(r) + " at c" +
+                     std::to_string(start) + " is never read before it is " +
+                     (d + 1 < ev.defs.size() ? "overwritten" : "discarded"));
+        continue;
+      }
+      int live_from = std::max(start, 0);
+      pressure_delta[static_cast<size_t>(live_from)] += 1;
+      pressure_delta[static_cast<size_t>(std::min(last_use, cycles)) + 1] -= 1;
+    }
+  }
+
+  int live = 0;
+  for (int t = 0; t <= cycles; ++t) {
+    live += pressure_delta[static_cast<size_t>(t)];
+    if (live > report.peak_live) {
+      report.peak_live = live;
+      report.peak_live_cycle = t;
+    }
+  }
+}
+
+}  // namespace fourq::analysis::detail

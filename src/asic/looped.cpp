@@ -240,7 +240,8 @@ LoopedSm build_looped_sm(const LoopedSmOptions& opt) {
       t.mark_output(q0[i], "Q0." + std::to_string(i));
     }
 
-    out.prologue = sched::compile_block(t.take_program(), copt, pins).sm;
+    out.prologue_program = t.take_program();
+    out.prologue = sched::compile_block(out.prologue_program, copt, pins).sm;
   }
 
   // ---- Body: one dbl+add replayed per digit (counter-indexed reads). ------
@@ -291,7 +292,8 @@ LoopedSm build_looped_sm(const LoopedSmOptions& opt) {
       pin(qout[i], L::kBankB + i);
       t.mark_output(qout[i], names[i]);
     }
-    out.body = sched::compile_block(t.take_program(), copt, pins).sm;
+    out.body_program = t.take_program();
+    out.body = sched::compile_block(out.body_program, copt, pins).sm;
   }
 
   // ---- Epilogue: correction addition + normalisation. ----------------------
@@ -333,7 +335,8 @@ LoopedSm build_looped_sm(const LoopedSmOptions& opt) {
     t.mark_output(t.mul(final_q.X, zi, "x.affine"), "x");
     t.mark_output(t.mul(final_q.Y, zi, "y.affine"), "y");
 
-    out.epilogue = sched::compile_block(t.take_program(), copt, pins).sm;
+    out.epilogue_program = t.take_program();
+    out.epilogue = sched::compile_block(out.epilogue_program, copt, pins).sm;
   }
 
   return out;

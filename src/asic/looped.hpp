@@ -38,6 +38,9 @@ struct LoopedSmOptions {
 
 struct LoopedSm {
   sched::CompiledSm prologue, body, epilogue;
+  // The traced reference program each segment was compiled from, retained
+  // so the static verifier (analysis/lint) can re-check the emitted ROMs.
+  trace::Program prologue_program, body_program, epilogue_program;
   std::array<int, 5> bank_a{}, bank_b{};  // accumulator slots (X,Y,Z,Ta,Tb)
   int iterations = 0;                     // body replays
   int body_unroll = 1;                    // digits per replay

@@ -143,9 +143,11 @@ CompiledSm emit_microcode(const Problem& pr, const Schedule& s, const Allocation
     out.rom[static_cast<size_t>(wb_cycle)].writebacks.push_back(wb);
   }
 
-  for (const CtrlWord& w : out.rom)
-    FOURQ_CHECK_MSG(static_cast<int>(w.writebacks.size()) <= pr.cfg.rf_write_ports,
-                    "write ports exceeded in emitted ROM");
+  for (size_t t = 0; t < out.rom.size(); ++t)
+    FOURQ_CHECK_MSG(
+        static_cast<int>(out.rom[t].writebacks.size()) <= pr.cfg.rf_write_ports,
+        "write ports exceeded in emitted ROM @c" + std::to_string(t) + ": " +
+            std::to_string(out.rom[t].writebacks.size()) + " writebacks");
 
   // Outputs.
   for (const auto& [id, name] : p.outputs) out.outputs.emplace_back(name, alloc.slot(id));

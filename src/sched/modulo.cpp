@@ -213,21 +213,32 @@ bool check_modulo_schedule(const Problem& pr, const std::vector<CarriedDep>& car
         ++per_slot[r.start[static_cast<size_t>(i)] % r.ii];
     for (const auto& [slot, cnt] : per_slot)
       if (cnt > capacity(pr.cfg, unit))
-        return fail("slot " + std::to_string(slot) + " over-subscribed");
+        return fail(std::string(unit == 0 ? "multiplier" : "adder/subtractor") +
+                    " modulo slot " + std::to_string(slot) + " over-subscribed: " +
+                    std::to_string(cnt) + " issues for " +
+                    std::to_string(capacity(pr.cfg, unit)) + " slot(s)");
   }
   // Intra-iteration dependences.
   for (size_t ni = 0; ni < pr.nodes.size(); ++ni) {
     int lat = latency(pr.cfg, pr.nodes[ni].kind);
     for (int cons : pr.consumers[ni])
       if (r.start[static_cast<size_t>(cons)] < r.start[ni] + lat)
-        return fail("intra dependence violated");
+        return fail("intra-iteration dependence violated: node " + std::to_string(cons) +
+                    " @c" + std::to_string(r.start[static_cast<size_t>(cons)]) +
+                    " before producer node " + std::to_string(ni) + " completes @c" +
+                    std::to_string(r.start[ni] + lat));
   }
   // Carried dependences.
   for (const CarriedDep& d : carried) {
     int lat = latency(pr.cfg, pr.nodes[static_cast<size_t>(d.from)].kind);
     if (r.start[static_cast<size_t>(d.to)] + r.ii * d.distance <
         r.start[static_cast<size_t>(d.from)] + lat)
-      return fail("carried dependence violated");
+      return fail("carried dependence violated: node " + std::to_string(d.from) +
+                  " -> node " + std::to_string(d.to) + " (distance " +
+                  std::to_string(d.distance) + ") @c" +
+                  std::to_string(r.start[static_cast<size_t>(d.to)] + r.ii * d.distance) +
+                  " before completion @c" +
+                  std::to_string(r.start[static_cast<size_t>(d.from)] + lat));
   }
   return true;
 }

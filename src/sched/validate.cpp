@@ -8,19 +8,54 @@ namespace fourq::sched {
 
 using trace::OpKind;
 
+namespace {
+
+const char* kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kConj: return "conj";
+    case OpKind::kMul: return "mul";
+    case OpKind::kInput: return "input";
+    case OpKind::kSelect: return "select";
+  }
+  return "?";
+}
+
+// Every diagnostic anchors on "node <i> (op <id>, <kind>)" and a "@c<t>"
+// cycle so validate and lint findings read the same way.
+std::string node_ref(const Problem& pr, int ni) {
+  const Node& n = pr.nodes[static_cast<size_t>(ni)];
+  return "node " + std::to_string(ni) + " (op " + std::to_string(n.op_id) + ", " +
+         kind_name(n.kind) + ")";
+}
+
+std::string node_list(const std::vector<int>& nodes) {
+  std::string out = nodes.size() == 1 ? "node " : "nodes ";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(nodes[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
 ValidationReport check_schedule(const Problem& pr, const Schedule& s) {
   ValidationReport rep;
   auto fail = [&](const std::string& m) { rep.errors.push_back(m); };
 
   if (s.cycle.size() != pr.nodes.size()) {
-    fail("schedule length mismatch");
+    fail("schedule length mismatch: " + std::to_string(s.cycle.size()) +
+         " cycle entries for " + std::to_string(pr.nodes.size()) + " nodes");
     return rep;
   }
 
   // Issue cycle per op id for dependency checks.
   std::vector<int> issue_of_op(pr.program->ops.size(), -1);
   for (size_t i = 0; i < pr.nodes.size(); ++i) {
-    if (s.cycle[i] < 0) fail("node " + std::to_string(i) + " unscheduled");
+    if (s.cycle[i] < 0)
+      fail(node_ref(pr, static_cast<int>(i)) + ": unscheduled (no issue cycle)");
     issue_of_op[static_cast<size_t>(pr.nodes[i].op_id)] = s.cycle[i];
   }
   if (!rep.ok()) return rep;
@@ -32,15 +67,17 @@ ValidationReport check_schedule(const Problem& pr, const Schedule& s) {
            latency(pr.cfg, pr.nodes[static_cast<size_t>(ni)].kind);
   };
 
-  // Per-cycle resource accounting.
-  std::map<int, int> unit_issues[kNumUnits];
-  std::map<int, int> reads, writes;
+  // Per-cycle resource accounting, keeping the contributing node ids so
+  // overflow diagnostics can name them.
+  std::map<int, std::vector<int>> unit_issues[kNumUnits];
+  std::map<int, std::vector<int>> reads, writes;
 
   for (size_t i = 0; i < pr.nodes.size(); ++i) {
     const Node& n = pr.nodes[i];
+    const int ni = static_cast<int>(i);
     int t = s.cycle[i];
-    ++unit_issues[unit_of(n.kind)][t];
-    ++writes[t + latency(pr.cfg, n.kind)];
+    unit_issues[unit_of(n.kind)][t].push_back(ni);
+    writes[t + latency(pr.cfg, n.kind)].push_back(ni);
 
     for (const OperandReq& req : n.operands) {
       if (req.is_select) {
@@ -48,25 +85,28 @@ ValidationReport check_schedule(const Problem& pr, const Schedule& s) {
         for (int prod : req.producers) {
           if (pr.node_of_op[static_cast<size_t>(prod)] < 0) continue;  // input
           if (done_cycle(prod) + 1 > t)
-            fail("node " + std::to_string(i) + ": select candidate not in RF by cycle " +
-                 std::to_string(t));
+            fail(node_ref(pr, ni) + " @c" + std::to_string(t) +
+                 ": select candidate " + node_ref(pr, pr.node_of_op[static_cast<size_t>(prod)]) +
+                 " not in RF until c" + std::to_string(done_cycle(prod) + 1));
         }
-        ++reads[t];
+        reads[t].push_back(ni);
         continue;
       }
       int prod = req.producers[0];
       if (pr.node_of_op[static_cast<size_t>(prod)] < 0) {
-        ++reads[t];  // input operand: RF read
+        reads[t].push_back(ni);  // input operand: RF read
         continue;
       }
       int done = done_cycle(prod);
       if (pr.cfg.forwarding && t == done) {
         // Forwarded from the unit output bus: no port.
       } else if (t >= done + 1) {
-        ++reads[t];  // RF read
+        reads[t].push_back(ni);  // RF read
       } else {
-        fail("node " + std::to_string(i) + " issued at " + std::to_string(t) +
-             " before operand ready (producer done at " + std::to_string(done) + ")");
+        fail(node_ref(pr, ni) + " @c" + std::to_string(t) +
+             ": operand not ready (producer " +
+             node_ref(pr, pr.node_of_op[static_cast<size_t>(prod)]) + " done @c" +
+             std::to_string(done) + ")");
       }
     }
   }
@@ -76,27 +116,37 @@ ValidationReport check_schedule(const Problem& pr, const Schedule& s) {
   // accepts one issue per ii cycles; equal service times make this window
   // condition necessary and sufficient for a per-instance assignment).
   for (int u = 0; u < kNumUnits; ++u) {
+    const char* unit_name = u == 0 ? "multiplier" : "adder/subtractor";
     int ii = initiation_interval(pr.cfg, u);
-    for (const auto& [t, cnt] : unit_issues[u]) {
-      (void)cnt;
-      int in_window = 0;
-      for (int s = t - ii + 1; s <= t; ++s) {
-        auto it = unit_issues[u].find(s);
-        if (it != unit_issues[u].end()) in_window += it->second;
+    for (const auto& [t, issued] : unit_issues[u]) {
+      (void)issued;
+      std::vector<int> in_window;
+      for (int w = t - ii + 1; w <= t; ++w) {
+        auto it = unit_issues[u].find(w);
+        if (it != unit_issues[u].end())
+          in_window.insert(in_window.end(), it->second.begin(), it->second.end());
       }
-      if (in_window > capacity(pr.cfg, u))
-        fail("unit class " + std::to_string(u) + " over-subscribed in window ending at " +
-             std::to_string(t) + ": " + std::to_string(in_window));
+      if (static_cast<int>(in_window.size()) > capacity(pr.cfg, u))
+        fail(std::string(unit_name) + " over-subscribed @c" + std::to_string(t) +
+             ": " + std::to_string(in_window.size()) + " issues in the II-" +
+             std::to_string(ii) + " window for " + std::to_string(capacity(pr.cfg, u)) +
+             " slot(s) (" + node_list(in_window) + ")");
     }
   }
-  for (const auto& [t, cnt] : reads)
-    if (cnt > pr.cfg.rf_read_ports)
-      fail("read ports exceeded at cycle " + std::to_string(t) + ": " + std::to_string(cnt));
-  for (const auto& [t, cnt] : writes)
-    if (cnt > pr.cfg.rf_write_ports)
-      fail("write ports exceeded at cycle " + std::to_string(t) + ": " + std::to_string(cnt));
+  for (const auto& [t, readers] : reads)
+    if (static_cast<int>(readers.size()) > pr.cfg.rf_read_ports)
+      fail("read ports exceeded @c" + std::to_string(t) + ": " +
+           std::to_string(readers.size()) + " reads for " +
+           std::to_string(pr.cfg.rf_read_ports) + " ports (" + node_list(readers) + ")");
+  for (const auto& [t, writers] : writes)
+    if (static_cast<int>(writers.size()) > pr.cfg.rf_write_ports)
+      fail("write ports exceeded @c" + std::to_string(t) + ": " +
+           std::to_string(writers.size()) + " writebacks for " +
+           std::to_string(pr.cfg.rf_write_ports) + " ports (" + node_list(writers) + ")");
 
-  if (s.makespan != makespan_of(pr, s.cycle)) fail("makespan field inconsistent");
+  if (s.makespan != makespan_of(pr, s.cycle))
+    fail("makespan field inconsistent: recorded " + std::to_string(s.makespan) +
+         ", recomputed " + std::to_string(makespan_of(pr, s.cycle)));
   return rep;
 }
 

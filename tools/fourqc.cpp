@@ -11,6 +11,8 @@
 //   fourqc profile --out profile_out
 //   fourqc explain
 //   fourqc explain --program sm --backends seq,list,anneal
+//   fourqc lint --program loop --json
+//   fourqc lint --program sm --out lint_out
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -18,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "asic/explain.hpp"
 #include "asic/looped.hpp"
 #include "asic/romfile.hpp"
@@ -75,7 +78,17 @@ void usage() {
       "  --backends a,b,...                subset of seq,list,anneal,bnb\n"
       "  --gantt / --no-gantt              occupancy timeline (default: on for loop)\n"
       "  --out DIR                         also write report.txt, explain.json,\n"
-      "                                    metrics.jsonl to DIR\n");
+      "                                    metrics.jsonl to DIR\n"
+      "\n"
+      "lint subcommand — static microcode verification without simulation:\n"
+      "ROM-to-SSA lifting + equivalence vs the traced program, liveness and\n"
+      "port legality, and the secret-independence (constant-time) certificate.\n"
+      "Exits 1 on any error-severity finding:\n"
+      "  --program loop|sm                 Alg. 1 loop body (default) or full SM\n"
+      "  --backends a,b,...                subset of seq,list,anneal,bnb plus\n"
+      "                                    modulo (loop) / looped (sm segments)\n"
+      "  --json                            fourq.lint.v1 JSON on stdout\n"
+      "  --out DIR                         write lint.json, lint.txt, metrics.jsonl\n");
 }
 
 bool write_file(const std::filesystem::path& path, const std::string& content) {
@@ -279,6 +292,112 @@ int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOption
 }
 
 // ---------------------------------------------------------------------------
+// Shared plumbing for the explain and lint subcommands: both analyse the
+// same two programs (Alg. 1 loop body or the full SM trace) across the same
+// scheduler backends.
+
+// The program a subcommand operates on, with its reference trace and
+// deterministic input bindings (the bindings matter only when simulating;
+// the static verifier ignores them). Build in place — `ctx` points at the
+// recoded scalar kept alive in `rec`.
+struct ProgramUnderTest {
+  bool loop_mode = true;
+  trace::Program program;
+  trace::InputBindings bindings;
+  trace::EvalContext ctx{};
+  trace::LoopBodyTrace body;  // loop mode
+  trace::SmTrace sm;          // sm mode
+  curve::Decomposition dec;   // keeps the recoded digits alive for ctx
+  curve::RecodedScalar rec;
+
+  void build(const std::string& name, const trace::SmTraceOptions& topt) {
+    loop_mode = name == "loop";
+    if (loop_mode) {
+      body = trace::build_loop_body_trace();
+      program = body.program;
+      curve::PointR1 q = curve::dbl(curve::to_r1(curve::deterministic_point(31)));
+      curve::PointR2 e = curve::to_r2(curve::to_r1(curve::deterministic_point(32)));
+      bindings.emplace_back(body.q_inputs[0], q.X);
+      bindings.emplace_back(body.q_inputs[1], q.Y);
+      bindings.emplace_back(body.q_inputs[2], q.Z);
+      bindings.emplace_back(body.q_inputs[3], q.Ta);
+      bindings.emplace_back(body.q_inputs[4], q.Tb);
+      bindings.emplace_back(body.table_inputs[0], e.xpy);
+      bindings.emplace_back(body.table_inputs[1], e.ymx);
+      bindings.emplace_back(body.table_inputs[2], e.z2);
+      bindings.emplace_back(body.table_inputs[3], e.dt2);
+    } else {
+      sm = trace::build_sm_trace(topt);
+      program = sm.program;
+      curve::Affine p = curve::deterministic_point(1);
+      bindings.emplace_back(sm.in_zero, curve::Fp2());
+      bindings.emplace_back(sm.in_one, curve::Fp2::from_u64(1));
+      bindings.emplace_back(sm.in_two_d, curve::curve_2d());
+      bindings.emplace_back(sm.in_px, p.x);
+      bindings.emplace_back(sm.in_py, p.y);
+      for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
+        bindings.emplace_back(sm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
+      U256 k = U256::from_hex(
+          "1f2e3d4c5b6a79880123456789abcdef0fedcba987654321aa55aa55aa55aa55");
+      dec = curve::decompose(k);
+      rec = curve::recode(dec.a);
+      ctx = trace::EvalContext{&rec, dec.k_was_even};
+    }
+  }
+
+  // The loop body's carried dependences (for the modulo backend).
+  std::vector<sched::CarriedDep> carried_deps(const sched::Problem& pr) const {
+    std::vector<int> outs;
+    for (const auto& [id, name] : program.outputs) {
+      (void)name;
+      outs.push_back(id);
+    }
+    return sched::body_carried_deps(pr, body.q_inputs, outs);
+  }
+};
+
+bool solver_from_name(const std::string& name, sched::Solver* solver) {
+  if (name == "seq") *solver = sched::Solver::kSequential;
+  else if (name == "list") *solver = sched::Solver::kList;
+  else if (name == "anneal") *solver = sched::Solver::kAnneal;
+  else if (name == "bnb") *solver = sched::Solver::kBnb;
+  else return false;
+  return true;
+}
+
+// Exact search is for block-sized programs; the full SM trace is far past
+// that. Returns true when bnb should be skipped (with a console note).
+bool skip_bnb(const char* cmd, size_t nodes) {
+  if (nodes <= 64) return false;
+  std::fprintf(stderr,
+               "fourqc %s: skipping bnb (%zu ops; exact search is for "
+               "block-sized programs)\n",
+               cmd, nodes);
+  return true;
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > pos) out.push_back(list.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+asic::LoopedSmOptions looped_options(const trace::SmTraceOptions& topt,
+                                     const sched::CompileOptions& copt) {
+  asic::LoopedSmOptions lopt;
+  lopt.endo = topt.endo;
+  lopt.cfg.mul_latency = copt.cfg.mul_latency;
+  lopt.cfg.forwarding = copt.cfg.forwarding;
+  return lopt;
+}
+
+// ---------------------------------------------------------------------------
 // fourqc explain — schedule explainability report (docs/OBSERVABILITY.md).
 
 struct ExplainOptions {
@@ -318,44 +437,9 @@ int run_explain(const trace::SmTraceOptions& topt, const sched::CompileOptions& 
   bool show_gantt = eopt.gantt < 0 ? loop_mode : eopt.gantt > 0;
 
   // 1. Build the program and its input bindings.
-  trace::Program program;
-  trace::InputBindings bindings;
-  trace::EvalContext ctx{};
-  curve::Decomposition dec;  // keeps the recoded digits alive for ctx
-  curve::RecodedScalar rec;
-  trace::LoopBodyTrace body;
-  trace::SmTrace sm;
-  if (loop_mode) {
-    body = trace::build_loop_body_trace();
-    program = body.program;
-    curve::PointR1 q = curve::dbl(curve::to_r1(curve::deterministic_point(31)));
-    curve::PointR2 e = curve::to_r2(curve::to_r1(curve::deterministic_point(32)));
-    bindings.emplace_back(body.q_inputs[0], q.X);
-    bindings.emplace_back(body.q_inputs[1], q.Y);
-    bindings.emplace_back(body.q_inputs[2], q.Z);
-    bindings.emplace_back(body.q_inputs[3], q.Ta);
-    bindings.emplace_back(body.q_inputs[4], q.Tb);
-    bindings.emplace_back(body.table_inputs[0], e.xpy);
-    bindings.emplace_back(body.table_inputs[1], e.ymx);
-    bindings.emplace_back(body.table_inputs[2], e.z2);
-    bindings.emplace_back(body.table_inputs[3], e.dt2);
-  } else {
-    sm = trace::build_sm_trace(topt);
-    program = sm.program;
-    curve::Affine p = curve::deterministic_point(1);
-    bindings.emplace_back(sm.in_zero, curve::Fp2());
-    bindings.emplace_back(sm.in_one, curve::Fp2::from_u64(1));
-    bindings.emplace_back(sm.in_two_d, curve::curve_2d());
-    bindings.emplace_back(sm.in_px, p.x);
-    bindings.emplace_back(sm.in_py, p.y);
-    for (size_t i = 0; i < sm.in_endo_consts.size(); ++i)
-      bindings.emplace_back(sm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
-    U256 k = U256::from_hex(
-        "1f2e3d4c5b6a79880123456789abcdef0fedcba987654321aa55aa55aa55aa55");
-    dec = curve::decompose(k);
-    rec = curve::recode(dec.a);
-    ctx = trace::EvalContext{&rec, dec.k_was_even};
-  }
+  ProgramUnderTest put;
+  put.build(eopt.program, topt);
+  const trace::Program& program = put.program;
 
   trace::OpStats ops = trace::count_ops(program);
   std::string report;
@@ -404,30 +488,18 @@ int run_explain(const trace::SmTraceOptions& topt, const sched::CompileOptions& 
   int best_makespan = -1;
   for (const std::string& name : backends) {
     sched::CompileOptions copt = copt_base;
-    if (name == "seq") {
-      copt.solver = sched::Solver::kSequential;
-    } else if (name == "list") {
-      copt.solver = sched::Solver::kList;
-    } else if (name == "anneal") {
-      copt.solver = sched::Solver::kAnneal;
-    } else if (name == "bnb") {
-      if (pr.nodes.size() > 64) {
-        std::fprintf(stderr,
-                     "fourqc explain: skipping bnb (%zu ops; exact search is for "
-                     "block-sized programs)\n",
-                     pr.nodes.size());
-        continue;
-      }
-      copt.solver = sched::Solver::kBnb;
-      if (best_makespan > 0) copt.bnb.upper_bound = best_makespan + 1;
-    } else {
+    if (!solver_from_name(name, &copt.solver)) {
       std::fprintf(stderr, "fourqc explain: unknown backend '%s'\n", name.c_str());
       return 2;
+    }
+    if (copt.solver == sched::Solver::kBnb) {
+      if (skip_bnb("explain", pr.nodes.size())) continue;
+      if (best_makespan > 0) copt.bnb.upper_bound = best_makespan + 1;
     }
 
     sched::CompileResult r = sched::compile_program(program, copt);
     obs::RecordingSink sink;
-    asic::SimResult res = asic::simulate(r.sm, bindings, ctx, &sink);
+    asic::SimResult res = asic::simulate(r.sm, put.bindings, put.ctx, &sink);
     asic::StallAttribution attr = asic::attribute_stalls(r.sm, sink.events);
     if (!attr.conservation_ok) {
       std::fprintf(stderr,
@@ -481,13 +553,7 @@ int run_explain(const trace::SmTraceOptions& topt, const sched::CompileOptions& 
   // 5. Loop mode: how much further software pipelining could go (modulo
   //    scheduling analysis, steady-state cycles/iteration).
   if (loop_mode) {
-    std::vector<int> outs;
-    for (const auto& [id, name] : program.outputs) {
-      (void)name;
-      outs.push_back(id);
-    }
-    std::vector<sched::CarriedDep> carried =
-        sched::body_carried_deps(pr, body.q_inputs, outs);
+    std::vector<sched::CarriedDep> carried = put.carried_deps(pr);
     sched::ModuloResult mr = sched::modulo_schedule(pr, carried);
     if (mr.feasible) {
       std::snprintf(buf, sizeof buf,
@@ -504,11 +570,7 @@ int run_explain(const trace::SmTraceOptions& topt, const sched::CompileOptions& 
   // 6. Full-SM mode: hardware-phase occupancy from the looped controller's
   //    segment boundaries (the same windows `fourqc profile` prices).
   if (!loop_mode) {
-    asic::LoopedSmOptions lopt;
-    lopt.endo = topt.endo;
-    lopt.cfg.mul_latency = copt_base.cfg.mul_latency;
-    lopt.cfg.forwarding = copt_base.cfg.forwarding;
-    asic::LoopedSm lsm = asic::build_looped_sm(lopt);
+    asic::LoopedSm lsm = asic::build_looped_sm(looped_options(topt, copt_base));
     trace::InputBindings lb_bind;
     curve::Affine p = curve::deterministic_point(1);
     lb_bind.emplace_back(lsm.in_zero, curve::Fp2());
@@ -519,7 +581,7 @@ int run_explain(const trace::SmTraceOptions& topt, const sched::CompileOptions& 
     for (size_t i = 0; i < lsm.in_endo_consts.size(); ++i)
       lb_bind.emplace_back(lsm.in_endo_consts[i], curve::Fp2::from_u64(3 + i, 7 + i));
     obs::RecordingSink loop_events;
-    asic::simulate_looped(lsm, lb_bind, ctx, &loop_events);
+    asic::simulate_looped(lsm, lb_bind, put.ctx, &loop_events);
     int pro_end = lsm.prologue.cycles();
     int loop_end = pro_end + lsm.iterations * lsm.body.cycles();
     struct Win {
@@ -562,6 +624,110 @@ int run_explain(const trace::SmTraceOptions& topt, const sched::CompileOptions& 
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// fourqc lint — static microcode verification (docs/ANALYSIS.md): lift each
+// backend's emitted ROM back to SSA, check equivalence against the traced
+// reference, re-derive port/liveness legality, and prove the
+// secret-independence certificate. Exit 1 on any error-severity finding.
+
+struct LintOptions {
+  std::string program = "loop";       // "loop" or "sm"
+  std::vector<std::string> backends;  // default filled per program
+  bool json = false;                  // machine-readable stdout
+  std::string out_dir;                // also write lint.json/lint.txt/metrics
+};
+
+int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& copt_base,
+             const LintOptions& lopt) {
+  obs::Telemetry& tel = obs::global();
+  tel.reset();
+
+  std::filesystem::path out_path(lopt.out_dir);
+  if (!lopt.out_dir.empty() && !ensure_out_dir(out_path)) return 2;
+
+  ProgramUnderTest put;
+  put.build(lopt.program, topt);
+
+  std::vector<std::string> backends = lopt.backends;
+  if (backends.empty()) {
+    backends = {"seq", "list", "anneal"};
+    if (put.loop_mode) {
+      backends.push_back("bnb");     // exact search: small blocks only
+      backends.push_back("modulo");  // steady-state kernel re-validation
+    } else {
+      backends.push_back("looped");  // blocked controller segments
+    }
+  }
+
+  sched::Problem pr = sched::build_problem(put.program, copt_base.cfg);
+
+  std::vector<analysis::LintedProgram> linted;
+  auto add = [&](const std::string& label, analysis::LintReport rep) {
+    analysis::record_lint_metrics(label, rep);
+    linted.push_back({label, std::move(rep)});
+  };
+
+  int best_makespan = -1;
+  for (const std::string& name : backends) {
+    if (name == "modulo") {
+      if (!put.loop_mode) {
+        std::fprintf(stderr, "fourqc lint: the modulo backend applies to --program loop only\n");
+        return 2;
+      }
+      add(lopt.program + "/modulo", analysis::lint_modulo(pr, put.carried_deps(pr)));
+      continue;
+    }
+    if (name == "looped") {
+      if (put.loop_mode) {
+        std::fprintf(stderr, "fourqc lint: the looped backend applies to --program sm only\n");
+        return 2;
+      }
+      asic::LoopedSm lsm = asic::build_looped_sm(looped_options(topt, copt_base));
+      add("looped/prologue", analysis::lint_rom(lsm.prologue, lsm.prologue_program));
+      add("looped/body", analysis::lint_rom(lsm.body, lsm.body_program));
+      add("looped/epilogue", analysis::lint_rom(lsm.epilogue, lsm.epilogue_program));
+      continue;
+    }
+    sched::CompileOptions copt = copt_base;
+    if (!solver_from_name(name, &copt.solver)) {
+      std::fprintf(stderr, "fourqc lint: unknown backend '%s'\n", name.c_str());
+      return 2;
+    }
+    if (copt.solver == sched::Solver::kBnb) {
+      if (skip_bnb("lint", pr.nodes.size())) continue;
+      if (best_makespan > 0) copt.bnb.upper_bound = best_makespan + 1;
+    }
+    sched::CompileResult r = sched::compile_program(put.program, copt);
+    if (best_makespan < 0 || r.schedule.makespan < best_makespan)
+      best_makespan = r.schedule.makespan;
+    add(lopt.program + "/" + name, analysis::lint_rom(r.sm, put.program));
+  }
+
+  int errors = 0, warnings = 0;
+  for (const analysis::LintedProgram& p : linted) {
+    errors += p.report.errors();
+    warnings += p.report.warnings();
+  }
+  std::string json = analysis::lint_json(linted);
+  if (lopt.json) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::printf("%s", analysis::lint_text(linted).c_str());
+    std::printf("\nfourqc lint: %zu program(s), %d error(s), %d warning(s) -> %s\n",
+                linted.size(), errors, warnings, errors ? "FAIL" : "CLEAN");
+  }
+
+  if (!lopt.out_dir.empty()) {
+    bool ok = write_file(out_path / "lint.json", json + "\n") &&
+              write_file(out_path / "lint.txt", analysis::lint_text(linted)) &&
+              write_file(out_path / "metrics.jsonl", tel.metrics.to_jsonl());
+    if (!ok) return 2;
+    if (!lopt.json)
+      std::printf("fourqc lint: report written to %s\n", out_path.string().c_str());
+  }
+  return errors ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -583,12 +749,18 @@ int main(int argc, char** argv) {
   bool explain_mode = false;
   ExplainOptions eopt;
 
+  bool lint_mode = false;
+  LintOptions lopt;
+
   int argstart = 1;
   if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
     profile_mode = true;
     argstart = 2;
   } else if (argc > 1 && std::strcmp(argv[1], "explain") == 0) {
     explain_mode = true;
+    argstart = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
+    lint_mode = true;
     argstart = 2;
   }
 
@@ -687,14 +859,22 @@ int main(int argc, char** argv) {
       }
     } else if (explain_mode && a == "--backends") {
       need(1);
-      std::string list = argv[++i];
-      size_t pos = 0;
-      while (pos <= list.size()) {
-        size_t comma = list.find(',', pos);
-        if (comma == std::string::npos) comma = list.size();
-        if (comma > pos) eopt.backends.push_back(list.substr(pos, comma - pos));
-        pos = comma + 1;
+      eopt.backends = split_csv(argv[++i]);
+    } else if (lint_mode && a == "--program") {
+      need(1);
+      lopt.program = argv[++i];
+      if (lopt.program != "loop" && lopt.program != "sm") {
+        usage();
+        return 2;
       }
+    } else if (lint_mode && a == "--backends") {
+      need(1);
+      lopt.backends = split_csv(argv[++i]);
+    } else if (lint_mode && a == "--json") {
+      lopt.json = true;
+    } else if (lint_mode && a == "--out") {
+      need(1);
+      lopt.out_dir = argv[++i];
     } else if (explain_mode && a == "--gantt") {
       eopt.gantt = 1;
     } else if (explain_mode && a == "--no-gantt") {
@@ -715,6 +895,7 @@ int main(int argc, char** argv) {
   if (profile_mode)
     return run_profile(topt, copt, profile_out, profile_scalar, profile_events);
   if (explain_mode) return run_explain(topt, copt, eopt);
+  if (lint_mode) return run_lint(topt, copt, lopt);
 
   if (looped) {
     std::printf("fourqc: building blocked/looped controller (%s variant)...\n",

@@ -10,7 +10,8 @@
 # Console tables go to OUT_DIR/<bench>.log; the JSON records are written by
 # the binaries themselves via $FOURQ_BENCH_JSON_DIR. bench_field_ops (the
 # google-benchmark harness) is skipped: it has its own CLI and emits no
-# BENCH_*.json records.
+# BENCH_*.json records. If fourqc is built, a static microcode lint pass
+# also runs, leaving fourq.lint.v1 records in OUT_DIR/LINT_<program>.json.
 set -eu
 
 build_dir=build
@@ -21,7 +22,7 @@ while [ $# -gt 0 ]; do
     -o) out_dir=$2; shift 2 ;;
     --) shift; break ;;
     -h|--help)
-      sed -n '2,14p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
       exit 0 ;;
     *) echo "run_benches.sh: unknown argument '$1' (try --help)" >&2; exit 2 ;;
   esac
@@ -55,10 +56,27 @@ for bench in "$build_dir"/bench/bench_*; do
   fi
 done
 
+# Static microcode lint, emitted alongside the BENCH records so a bench
+# run always carries the fourq.lint.v1 verdict for the ROMs it measured.
+if [ -x "$build_dir/tools/fourqc" ]; then
+  for program in loop sm; do
+    ran=$((ran + 1))
+    if "$build_dir/tools/fourqc" lint --program "$program" --json \
+        > "$out_dir/LINT_$program.json" 2> "$out_dir/LINT_$program.log"; then
+      echo "ok    lint ($program)"
+    else
+      echo "FAIL  lint ($program) (see $out_dir/LINT_$program.json)" >&2
+      failures=$((failures + 1))
+    fi
+  done
+else
+  echo "skip  lint ($build_dir/tools/fourqc not built)"
+fi
+
 echo
 echo "results: $out_dir"
-ls "$out_dir"/BENCH_*.json 2>/dev/null || echo "(no JSON records produced)"
+ls "$out_dir"/BENCH_*.json "$out_dir"/LINT_*.json 2>/dev/null || echo "(no JSON records produced)"
 if [ "$failures" -gt 0 ]; then
-  echo "run_benches.sh: $failures of $ran benches failed" >&2
+  echo "run_benches.sh: $failures of $ran steps failed" >&2
   exit 1
 fi
