@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "asic/select_resolve.hpp"
 #include "common/check.hpp"
 
 namespace fourq::asic::detail {
@@ -11,14 +12,13 @@ using sched::CtrlWord;
 using sched::SelectMap;
 using sched::SrcSel;
 using trace::OpKind;
-using trace::SelKind;
 
 MachineState::MachineState(const sched::MachineConfig& cfg, int rf_slots,
                            const trace::EvalContext* /*ctx*/)
     : cfg_(cfg),
       rf_(static_cast<size_t>(rf_slots)),
-      mul_due_(static_cast<size_t>(cfg.num_multipliers)),
-      add_due_(static_cast<size_t>(cfg.num_addsubs)),
+      mul_due_(static_cast<size_t>(cfg.num_multipliers), PipeRing(cfg.mul_latency)),
+      add_due_(static_cast<size_t>(cfg.num_addsubs), PipeRing(cfg.addsub_latency)),
       mul_last_issue_(static_cast<size_t>(cfg.num_multipliers), -1) {}
 
 void MachineState::emit(obs::SimEventKind kind, int16_t unit, int32_t arg) {
@@ -57,52 +57,26 @@ Fp2 MachineState::read_reg(int reg) {
   return *v;
 }
 
-int MachineState::resolve_indexed_reg(const SrcSel& src, const std::vector<SelectMap>& maps,
-                                      const trace::EvalContext& ctx) const {
-  const SelectMap& m = maps[static_cast<size_t>(src.map)];
-  if (m.kind == SelKind::kCorrection) {
-    bool even = (src.iter == 1) ? ctx.k2_was_even : ctx.k_was_even;
-    return m.reg[0][even ? 1 : 0];
-  }
-  int iter = src.iter;
-  if (trace::is_counter_iter(iter)) {
-    FOURQ_CHECK_MSG(ctx.counter_iter >= 0, "counter-driven read without counter value");
-    iter = ctx.counter_iter - trace::counter_offset(iter);
-  }
-  const curve::RecodedScalar* rec = ctx.recoded;
-  if (iter >= trace::kStream2IterBase) {
-    iter -= trace::kStream2IterBase;
-    rec = ctx.recoded2;
-  }
-  FOURQ_CHECK_MSG(rec != nullptr, "indexed read without recoded digits");
-  FOURQ_CHECK(iter >= 0 && iter < curve::kDigits);
-  int digit = rec->digit[static_cast<size_t>(iter)];
-  int variant = rec->sign[static_cast<size_t>(iter)] > 0 ? 0 : 1;
-  return m.reg[static_cast<size_t>(variant)][static_cast<size_t>(digit)];
-}
-
 Fp2 MachineState::resolve(const SrcSel& src, const std::vector<SelectMap>& maps, int t,
                           const RegTranslate& translate, const trace::EvalContext& ctx) {
   switch (src.kind) {
     case SrcSel::Kind::kReg:
       return read_reg(xlat(src.reg, translate));
     case SrcSel::Kind::kIndexed:
-      return read_reg(xlat(resolve_indexed_reg(src, maps, ctx), translate));
+      return read_reg(xlat(resolve_select_reg(src, maps, ctx), translate));
     case SrcSel::Kind::kMulBus: {
       FOURQ_CHECK(src.unit >= 0 && src.unit < static_cast<int>(mul_due_.size()));
-      auto& due = mul_due_[static_cast<size_t>(src.unit)];
-      auto it = due.find(t);
-      FOURQ_CHECK_MSG(it != due.end(), "multiplier bus empty at forwarding cycle");
+      const PipeRing& pipe = mul_due_[static_cast<size_t>(src.unit)];
+      FOURQ_CHECK_MSG(pipe.has(t), "multiplier bus empty at forwarding cycle");
       emit(obs::SimEventKind::kForward, static_cast<int16_t>(src.unit), 1);
-      return it->second;
+      return pipe.get(t);
     }
     case SrcSel::Kind::kAddBus: {
       FOURQ_CHECK(src.unit >= 0 && src.unit < static_cast<int>(add_due_.size()));
-      auto& due = add_due_[static_cast<size_t>(src.unit)];
-      auto it = due.find(t);
-      FOURQ_CHECK_MSG(it != due.end(), "adder bus empty at forwarding cycle");
+      const PipeRing& pipe = add_due_[static_cast<size_t>(src.unit)];
+      FOURQ_CHECK_MSG(pipe.has(t), "adder bus empty at forwarding cycle");
       emit(obs::SimEventKind::kForward, static_cast<int16_t>(src.unit), 0);
-      return it->second;
+      return pipe.get(t);
     }
     case SrcSel::Kind::kNone:
       break;
@@ -132,10 +106,8 @@ void MachineState::step(const CtrlWord& w, const std::vector<SelectMap>& maps, i
     mul_last_issue_[inst] = t;
     Fp2 a = resolve(u.a, maps, t, translate, ctx);
     Fp2 b = resolve(u.b, maps, t, translate, ctx);
-    int due = t + cfg_.mul_latency;
-    auto& pipe = mul_due_[inst];
-    FOURQ_CHECK_MSG(pipe.find(due) == pipe.end(), "multiplier pipeline collision");
-    pipe.emplace(due, Fp2::mul_karatsuba(a, b));
+    bool ok = mul_due_[inst].put(t + cfg_.mul_latency, Fp2::mul_karatsuba(a, b));
+    FOURQ_CHECK_MSG(ok, "multiplier pipeline collision");
     emit(obs::SimEventKind::kMulIssue, static_cast<int16_t>(u.unit));
   }
   FOURQ_CHECK_MSG(static_cast<int>(w.addsub.size()) <= cfg_.num_addsubs,
@@ -159,10 +131,8 @@ void MachineState::step(const CtrlWord& w, const std::vector<SelectMap>& maps, i
       default:
         FOURQ_CHECK_MSG(false, "invalid adder/subtractor opcode");
     }
-    int due = t + cfg_.addsub_latency;
-    auto& pipe = add_due_[inst];
-    FOURQ_CHECK_MSG(pipe.find(due) == pipe.end(), "adder pipeline collision");
-    pipe.emplace(due, r);
+    bool ok = add_due_[inst].put(t + cfg_.addsub_latency, r);
+    FOURQ_CHECK_MSG(ok, "adder pipeline collision");
     emit(obs::SimEventKind::kAddsubIssue, static_cast<int16_t>(u.unit));
   }
 
@@ -175,17 +145,16 @@ void MachineState::step(const CtrlWord& w, const std::vector<SelectMap>& maps, i
   for (const auto& wb : w.writebacks) {
     auto& pipes = wb.from_mul ? mul_due_ : add_due_;
     FOURQ_CHECK(wb.unit >= 0 && wb.unit < static_cast<int>(pipes.size()));
-    auto& due = pipes[static_cast<size_t>(wb.unit)];
-    auto it = due.find(t);
-    FOURQ_CHECK_MSG(it != due.end(), "writeback with no result due");
+    const PipeRing& pipe = pipes[static_cast<size_t>(wb.unit)];
+    FOURQ_CHECK_MSG(pipe.has(t), "writeback with no result due");
     int reg = xlat(wb.reg, translate);
-    rf_[static_cast<size_t>(reg)] = it->second;
+    rf_[static_cast<size_t>(reg)] = pipe.get(t);
     emit(obs::SimEventKind::kRfWrite, static_cast<int16_t>(wb.unit), reg);
   }
 
   // 3. Bus values expire after their cycle.
-  for (auto& pipe : mul_due_) pipe.erase(t);
-  for (auto& pipe : add_due_) pipe.erase(t);
+  for (auto& pipe : mul_due_) pipe.expire(t);
+  for (auto& pipe : add_due_) pipe.expire(t);
 }
 
 }  // namespace fourq::asic::detail

@@ -8,10 +8,10 @@
 // sink for recording/energy attribution.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <vector>
 
+#include "asic/pipe_ring.hpp"
 #include "asic/simulator.hpp"
 
 namespace fourq::asic::detail {
@@ -45,13 +45,10 @@ class MachineState {
   field::Fp2 read_reg(int reg);
   field::Fp2 resolve(const sched::SrcSel& src, const std::vector<sched::SelectMap>& maps,
                      int t, const RegTranslate& translate, const trace::EvalContext& ctx);
-  int resolve_indexed_reg(const sched::SrcSel& src,
-                          const std::vector<sched::SelectMap>& maps,
-                          const trace::EvalContext& ctx) const;
 
   sched::MachineConfig cfg_;
   std::vector<std::optional<field::Fp2>> rf_;
-  std::vector<std::map<int, field::Fp2>> mul_due_, add_due_;
+  std::vector<PipeRing> mul_due_, add_due_;  // one ring per unit instance
   std::vector<int> mul_last_issue_;  // per instance, for II enforcement
   SimStatsSink stats_sink_;
   obs::CycleEventSink* extra_sink_ = nullptr;

@@ -1,0 +1,61 @@
+// Fixed-size ring buffer modelling one functional unit's result pipeline.
+//
+// Replaces the std::map<due_cycle, value> the simulators originally used:
+// every pending result's due cycle lies in (t, t+latency] while the machine
+// is at cycle t, a window of `latency` consecutive integers, so indexing by
+// due % (latency + 1) is collision-free as long as (a) the simulator steps
+// every cycle t consecutively and (b) each slot is expired at the end of
+// its due cycle (expire(t) below). Both simulators satisfy (a) — the looped
+// controller keeps t contiguous across segment boundaries — which turns the
+// per-issue heap allocation and O(log n) lookups into two array accesses.
+#pragma once
+
+#include <vector>
+
+#include "field/fp2.hpp"
+
+namespace fourq::asic {
+
+class PipeRing {
+ public:
+  explicit PipeRing(int latency)
+      : size_(latency + 1),
+        due_(static_cast<size_t>(latency + 1), kEmpty),
+        val_(static_cast<size_t>(latency + 1)) {}
+
+  // True if a result is due exactly at cycle t.
+  bool has(int t) const { return due_[idx(t)] == t; }
+  const field::Fp2& get(int t) const { return val_[idx(t)]; }
+
+  // Schedules a result for cycle t. Returns false on a pipeline collision
+  // (a result already due at t), leaving the ring unchanged.
+  bool put(int t, const field::Fp2& v) {
+    size_t i = idx(t);
+    if (due_[i] == t) return false;
+    due_[i] = t;
+    val_[i] = v;
+    return true;
+  }
+
+  // Drops the result due at cycle t (bus values expire after their cycle).
+  void expire(int t) {
+    size_t i = idx(t);
+    if (due_[i] == t) due_[i] = kEmpty;
+  }
+
+  bool empty() const {
+    for (int d : due_)
+      if (d != kEmpty) return false;
+    return true;
+  }
+
+ private:
+  static constexpr int kEmpty = -1;
+  size_t idx(int t) const { return static_cast<size_t>(t) % static_cast<size_t>(size_); }
+
+  int size_;
+  std::vector<int> due_;
+  std::vector<field::Fp2> val_;
+};
+
+}  // namespace fourq::asic

@@ -1,0 +1,273 @@
+#include "engine/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "common/check.hpp"
+#include "obs/obs.hpp"
+
+namespace fourq::engine {
+
+using field::Fp2;
+
+// ---------------------------------------------------------------------------
+// Pool plumbing.
+
+struct BatchEngine::BatchCtl {
+  std::atomic<size_t> remaining{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  void done_one() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  }
+};
+
+struct BatchEngine::Task {
+  enum class Kind : uint8_t { kSm, kVerify };
+  Kind kind = Kind::kSm;
+  size_t begin = 0, end = 0;  // index range into the batch arrays
+  const SmJob* jobs = nullptr;
+  SmResult* results = nullptr;
+  const dsa::SchnorrQ::BatchItem* items = nullptr;
+  uint8_t* verdicts = nullptr;
+  BatchCtl* ctl = nullptr;
+};
+
+// Bounded MPMC ring. push() applies back-pressure when the ring is full;
+// pop() blocks until a task or close() arrives.
+class BatchEngine::Queue {
+ public:
+  explicit Queue(size_t capacity) : buf_(std::max<size_t>(1, capacity)) {}
+
+  void push(const Task& t) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return count_ < buf_.size() || closed_; });
+    FOURQ_CHECK_MSG(!closed_, "push on closed engine queue");
+    buf_[(head_ + count_) % buf_.size()] = t;
+    ++count_;
+    max_depth_ = std::max(max_depth_, count_);
+    not_empty_.notify_one();
+  }
+
+  bool pop(Task& t) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return false;  // closed and drained
+    t = buf_[head_];
+    head_ = (head_ + 1) % buf_.size();
+    --count_;
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::vector<Task> buf_;
+  size_t head_ = 0, count_ = 0, max_depth_ = 0;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Engine.
+
+BatchEngine::BatchEngine(const EngineOptions& opt) : opt_(opt) {
+  FOURQ_CHECK_MSG(opt_.workers >= 1, "engine needs at least one worker");
+  queue_ = std::make_unique<Queue>(opt_.queue_capacity);
+  threads_.reserve(static_cast<size_t>(opt_.workers));
+  for (int i = 0; i < opt_.workers; ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+  FOURQ_GAUGE_SET("engine.workers", opt_.workers);
+}
+
+BatchEngine::~BatchEngine() {
+  queue_->close();
+  for (std::thread& t : threads_) t.join();
+}
+
+void BatchEngine::worker_main(int /*worker_id*/) {
+  // Worker-local arenas: the workspace and binding vector are sized on the
+  // first job and only overwritten afterwards — zero steady-state
+  // allocation on the scalar-mul path.
+  SimWorkspace ws;
+  trace::InputBindings bindings;
+  Task t;
+  while (queue_->pop(t)) {
+    switch (t.kind) {
+      case Task::Kind::kSm:
+        exec_sm(t, ws, bindings);
+        break;
+      case Task::Kind::kVerify: {
+        // Re-seeded per task so verdicts don't depend on which worker or in
+        // which order tasks are drained.
+        Rng rng(opt_.verify_seed ^ (0x9e3779b97f4a7c15ull * (t.begin + 1)));
+        exec_verify(t, rng);
+        break;
+      }
+    }
+    t.ctl->done_one();
+  }
+}
+
+void BatchEngine::ensure_program() {
+  std::lock_guard<std::mutex> lock(program_mu_);
+  if (decoded_) return;
+  FOURQ_CHECK_MSG(opt_.key.kind == ProgramKind::kSingleSm,
+                  "BatchEngine::run drives the single-SM program");
+  FOURQ_CHECK_MSG(opt_.key.trace.include_inversion,
+                  "run() needs affine outputs (include_inversion)");
+  CompileCache& cache = opt_.cache ? *opt_.cache : CompileCache::process_cache();
+  program_ = cache.get_or_compile(opt_.key);
+  decoded_ = std::make_unique<DecodedRom>(decode(program_->sm));
+}
+
+const CompiledProgram& BatchEngine::program() {
+  ensure_program();
+  return *program_;
+}
+
+void BatchEngine::exec_sm(const Task& t, SimWorkspace& ws, trace::InputBindings& bindings) {
+  const CompiledProgram& p = *program_;
+  const DecodedRom& rom = *decoded_;
+  for (size_t i = t.begin; i < t.end; ++i) {
+    const SmJob& job = t.jobs[i];
+    curve::Decomposition dec = curve::decompose(job.k);
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    bindings.clear();  // keeps capacity; no allocation after the first job
+    bindings.emplace_back(p.in_zero, Fp2());
+    bindings.emplace_back(p.in_one, Fp2::from_u64(1));
+    bindings.emplace_back(p.in_two_d, curve::curve_2d());
+    bindings.emplace_back(p.in_px, job.base.x);
+    bindings.emplace_back(p.in_py, job.base.y);
+    for (size_t c = 0; c < p.in_endo_consts.size(); ++c)
+      bindings.emplace_back(p.in_endo_consts[c], Fp2::from_u64(3 + c, 7 + c));
+    trace::EvalContext ctx;
+    ctx.recoded = &rec;
+    ctx.k_was_even = dec.k_was_even;
+    engine::run(rom, bindings, ctx, ws);
+    t.results[i].out = curve::Affine{output_value(rom, ws, "x"), output_value(rom, ws, "y")};
+    t.results[i].stats = rom.stats;
+  }
+  FOURQ_COUNTER_ADD("engine.jobs.sm", t.end - t.begin);
+}
+
+namespace {
+
+void verify_range(const dsa::SchnorrQ& scheme, const dsa::SchnorrQ::BatchItem* items,
+                  size_t begin, size_t end, uint8_t* verdicts, Rng& rng) {
+  if (end - begin == 1) {
+    verdicts[begin] =
+        scheme.verify(items[begin].pub, items[begin].msg, items[begin].sig) ? 1 : 0;
+    return;
+  }
+  std::vector<dsa::SchnorrQ::BatchItem> chunk(items + begin, items + end);
+  if (scheme.verify_batch(chunk, rng)) {
+    std::fill(verdicts + begin, verdicts + end, uint8_t{1});
+    return;
+  }
+  // Bisect: each half re-tested as its own batch until single items remain,
+  // so exactly the corrupted indices come back 0.
+  size_t mid = begin + (end - begin) / 2;
+  verify_range(scheme, items, begin, mid, verdicts, rng);
+  verify_range(scheme, items, mid, end, verdicts, rng);
+}
+
+}  // namespace
+
+void BatchEngine::exec_verify(const Task& t, Rng& rng) const {
+  verify_range(*scheme_, t.items, t.begin, t.end, t.verdicts, rng);
+  FOURQ_COUNTER_ADD("engine.jobs.verify", t.end - t.begin);
+}
+
+void BatchEngine::dispatch(std::vector<Task>& tasks) {
+  FOURQ_CHECK(!tasks.empty());
+  BatchCtl* ctl = tasks.front().ctl;
+  ctl->remaining.store(tasks.size(), std::memory_order_release);
+  for (const Task& t : tasks) queue_->push(t);
+  ctl->wait();
+}
+
+std::vector<SmResult> BatchEngine::run(const std::vector<SmJob>& jobs) {
+  FOURQ_SPAN("engine.run");
+  std::vector<SmResult> results(jobs.size());
+  if (jobs.empty()) return results;  // no work: don't even compile
+  ensure_program();
+
+  size_t chunk = opt_.chunk;
+  if (chunk == 0)
+    chunk = std::max<size_t>(1, jobs.size() / (threads_.size() * 8));
+
+  auto start = std::chrono::steady_clock::now();
+  BatchCtl ctl;
+  std::vector<Task> tasks;
+  for (size_t b = 0; b < jobs.size(); b += chunk) {
+    Task t;
+    t.kind = Task::Kind::kSm;
+    t.begin = b;
+    t.end = std::min(jobs.size(), b + chunk);
+    t.jobs = jobs.data();
+    t.results = results.data();
+    t.ctl = &ctl;
+    tasks.push_back(t);
+  }
+  dispatch(tasks);
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  FOURQ_COUNTER_ADD("engine.batches", 1);
+  if (secs > 0) FOURQ_GAUGE_SET("engine.jobs_per_s", static_cast<double>(jobs.size()) / secs);
+  FOURQ_GAUGE_SET("engine.queue.depth.max", queue_->max_depth());
+  return results;
+}
+
+std::vector<uint8_t> BatchEngine::verify(const std::vector<dsa::SchnorrQ::BatchItem>& items) {
+  FOURQ_SPAN("engine.verify");
+  std::vector<uint8_t> verdicts(items.size(), 0);
+  if (items.empty()) return verdicts;
+  {
+    std::lock_guard<std::mutex> lock(scheme_mu_);
+    if (!scheme_) scheme_ = std::make_unique<dsa::SchnorrQ>();
+  }
+
+  size_t chunk = opt_.chunk;
+  if (chunk == 0)
+    chunk = std::max<size_t>(1, items.size() / (threads_.size() * 8));
+
+  BatchCtl ctl;
+  std::vector<Task> tasks;
+  for (size_t b = 0; b < items.size(); b += chunk) {
+    Task t;
+    t.kind = Task::Kind::kVerify;
+    t.begin = b;
+    t.end = std::min(items.size(), b + chunk);
+    t.items = items.data();
+    t.verdicts = verdicts.data();
+    t.ctl = &ctl;
+    tasks.push_back(t);
+  }
+  dispatch(tasks);
+  FOURQ_GAUGE_SET("engine.queue.depth.max", queue_->max_depth());
+  return verdicts;
+}
+
+}  // namespace fourq::engine

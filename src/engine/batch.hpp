@@ -1,0 +1,98 @@
+// Batch execution engine: a fixed worker pool draining a bounded MPMC job
+// queue, amortising one compiled+decoded program across every simulation it
+// runs — the software double of the paper's deployment model, where one
+// offline scheduling flow serves every scalar multiplication the chip ever
+// performs (docs/ENGINE.md).
+//
+// Two workloads share the pool:
+//  * run()    — hardware-model scalar multiplications: each SmJob is one
+//               [k]P executed on the pre-decoded ROM (engine/decoded.hpp)
+//               with per-worker reusable workspaces; the steady-state path
+//               allocates nothing per job.
+//  * verify() — SchnorrQ batch verification: chunks verified with the
+//               Bellare–Garay–Rabin small-exponent test, failing chunks
+//               bisected down to the exact corrupted indices.
+//
+// Threading model: N persistent workers created in the constructor, joined
+// in the destructor. run()/verify() enqueue index-range tasks over caller
+// arrays (no per-task ownership transfer), block until an atomic
+// remaining-counter hits zero, and may be called repeatedly; concurrent
+// calls from several threads are safe (the queue is MPMC) but batches then
+// interleave on the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "curve/point.hpp"
+#include "dsa/schnorrq.hpp"
+#include "engine/cache.hpp"
+#include "engine/decoded.hpp"
+
+namespace fourq::engine {
+
+struct SmJob {
+  U256 k;
+  curve::Affine base;
+};
+
+struct SmResult {
+  curve::Affine out;      // affine [k]P from the simulated datapath
+  asic::SimStats stats;   // identical for every job of one program (static)
+};
+
+struct EngineOptions {
+  int workers = 1;            // pool size (>= 1)
+  size_t queue_capacity = 64; // bounded job-queue length (back-pressure)
+  size_t chunk = 0;           // jobs per task; 0 = max(1, n / (workers * 8))
+  CompileKey key;             // program compiled/decoded for run()
+  CompileCache* cache = nullptr;  // nullptr = CompileCache::process_cache()
+  uint64_t verify_seed = 0x5eedf00d;  // BGR small-exponent weight seed
+};
+
+class BatchEngine {
+ public:
+  explicit BatchEngine(const EngineOptions& opt = {});
+  ~BatchEngine();
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  // Simulates every job on the pool; results[i] corresponds to jobs[i].
+  // First call compiles (or cache-hits) and decodes the program.
+  std::vector<SmResult> run(const std::vector<SmJob>& jobs);
+
+  // Per-item verdicts (1 = valid). Exactly the corrupted indices are 0.
+  std::vector<uint8_t> verify(const std::vector<dsa::SchnorrQ::BatchItem>& items);
+
+  // The compiled program run() executes (compiling it on first use).
+  const CompiledProgram& program();
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  struct Task;
+  struct BatchCtl;
+  class Queue;
+
+  void worker_main(int worker_id);
+  void ensure_program();
+  void exec_sm(const Task& t, SimWorkspace& ws, trace::InputBindings& bindings);
+  void exec_verify(const Task& t, Rng& rng) const;
+  void dispatch(std::vector<Task>& tasks);
+
+  EngineOptions opt_;
+  std::unique_ptr<Queue> queue_;
+  std::vector<std::thread> threads_;
+
+  std::mutex program_mu_;
+  std::shared_ptr<const CompiledProgram> program_;
+  std::unique_ptr<DecodedRom> decoded_;
+
+  std::mutex scheme_mu_;
+  std::unique_ptr<dsa::SchnorrQ> scheme_;  // lazily built (verify() only)
+};
+
+}  // namespace fourq::engine

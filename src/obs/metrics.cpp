@@ -24,11 +24,18 @@ std::string num_str(double v) {
 
 }  // namespace
 
+void Gauge::set_max(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   counts_.assign(bounds_.size() + 1, 0);
 }
 
 void Histogram::observe(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t i = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
   ++counts_[i];
@@ -36,41 +43,62 @@ void Histogram::observe(double x) {
   sum_ += x;
 }
 
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[i];
+}
+
 double Histogram::upper_bound(size_t i) const {
   return i < bounds_.size() ? bounds_[i] : std::numeric_limits<double>::infinity();
 }
 
 void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0;
 }
 
 Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }
 
 std::string Registry::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += "{\"metric\":\"" + name + "\",\"type\":\"counter\",\"value\":" +
@@ -97,6 +125,7 @@ std::string Registry::to_jsonl() const {
 }
 
 std::string Registry::to_table() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   char line[160];
   for (const auto& [name, c] : counters_) {

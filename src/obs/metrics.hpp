@@ -6,11 +6,19 @@
 // Handles returned by Registry::counter()/gauge()/histogram() stay valid for
 // the registry's lifetime (entries are never erased; reset() only zeroes
 // values), so call sites may cache references in function-local statics.
+//
+// Thread safety: counters and gauges are lock-free atomics (relaxed order —
+// they are statistics, not synchronisation); histogram and registry
+// operations take a mutex. The batch engine's worker pool (src/engine/)
+// reports into the same process-global registry as the single-threaded
+// pipeline, so every entry point here must tolerate concurrent use.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,22 +26,25 @@ namespace fourq::obs {
 
 class Counter {
  public:
-  void inc(uint64_t n = 1) { v_ += n; }
-  uint64_t value() const { return v_; }
-  void reset() { v_ = 0; }
+  void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t v_ = 0;
+  std::atomic<uint64_t> v_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { v_ = v; }
-  double value() const { return v_; }
-  void reset() { v_ = 0; }
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  // Raises the gauge to `v` if above the current value (atomic high-water
+  // mark, e.g. engine.queue.depth).
+  void set_max(double v);
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  double v_ = 0;
+  std::atomic<double> v_{0};
 };
 
 // Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
@@ -43,15 +54,16 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double x);
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
+  uint64_t count() const;
+  double sum() const;
   size_t num_buckets() const { return counts_.size(); }
-  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  uint64_t bucket_count(size_t i) const;
   // Upper bound of bucket i; the overflow bucket reports +inf.
   double upper_bound(size_t i) const;
   void reset();
 
  private:
+  mutable std::mutex mu_;
   std::vector<double> bounds_;
   std::vector<uint64_t> counts_;  // bounds_.size() + 1 entries
   uint64_t count_ = 0;
@@ -59,9 +71,8 @@ class Histogram {
 };
 
 // Named metric store. Lookup creates on first use; `bounds` on a histogram
-// is honoured only at creation. Not thread-safe (the pipeline is
-// single-threaded); iteration order is the metric name order, so exports
-// are deterministic.
+// is honoured only at creation. Iteration order is the metric name order,
+// so exports are deterministic.
 class Registry {
  public:
   Counter& counter(const std::string& name);
@@ -78,6 +89,7 @@ class Registry {
   std::string to_table() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -9,10 +9,12 @@
 //   FOURQ_COUNTER_INC("curve.scalar_mul.calls");
 //   FOURQ_GAUGE_SET("sched.makespan", s.makespan);
 //
-// The registry/tracer behind the macros is process-global (the pipeline is
-// single-threaded); exporters drain it via obs::global(). Libraries may
-// also instantiate private Registry/SpanTracer objects — the macros are a
-// convenience, not the only door.
+// The registry/tracer behind the macros is process-global and thread-safe
+// (atomic counters/gauges, mutexed histograms and per-thread span stacks),
+// so instrumented code may run on the batch engine's worker pool; exporters
+// drain it via obs::global(). Libraries may also instantiate private
+// Registry/SpanTracer objects — the macros are a convenience, not the only
+// door.
 #pragma once
 
 #include "obs/events.hpp"

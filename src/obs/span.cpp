@@ -22,35 +22,78 @@ SpanTracer::SpanTracer() : epoch_ns_(steady_ns()) {}
 
 uint64_t SpanTracer::now_us() const { return (steady_ns() - epoch_ns_) / 1000; }
 
-void SpanTracer::begin(const std::string& name) { open_.push_back({name, now_us()}); }
+int SpanTracer::tid_for_locked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) return it->second;
+  int tid = static_cast<int>(tids_.size());
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void SpanTracer::begin(const std::string& name) {
+  uint64_t t = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  int tid = tid_for_locked(std::this_thread::get_id());
+  open_[tid].push_back({name, t});
+}
 
 void SpanTracer::end() {
-  FOURQ_CHECK_MSG(!open_.empty(), "span end() without matching begin()");
-  Open o = std::move(open_.back());
-  open_.pop_back();
+  uint64_t t = now_us();
+  std::lock_guard<std::mutex> lock(mu_);
+  int tid = tid_for_locked(std::this_thread::get_id());
+  std::vector<Open>& stack = open_[tid];
+  FOURQ_CHECK_MSG(!stack.empty(), "span end() without matching begin() on this thread");
+  Open o = std::move(stack.back());
+  stack.pop_back();
   SpanRecord r;
   r.name = std::move(o.name);
-  r.depth = static_cast<int>(open_.size());
+  r.depth = static_cast<int>(stack.size());
+  r.tid = tid;
   r.start_us = o.start_us;
-  r.dur_us = now_us() - o.start_us;
+  r.dur_us = t - o.start_us;
   spans_.push_back(std::move(r));
 }
 
+std::vector<SpanRecord> SpanTracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+int SpanTracer::open_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tids_.find(std::this_thread::get_id());
+  if (it == tids_.end()) return 0;
+  auto stack = open_.find(it->second);
+  return stack == open_.end() ? 0 : static_cast<int>(stack->second.size());
+}
+
+size_t SpanTracer::count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const SpanRecord& s : spans_)
+    if (s.name == name) ++n;
+  return n;
+}
+
 void SpanTracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tids_.clear();
   open_.clear();
   spans_.clear();
   epoch_ns_ = steady_ns();
 }
 
 std::string SpanTracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const SpanRecord& s : spans_) {
     if (!first) out += ",";
     first = false;
     out += "{\"name\":\"" + json_escape(s.name) +
-           "\",\"cat\":\"fourq\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":" +
-           std::to_string(s.start_us) + ",\"dur\":" + std::to_string(s.dur_us) +
+           "\",\"cat\":\"fourq\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(s.tid + 1) + ",\"ts\":" + std::to_string(s.start_us) +
+           ",\"dur\":" + std::to_string(s.dur_us) +
            ",\"args\":{\"depth\":" + std::to_string(s.depth) + "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
@@ -58,18 +101,28 @@ std::string SpanTracer::chrome_trace_json() const {
 }
 
 std::string SpanTracer::to_table() const {
-  // Spans complete children-first; re-emit in start order for readability.
+  std::lock_guard<std::mutex> lock(mu_);
+  // Spans complete children-first; re-emit in start order for readability,
+  // grouping each thread's spans together.
   std::vector<const SpanRecord*> by_start;
   by_start.reserve(spans_.size());
   for (const SpanRecord& s : spans_) by_start.push_back(&s);
   std::stable_sort(by_start.begin(), by_start.end(),
                    [](const SpanRecord* a, const SpanRecord* b) {
+                     if (a->tid != b->tid) return a->tid < b->tid;
                      if (a->start_us != b->start_us) return a->start_us < b->start_us;
                      return a->depth < b->depth;  // parents before ties
                    });
+  bool multi_thread = !by_start.empty() && by_start.back()->tid != by_start.front()->tid;
   std::string out;
   char line[192];
+  int cur_tid = -1;
   for (const SpanRecord* s : by_start) {
+    if (multi_thread && s->tid != cur_tid) {
+      cur_tid = s->tid;
+      std::snprintf(line, sizeof line, "-- thread %d --\n", cur_tid);
+      out += line;
+    }
     std::string name(static_cast<size_t>(2 * s->depth), ' ');
     name += s->name;
     std::snprintf(line, sizeof line, "%-44s %12.3f ms  (at +%.3f ms)\n", name.c_str(),

@@ -2,10 +2,20 @@
 // (decompose/precompute/loop/normalize, scheduler stages, simulation).
 // Completed spans export as Chrome trace_event JSON ("X" complete events),
 // loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Thread safety: begin()/end() maintain a per-thread open-span stack, so
+// nesting is tracked correctly when the batch engine's worker pool traces
+// concurrently with the main thread. All state is guarded by one mutex —
+// spans mark millisecond-scale pipeline stages, not per-cycle work, so the
+// lock is far off any hot path. Exported records carry a small stable `tid`
+// (assigned in first-begin order) rather than the raw std::thread::id.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace fourq::obs {
@@ -13,6 +23,7 @@ namespace fourq::obs {
 struct SpanRecord {
   std::string name;
   int depth = 0;         // nesting level at begin time (0 = top level)
+  int tid = 0;           // tracer-assigned thread number (0 = first tracing thread)
   uint64_t start_us = 0; // microseconds since the tracer epoch
   uint64_t dur_us = 0;
 };
@@ -24,9 +35,14 @@ class SpanTracer {
   void begin(const std::string& name);
   void end();
 
-  // Completed spans, in completion order (children before parents).
-  const std::vector<SpanRecord>& spans() const { return spans_; }
-  int open_depth() const { return static_cast<int>(open_.size()); }
+  // Snapshot of completed spans, in completion order (children before
+  // parents within a thread).
+  std::vector<SpanRecord> spans() const;
+  // Open-span nesting depth of the *calling* thread.
+  int open_depth() const;
+  // Number of completed spans with this exact name (any thread). Used by
+  // `fourqc batch` to prove a warm cache ran zero sched.compile spans.
+  size_t count(const std::string& name) const;
 
   // Microseconds since the tracer was constructed (or last reset).
   uint64_t now_us() const;
@@ -45,7 +61,11 @@ class SpanTracer {
     std::string name;
     uint64_t start_us;
   };
-  std::vector<Open> open_;
+  int tid_for_locked(std::thread::id id);
+
+  mutable std::mutex mu_;
+  std::map<std::thread::id, int> tids_;            // thread -> stable small number
+  std::map<int, std::vector<Open>> open_;          // tid -> open stack
   std::vector<SpanRecord> spans_;
   uint64_t epoch_ns_ = 0;
 };

@@ -1,0 +1,301 @@
+// Batch execution engine: compile-cache keying and persistence, the
+// pre-decoded executor against the reference simulator, and the worker-pool
+// engine against the software golden model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "asic/romfile.hpp"
+#include "asic/simulator.hpp"
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+#include "engine/batch.hpp"
+
+namespace fourq {
+namespace {
+
+namespace fs = std::filesystem;
+
+engine::CompileKey quick_key() {
+  // No inversion: the shortest compilable single-SM program, so keying and
+  // concurrency tests stay fast.
+  engine::CompileKey key;
+  key.kind = engine::ProgramKind::kSingleSm;
+  key.trace.endo = trace::EndoVariant::kPaperCost;
+  key.trace.include_inversion = false;
+  return key;
+}
+
+engine::CompileKey functional_key() {
+  engine::CompileKey key;
+  key.kind = engine::ProgramKind::kSingleSm;
+  key.trace.endo = trace::EndoVariant::kFunctional;
+  return key;
+}
+
+std::string rom_text(const sched::CompiledSm& sm) {
+  std::ostringstream os;
+  asic::save_rom(sm, os);
+  return os.str();
+}
+
+trace::InputBindings bindings_for(const engine::CompiledProgram& p, const curve::Affine& base) {
+  trace::InputBindings b;
+  b.emplace_back(p.in_zero, field::Fp2());
+  b.emplace_back(p.in_one, field::Fp2::from_u64(1));
+  b.emplace_back(p.in_two_d, curve::curve_2d());
+  b.emplace_back(p.in_px, base.x);
+  b.emplace_back(p.in_py, base.y);
+  for (size_t i = 0; i < p.in_endo_consts.size(); ++i)
+    b.emplace_back(p.in_endo_consts[i], field::Fp2::from_u64(3 + i, 7 + i));
+  return b;
+}
+
+TEST(CompileCacheTest, KeyingAcrossBackendsAndConfigs) {
+  engine::CompileCache cache;
+
+  engine::CompileKey list_key = quick_key();
+  engine::CompileKey seq_key = quick_key();
+  seq_key.compile.solver = sched::Solver::kSequential;
+  engine::CompileKey lat_key = quick_key();
+  lat_key.compile.cfg.mul_latency = 4;
+
+  EXPECT_FALSE(list_key == seq_key);
+  EXPECT_FALSE(list_key == lat_key);
+  EXPECT_NE(list_key.hash(), seq_key.hash());
+  EXPECT_NE(list_key.hash(), lat_key.hash());
+
+  auto p_list = cache.get_or_compile(list_key);
+  auto p_seq = cache.get_or_compile(seq_key);
+  auto p_lat = cache.get_or_compile(lat_key);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // The three configurations really compiled different artifacts.
+  EXPECT_GT(p_seq->sm.cycles(), p_list->sm.cycles());  // no-ILP baseline is slower
+  EXPECT_NE(rom_text(p_list->sm), rom_text(p_lat->sm));
+
+  // Same key: served from memory, same object.
+  auto p_again = cache.get_or_compile(list_key);
+  EXPECT_EQ(p_again.get(), p_list.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(CompileCacheTest, DiskRoundTripBitForBit) {
+  fs::path dir = fs::temp_directory_path() / "fourq_engine_cache_test";
+  fs::remove_all(dir);
+
+  engine::CompileKey key = quick_key();
+  std::string mem_rom;
+  {
+    engine::CompileCache cold(dir.string());
+    auto p = cold.get_or_compile(key);
+    EXPECT_FALSE(p->loaded_from_disk);
+    EXPECT_EQ(cold.stats().misses, 1u);
+    mem_rom = rom_text(p->sm);
+    EXPECT_TRUE(fs::exists(dir / ("rom-" + key.hash_hex() + ".txt")));
+  }
+  {
+    // A fresh cache (fresh process, as far as the cache can tell) loads the
+    // ROM instead of solving, and the bytes agree exactly.
+    engine::CompileCache warm(dir.string());
+    auto p = warm.get_or_compile(key);
+    EXPECT_TRUE(p->loaded_from_disk);
+    EXPECT_EQ(warm.stats().disk_hits, 1u);
+    EXPECT_EQ(warm.stats().misses, 0u);
+    EXPECT_EQ(rom_text(p->sm), mem_rom);
+    // Input-op ids come from the (deterministic) trace rebuild.
+    EXPECT_GE(p->in_px, 0);
+    EXPECT_GE(p->in_py, 0);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CompileCacheTest, ConcurrentGetOrCompileCompilesOnce) {
+  engine::CompileCache cache;
+  engine::CompileKey key = quick_key();
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const engine::CompiledProgram>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] { got[static_cast<size_t>(i)] = cache.get_or_compile(key); });
+  for (auto& t : threads) t.join();
+
+  for (int i = 1; i < kThreads; ++i) EXPECT_EQ(got[static_cast<size_t>(i)].get(), got[0].get());
+  engine::CompileCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses + s.disk_hits, 1u);
+  EXPECT_EQ(s.hits, static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(DecodedTest, MatchesReferenceSimulator) {
+  auto prog = engine::CompileCache().get_or_compile(functional_key());
+
+  Rng rng(7);
+  curve::Affine base = curve::deterministic_point(2);
+  trace::InputBindings bindings = bindings_for(*prog, base);
+
+  curve::Decomposition dec = curve::decompose(rng.next_u256());
+  curve::RecodedScalar rec = curve::recode(dec.a);
+  trace::EvalContext ctx;
+  ctx.recoded = &rec;
+  ctx.k_was_even = dec.k_was_even;
+
+  asic::SimResult ref = asic::simulate(prog->sm, bindings, ctx);
+
+  engine::DecodedRom rom = engine::decode(prog->sm);
+  engine::SimWorkspace ws;
+  engine::run(rom, bindings, ctx, ws);
+
+  EXPECT_TRUE(engine::output_value(rom, ws, "x") == ref.outputs.at("x"));
+  EXPECT_TRUE(engine::output_value(rom, ws, "y") == ref.outputs.at("y"));
+  // The decoded stats are derived statically from the control stream; they
+  // must equal what the interpreter counts dynamically.
+  EXPECT_EQ(rom.stats, ref.stats);
+}
+
+TEST(DecodedTest, WorkspaceReuseAcrossJobsIsClean) {
+  auto prog = engine::CompileCache().get_or_compile(functional_key());
+  engine::DecodedRom rom = engine::decode(prog->sm);
+  engine::SimWorkspace ws;
+  curve::Affine base = curve::deterministic_point(1);
+  trace::InputBindings bindings = bindings_for(*prog, base);
+
+  Rng rng(99);
+  for (int i = 0; i < 3; ++i) {
+    curve::Decomposition dec = curve::decompose(rng.next_u256());
+    curve::RecodedScalar rec = curve::recode(dec.a);
+    trace::EvalContext ctx;
+    ctx.recoded = &rec;
+    ctx.k_was_even = dec.k_was_even;
+    engine::run(rom, bindings, ctx, ws);  // same ws every time
+    asic::SimResult ref = asic::simulate(prog->sm, bindings, ctx);
+    EXPECT_TRUE(engine::output_value(rom, ws, "x") == ref.outputs.at("x")) << "job " << i;
+    EXPECT_TRUE(engine::output_value(rom, ws, "y") == ref.outputs.at("y")) << "job " << i;
+  }
+}
+
+TEST(BatchEngineTest, MatchesGoldenScalarMulAcross1kScalars) {
+  engine::CompileCache cache;
+  engine::EngineOptions opt;
+  opt.workers = 4;
+  opt.key = functional_key();
+  opt.cache = &cache;
+  engine::BatchEngine eng(opt);
+
+  constexpr int kJobs = 1000;
+  Rng rng(20260806);
+  std::vector<engine::SmJob> jobs(kJobs);
+  for (int i = 0; i < kJobs; ++i)
+    jobs[static_cast<size_t>(i)] =
+        engine::SmJob{rng.next_u256(), curve::deterministic_point(1 + i % 5)};
+
+  std::vector<engine::SmResult> results = eng.run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+
+  int mismatches = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    curve::Affine sw = curve::to_affine(curve::scalar_mul(jobs[i].k, jobs[i].base));
+    if (!(results[i].out.x == sw.x) || !(results[i].out.y == sw.y)) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_EQ(cache.stats().misses, 1u);  // one compile served the whole batch
+}
+
+TEST(BatchEngineTest, RepeatedRunsReuseTheProgram) {
+  engine::CompileCache cache;
+  engine::EngineOptions opt;
+  opt.workers = 2;
+  opt.key = functional_key();
+  opt.cache = &cache;
+  engine::BatchEngine eng(opt);
+
+  Rng rng(5);
+  std::vector<engine::SmJob> jobs(8);
+  for (auto& j : jobs) j = engine::SmJob{rng.next_u256(), curve::deterministic_point(1)};
+
+  std::vector<engine::SmResult> a = eng.run(jobs);
+  std::vector<engine::SmResult> b = eng.run(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].out.x == b[i].out.x);
+    EXPECT_TRUE(a[i].out.y == b[i].out.y);
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(eng.program().sm.cycles(), a.front().stats.cycles);
+}
+
+TEST(BatchEngineTest, VerifyRejectsExactlyTheCorruptedIndices) {
+  dsa::SchnorrQ scheme;
+  Rng rng(123);
+
+  constexpr int kSigs = 24;
+  const std::vector<size_t> corrupted = {3, 11, 17, 23};
+  std::vector<dsa::SchnorrQ::BatchItem> items;
+  for (int i = 0; i < kSigs; ++i) {
+    dsa::SchnorrQ::KeyPair kp = scheme.keygen(rng);
+    std::string msg = "engine verify test " + std::to_string(i);
+    items.push_back({kp.pub, msg, scheme.sign(kp, msg)});
+  }
+  for (size_t idx : corrupted) items[idx].msg += " tampered";
+
+  engine::EngineOptions opt;
+  opt.workers = 3;
+  opt.chunk = 6;
+  engine::BatchEngine eng(opt);
+  std::vector<uint8_t> verdicts = eng.verify(items);
+
+  ASSERT_EQ(verdicts.size(), items.size());
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    bool bad = std::find(corrupted.begin(), corrupted.end(), i) != corrupted.end();
+    EXPECT_EQ(verdicts[i], bad ? 0 : 1) << "index " << i;
+  }
+}
+
+TEST(BatchEngineTest, AllValidBatchPasses) {
+  dsa::SchnorrQ scheme;
+  Rng rng(321);
+  std::vector<dsa::SchnorrQ::BatchItem> items;
+  for (int i = 0; i < 8; ++i) {
+    dsa::SchnorrQ::KeyPair kp = scheme.keygen(rng);
+    std::string msg = "all valid " + std::to_string(i);
+    items.push_back({kp.pub, msg, scheme.sign(kp, msg)});
+  }
+  engine::EngineOptions opt;
+  opt.workers = 2;
+  engine::BatchEngine eng(opt);
+  std::vector<uint8_t> verdicts = eng.verify(items);
+  for (size_t i = 0; i < verdicts.size(); ++i) EXPECT_EQ(verdicts[i], 1u) << "index " << i;
+}
+
+TEST(BatchEngineTest, EmptyBatchesAreNoOps) {
+  engine::EngineOptions opt;
+  opt.key = functional_key();
+  engine::CompileCache cache;
+  opt.cache = &cache;
+  engine::BatchEngine eng(opt);
+  EXPECT_TRUE(eng.run({}).empty());
+  EXPECT_TRUE(eng.verify({}).empty());
+  EXPECT_EQ(cache.stats().misses, 0u);  // nothing compiled for empty work
+}
+
+TEST(BatchEngineTest, RejectsUnrunnableProgramKinds) {
+  engine::CompileKey key = functional_key();
+  key.kind = engine::ProgramKind::kDualSm;
+  engine::EngineOptions opt;
+  opt.key = key;
+  engine::CompileCache cache;
+  opt.cache = &cache;
+  engine::BatchEngine eng(opt);
+  std::vector<engine::SmJob> jobs(1, engine::SmJob{U256(5), curve::deterministic_point(1)});
+  EXPECT_THROW(eng.run(jobs), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fourq

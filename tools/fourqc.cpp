@@ -13,6 +13,8 @@
 //   fourqc explain --program sm --backends seq,list,anneal
 //   fourqc lint --program loop --json
 //   fourqc lint --program sm --out lint_out
+//   fourqc batch --jobs 256 --workers 8 --rom-cache rom_cache
+//   fourqc batch --verify-sigs 64 --corrupt 3,17
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -27,8 +29,13 @@
 #include "asic/simulator.hpp"
 #include "asic/verilog.hpp"
 #include "asic/waveform.hpp"
+#include <chrono>
+
+#include "common/rng.hpp"
 #include "curve/point.hpp"
 #include "curve/scalarmul.hpp"
+#include "dsa/schnorrq.hpp"
+#include "engine/batch.hpp"
 #include "obs/obs.hpp"
 #include "power/activity_energy.hpp"
 #include "power/area.hpp"
@@ -88,7 +95,21 @@ void usage() {
       "  --backends a,b,...                subset of seq,list,anneal,bnb plus\n"
       "                                    modulo (loop) / looped (sm segments)\n"
       "  --json                            fourq.lint.v1 JSON on stdout\n"
-      "  --out DIR                         write lint.json, lint.txt, metrics.jsonl\n");
+      "  --out DIR                         write lint.json, lint.txt, metrics.jsonl\n"
+      "\n"
+      "batch subcommand — compile once (through the engine's CompileCache),\n"
+      "then run a batch of scalar multiplications on the worker-pool\n"
+      "simulator farm; optionally SchnorrQ batch verification. A --rom-cache\n"
+      "directory persists the compiled ROM so later processes skip the\n"
+      "scheduler solve entirely (watch 'scheduler solves' drop to 0):\n"
+      "  --jobs N                          scalar multiplications (default 64)\n"
+      "  --workers N                       worker threads (default 1)\n"
+      "  --chunk N                         jobs per pool task (default: auto)\n"
+      "  --rom-cache DIR                   on-disk ROM cache directory\n"
+      "  --seed N                          scalar-generation seed (default 42)\n"
+      "  --no-check                        skip the software [k]P cross-check\n"
+      "  --verify-sigs N                   also batch-verify N SchnorrQ signatures\n"
+      "  --corrupt i,j,...                 corrupt these signature indices first\n");
 }
 
 bool write_file(const std::filesystem::path& path, const std::string& content) {
@@ -728,6 +749,130 @@ int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& cop
   return errors ? 1 : 0;
 }
 
+// ---------------------------------------------------------------------------
+// batch subcommand: the batch execution engine from the command line.
+
+struct BatchOptions {
+  int jobs = 64;
+  int workers = 1;
+  size_t chunk = 0;         // 0 = BatchEngine auto
+  std::string rom_cache;    // "" = in-memory process cache only
+  uint64_t seed = 42;
+  bool check = true;        // cross-check vs software [k]P (functional variant)
+  int verify_sigs = 0;      // also batch-verify N SchnorrQ signatures
+  std::vector<int> corrupt; // signature indices to corrupt before verifying
+};
+
+int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& copt,
+              const BatchOptions& bopt) {
+  // Fresh telemetry so the solve/compile span counts below describe exactly
+  // this invocation.
+  obs::global().reset();
+
+  engine::CompileKey key;
+  key.kind = engine::ProgramKind::kSingleSm;
+  key.trace = topt;
+  key.compile = copt;
+
+  std::unique_ptr<engine::CompileCache> disk_cache;
+  engine::CompileCache* cache = &engine::CompileCache::process_cache();
+  if (!bopt.rom_cache.empty()) {
+    disk_cache = std::make_unique<engine::CompileCache>(bopt.rom_cache);
+    cache = disk_cache.get();
+  }
+
+  engine::EngineOptions eopt;
+  eopt.workers = bopt.workers;
+  eopt.chunk = bopt.chunk;
+  eopt.key = key;
+  eopt.cache = cache;
+  engine::BatchEngine eng(eopt);
+
+  std::printf("fourqc batch: %d jobs on %d worker%s (%s variant, key %s)\n",
+              bopt.jobs, eng.workers(), eng.workers() == 1 ? "" : "s",
+              topt.endo == trace::EndoVariant::kFunctional ? "functional" : "paper-cost",
+              key.hash_hex().c_str());
+
+  auto c0 = std::chrono::steady_clock::now();
+  const engine::CompiledProgram& prog = eng.program();
+  double compile_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - c0).count();
+  engine::CompileCache::Stats cs = cache->stats();
+  size_t solves = obs::global().spans.count("sched.compile");
+  std::printf(
+      "  program ready in %.2f ms  (cache: %zu hit, %zu miss, %zu disk; "
+      "scheduler solves this run: %zu%s)\n",
+      compile_ms, cs.hits, cs.misses, cs.disk_hits, solves,
+      solves == 0 ? " -- warm start, solver skipped" : "");
+
+  Rng rng(bopt.seed);
+  curve::Affine base = curve::deterministic_point(1);
+  std::vector<engine::SmJob> jobs(static_cast<size_t>(bopt.jobs));
+  for (auto& j : jobs) j = engine::SmJob{rng.next_u256(), base};
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<engine::SmResult> results = eng.run(jobs);
+  double run_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  asic::SimStats stats = results.empty() ? asic::SimStats{} : results.front().stats;
+  record_sim_metrics("sim.batch", stats);
+  double jobs_per_s = run_s > 0 ? static_cast<double>(jobs.size()) / run_s : 0.0;
+  std::printf("  simulated %zu scalar mults in %.1f ms -> %.1f jobs/s (%d cycles/job)\n",
+              jobs.size(), run_s * 1e3, jobs_per_s, stats.cycles);
+
+  int rc = 0;
+  if (bopt.check && topt.endo == trace::EndoVariant::kFunctional && topt.include_inversion) {
+    size_t bad = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      curve::Affine sw = curve::to_affine(curve::scalar_mul(jobs[i].k, jobs[i].base));
+      if (!(results[i].out.x == sw.x) || !(results[i].out.y == sw.y)) ++bad;
+    }
+    if (bad) {
+      std::printf("  cross-check vs software [k]P: %zu/%zu MISMATCH\n", bad, jobs.size());
+      rc = 1;
+    } else {
+      std::printf("  cross-check vs software [k]P: %zu/%zu match\n", jobs.size(), jobs.size());
+    }
+  } else if (bopt.check) {
+    std::printf("  cross-check skipped (needs --variant functional with inversion)\n");
+  }
+
+  if (bopt.verify_sigs > 0) {
+    dsa::SchnorrQ scheme;
+    Rng krng(bopt.seed ^ 0xdead5eed);
+    std::vector<dsa::SchnorrQ::BatchItem> items;
+    items.reserve(static_cast<size_t>(bopt.verify_sigs));
+    for (int i = 0; i < bopt.verify_sigs; ++i) {
+      dsa::SchnorrQ::KeyPair kp = scheme.keygen(krng);
+      std::string msg = "fourqc batch message " + std::to_string(i);
+      items.push_back({kp.pub, msg, scheme.sign(kp, msg)});
+    }
+    for (int idx : bopt.corrupt) {
+      if (idx >= 0 && idx < bopt.verify_sigs)
+        items[static_cast<size_t>(idx)].msg += " (tampered)";
+    }
+    auto v0 = std::chrono::steady_clock::now();
+    std::vector<uint8_t> verdicts = eng.verify(items);
+    double ver_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - v0).count();
+    std::string rejected;
+    for (size_t i = 0; i < verdicts.size(); ++i)
+      if (!verdicts[i]) rejected += (rejected.empty() ? "" : ",") + std::to_string(i);
+    std::printf("  batch-verified %zu signatures in %.1f ms: %s\n", verdicts.size(), ver_ms,
+                rejected.empty() ? "all valid" : ("rejected [" + rejected + "]").c_str());
+  }
+
+  obs::Registry& reg = obs::global().metrics;
+  std::printf("  engine.cache.hit=%llu engine.cache.miss=%llu engine.cache.disk.hit=%llu "
+              "sched.compile spans=%zu\n",
+              static_cast<unsigned long long>(reg.counter("engine.cache.hit").value()),
+              static_cast<unsigned long long>(reg.counter("engine.cache.miss").value()),
+              static_cast<unsigned long long>(reg.counter("engine.cache.disk.hit").value()),
+              obs::global().spans.count("sched.compile"));
+  (void)prog;
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -752,6 +897,9 @@ int main(int argc, char** argv) {
   bool lint_mode = false;
   LintOptions lopt;
 
+  bool batch_mode = false;
+  BatchOptions bopt;
+
   int argstart = 1;
   if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
     profile_mode = true;
@@ -762,6 +910,12 @@ int main(int argc, char** argv) {
   } else if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
     lint_mode = true;
     argstart = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "batch") == 0) {
+    batch_mode = true;
+    argstart = 2;
+    // Batch runs default to the checkable program: functional endomorphism
+    // constants so outputs equal software [k]P.
+    topt.endo = trace::EndoVariant::kFunctional;
   }
 
   for (int i = argstart; i < argc; ++i) {
@@ -882,6 +1036,30 @@ int main(int argc, char** argv) {
     } else if (explain_mode && a == "--out") {
       need(1);
       eopt.out_dir = argv[++i];
+    } else if (batch_mode && a == "--jobs") {
+      need(1);
+      bopt.jobs = std::atoi(argv[++i]);
+    } else if (batch_mode && a == "--workers") {
+      need(1);
+      bopt.workers = std::atoi(argv[++i]);
+    } else if (batch_mode && a == "--chunk") {
+      need(1);
+      bopt.chunk = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (batch_mode && a == "--rom-cache") {
+      need(1);
+      bopt.rom_cache = argv[++i];
+    } else if (batch_mode && a == "--seed") {
+      need(1);
+      bopt.seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 0));
+    } else if (batch_mode && a == "--no-check") {
+      bopt.check = false;
+    } else if (batch_mode && a == "--verify-sigs") {
+      need(1);
+      bopt.verify_sigs = std::atoi(argv[++i]);
+    } else if (batch_mode && a == "--corrupt") {
+      need(1);
+      for (const std::string& s : split_csv(argv[++i]))
+        bopt.corrupt.push_back(std::atoi(s.c_str()));
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -896,6 +1074,13 @@ int main(int argc, char** argv) {
     return run_profile(topt, copt, profile_out, profile_scalar, profile_events);
   if (explain_mode) return run_explain(topt, copt, eopt);
   if (lint_mode) return run_lint(topt, copt, lopt);
+  if (batch_mode) {
+    if (bopt.jobs < 1 || bopt.workers < 1) {
+      usage();
+      return 2;
+    }
+    return run_batch(topt, copt, bopt);
+  }
 
   if (looped) {
     std::printf("fourqc: building blocked/looped controller (%s variant)...\n",

@@ -73,6 +73,23 @@ else
   echo "skip  lint ($build_dir/tools/fourqc not built)"
 fi
 
+# Engine throughput regression gate: the batch engine must stay >=3x over
+# the recompile-per-job status quo (tools/baselines/bench_engine_baseline.jsonl).
+script_dir=$(dirname "$0")
+if [ -x "$build_dir/tools/perf_regress" ] && [ -f "$out_dir/BENCH_engine.json" ] \
+    && [ -f "$script_dir/baselines/bench_engine_baseline.jsonl" ]; then
+  ran=$((ran + 1))
+  if "$build_dir/tools/perf_regress" "$script_dir/baselines/bench_engine_baseline.jsonl" \
+      "$out_dir/BENCH_engine.json" > "$out_dir/perf_regress_engine.log" 2>&1; then
+    echo "ok    perf_regress (engine baseline)"
+  else
+    echo "FAIL  perf_regress (engine baseline) (see $out_dir/perf_regress_engine.log)" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "skip  perf_regress (engine baseline)"
+fi
+
 echo
 echo "results: $out_dir"
 ls "$out_dir"/BENCH_*.json "$out_dir"/LINT_*.json 2>/dev/null || echo "(no JSON records produced)"
