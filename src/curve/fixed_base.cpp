@@ -1,11 +1,18 @@
 #include "curve/fixed_base.hpp"
 
+#include <algorithm>
+#include <vector>
+
 namespace fourq::curve {
 
 FixedBaseMul::FixedBaseMul(const Affine& base) : base_(base) {
   BasePoints bp = compute_base_points(base);
-  table_ = build_table(bp);
-  minus_base_ = neg_r2(to_r2(bp.p));
+  std::array<PointR1, 8> t1 = build_table_r1(bp);
+  // One shared inversion normalises the whole table; the per-scalar loop
+  // then runs on mixed additions.
+  std::vector<PointR2Aff> norm = batch_to_r2aff(std::vector<PointR1>(t1.begin(), t1.end()));
+  std::copy(norm.begin(), norm.end(), table_.begin());
+  minus_base_ = to_r2aff(neg(base));
 }
 
 PointR1 FixedBaseMul::mul(const U256& k) const {
@@ -15,11 +22,14 @@ PointR1 FixedBaseMul::mul(const U256& k) const {
   PointR1 q = identity();
   for (int i = kDigits - 1; i >= 0; --i) {
     if (i != kDigits - 1) q = dbl(q);
-    const PointR2& entry = table_[rec.digit[static_cast<size_t>(i)]];
-    q = add(q, rec.sign[static_cast<size_t>(i)] > 0 ? entry : neg_r2(entry));
+    const PointR2Aff& entry = table_[rec.digit[static_cast<size_t>(i)]];
+    q = add_mixed(q, rec.sign[static_cast<size_t>(i)] > 0 ? entry : neg_r2aff(entry));
   }
-  PointR2 correction = dec.k_was_even ? minus_base_ : to_r2(identity());
-  return add(q, correction);
+  // Uniform even-k correction: always one more complete addition; the
+  // operand is -P when k was even and the identity otherwise.
+  PointR2Aff correction =
+      dec.k_was_even ? minus_base_ : to_r2aff(Affine{Fp2(), Fp2::from_u64(1)});
+  return add_mixed(q, correction);
 }
 
 MulOpCounts FixedBaseMul::per_scalar_op_counts() {

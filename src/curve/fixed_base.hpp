@@ -28,8 +28,10 @@ class FixedBaseMul {
 
  private:
   Affine base_;
-  std::array<PointR2, 8> table_;
-  PointR2 minus_base_;  // for the uniform even-k correction
+  // Table entries are batch-normalised to affine R2 once at construction
+  // (one shared inversion), so every per-scalar addition is a 7M mixed add.
+  std::array<PointR2Aff, 8> table_;
+  PointR2Aff minus_base_;  // for the uniform even-k correction
 };
 
 }  // namespace fourq::curve

@@ -4,79 +4,398 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "curve/scalarmul.hpp"
+#include "obs/obs.hpp"
 
 namespace fourq::curve {
 
-std::vector<int8_t> wnaf(const U256& k, int width) {
-  FOURQ_CHECK(width >= 2 && width <= 7);
-  std::vector<int8_t> digits;
-  // Work in 512 bits: a negative digit adds up to 2^w - 1 to the residual,
-  // which can carry past bit 255 for scalars near 2^256.
-  U512 n(k);
-  const uint64_t window = uint64_t{1} << width;  // 2^w
-  const uint64_t half = window / 2;
-  while (!n.is_zero()) {
-    int8_t d = 0;
-    if (n.bit(0)) {
-      uint64_t mods = n.w[0] & (window - 1);  // n mod 2^w
-      U512 t;
-      if (mods >= half) {
-        // Negative digit: d = mods - 2^w; the residual grows by |d|.
-        d = static_cast<int8_t>(static_cast<int64_t>(mods) - static_cast<int64_t>(window));
-        U512 delta(U256(static_cast<uint64_t>(-static_cast<int64_t>(d))));
-        uint64_t carry = add(n, delta, t);
-        FOURQ_CHECK(carry == 0);
-      } else {
-        d = static_cast<int8_t>(mods);
-        uint64_t borrow = sub(n, U512(U256(mods)), t);
-        FOURQ_CHECK(borrow == 0);
-      }
-      n = t;
-    }
-    digits.push_back(d);
-    n = shr(n, 1);
-  }
-  return digits;
+namespace {
+
+// Auto-selection crossovers, calibrated with bench/bench_msm.cpp (see
+// docs/ARCHITECTURE.md §9 for the measured curve): Straus's per-term cost
+// is flat while Pippenger's falls like 1/log n once the windows are dense
+// enough to amortise bucket aggregation.
+constexpr size_t kPippengerMinTerms = 40;
+
+// Effective bit length of a term, derived from the scalar itself — terms
+// are never padded to a common width. The caller's declared bound is only
+// validated (a scalar exceeding its hint is a caller bug, not a scheduling
+// decision).
+int effective_bits(const ScalarPoint& t) {
+  int top = t.k.top_bit();
+  FOURQ_CHECK_MSG(top < t.bits, "scalar exceeds its declared bit-length hint");
+  return std::max(top + 1, 1);
 }
 
-PointR1 multi_scalar_mul(const std::vector<ScalarPoint>& terms) {
-  constexpr int kWidth = 3;
-  constexpr int kTableSize = 1 << (kWidth - 1);  // odd multiples 1,3,5,7
+// ---------------------------------------------------------------------------
+// Straus: interleaved wNAF with one shared doubling chain. Per-point tables
+// of odd multiples are built in R1, then normalised to affine R2 in one
+// batched inversion so the main loop runs entirely on mixed additions.
+
+int straus_width_for(size_t n_terms) {
+  // Per-term cost model (in field mults): table 2^(w-2) full additions +
+  // ~257/(w+1) mixed additions for the digit hits. w = 4 and 5 are within
+  // noise of each other per term; wider tables only pay off once the digit
+  // savings are multiplied across many terms.
+  if (n_terms <= 4) return 4;
+  return 5;
+}
+
+PointR1 msm_straus(const std::vector<ScalarPoint>& terms, int width) {
+  FOURQ_CHECK(width >= 2 && width <= 7);
+  const size_t tsize = size_t{1} << (width - 1);  // odd multiples 1,3,5,...
 
   struct Prepared {
-    std::array<PointR2, kTableSize> odd;  // [ (2j+1) P ]
+    size_t table_off = 0;
     std::vector<int8_t> naf;
   };
   std::vector<Prepared> prep;
+  std::vector<PointR1> tables_r1;  // all tables, flattened
   size_t max_len = 0;
   for (const ScalarPoint& t : terms) {
     if (t.k.is_zero()) continue;
     Prepared pr;
+    pr.table_off = tables_r1.size();
     PointR1 p1 = to_r1(t.p);
     PointR2 two_p = to_r2(dbl(p1));
-    PointR1 acc = p1;
-    pr.odd[0] = to_r2(p1);
-    for (int j = 1; j < kTableSize; ++j) {
-      acc = add(acc, two_p);
-      pr.odd[static_cast<size_t>(j)] = to_r2(acc);
-    }
-    pr.naf = wnaf(t.k, kWidth);
+    tables_r1.push_back(p1);
+    for (size_t j = 1; j < tsize; ++j)
+      tables_r1.push_back(add(tables_r1.back(), two_p));
+    pr.naf = wnaf(t.k, width);
     max_len = std::max(max_len, pr.naf.size());
     prep.push_back(std::move(pr));
   }
+  if (prep.empty()) return identity();
+
+  // One inversion for every entry of every table.
+  std::vector<PointR2Aff> tables = batch_to_r2aff(tables_r1);
 
   PointR1 q = identity();
-  for (int i = static_cast<int>(max_len) - 1; i >= 0; --i) {
+  for (size_t iu = max_len; iu-- > 0;) {
     q = dbl(q);
     for (const Prepared& pr : prep) {
-      if (i >= static_cast<int>(pr.naf.size())) continue;
-      int d = pr.naf[static_cast<size_t>(i)];
+      if (iu >= pr.naf.size()) continue;
+      int d = pr.naf[iu];
       if (d == 0) continue;
-      const PointR2& entry = pr.odd[static_cast<size_t>(std::abs(d) / 2)];
-      q = add(q, d > 0 ? entry : neg_r2(entry));
+      const PointR2Aff& entry =
+          tables[pr.table_off + static_cast<size_t>(std::abs(d) / 2)];
+      q = add_mixed(q, d > 0 ? entry : neg_r2aff(entry));
     }
   }
   return q;
+}
+
+// ---------------------------------------------------------------------------
+// Pippenger: signed-window bucket accumulation. Each window's sum is
+// computed independently (the parallel axis), then the windows are folded
+// MSB-first with c doublings between them.
+
+// Bits [pos, pos + c) of k (zero beyond bit 255).
+uint64_t window_bits(const U256& k, int pos, int c) {
+  if (pos >= 256) return 0;
+  const int limb = pos >> 6, off = pos & 63;
+  uint64_t v = k.w[static_cast<size_t>(limb)] >> off;
+  if (off + c > 64 && limb + 1 < 4) v |= k.w[static_cast<size_t>(limb) + 1] << (64 - off);
+  return v & ((uint64_t{1} << c) - 1);
+}
+
+// Signed base-2^c digits of k, LSB first: d_j in [-2^(c-1), 2^(c-1)],
+// sum_j d_j 2^(cj) == k. Writes exactly nwin digits; nwin must cover
+// bits(k)/c plus one carry window.
+void signed_window_digits(const U256& k, int c, int nwin, int16_t* out) {
+  const int64_t half = int64_t{1} << (c - 1);
+  int64_t carry = 0;
+  for (int j = 0; j < nwin; ++j) {
+    int64_t d = static_cast<int64_t>(window_bits(k, j * c, c)) + carry;
+    carry = 0;
+    if (d > half) {
+      d -= int64_t{1} << c;
+      carry = 1;
+    }
+    out[j] = static_cast<int16_t>(d);
+  }
+  FOURQ_CHECK_MSG(carry == 0, "window digit carry must be absorbed");
+}
+
+struct PipPlan {
+  std::vector<const ScalarPoint*> live;
+  std::vector<PointR2Aff> base;   // normalised input points (no inversion:
+                                  // inputs are already affine)
+  std::vector<int16_t> digits;    // [live][nwin], flattened
+  int c = 0;
+  int nwin = 0;
+};
+
+PipPlan pippenger_prepare(const std::vector<ScalarPoint>& terms, int c) {
+  PipPlan plan;
+  plan.c = c;
+  for (const ScalarPoint& t : terms)
+    if (!t.k.is_zero()) plan.live.push_back(&t);
+
+  int max_bits = 1;
+  for (const ScalarPoint* t : plan.live) max_bits = std::max(max_bits, effective_bits(*t));
+  plan.nwin = (max_bits + c - 1) / c + 1;  // +1 absorbs the top carry
+
+  plan.base.resize(plan.live.size());
+  plan.digits.assign(plan.live.size() * static_cast<size_t>(plan.nwin), 0);
+  for (size_t i = 0; i < plan.live.size(); ++i) {
+    const ScalarPoint& t = *plan.live[i];
+    plan.base[i] = to_r2aff(t.p);
+    // Terms with short scalars (the 128-bit batch-verification weights) get
+    // digits only up to their own window count; the rest stay zero.
+    int nw = (effective_bits(t) + c - 1) / c + 1;
+    signed_window_digits(t.k, c, nw, &plan.digits[i * static_cast<size_t>(plan.nwin)]);
+  }
+  return plan;
+}
+
+// Sum of window j: sum over buckets v of [v] (sum of points with digit ±v).
+// Deterministic for a fixed plan (insertion follows term order), so the
+// result is bitwise identical no matter which thread runs it.
+PointR1 pippenger_window(const PipPlan& plan, int j, std::vector<PointR1>& buckets,
+                         std::vector<uint8_t>& used) {
+  const size_t half = size_t{1} << (plan.c - 1);
+  buckets.resize(half);
+  used.assign(half, 0);
+  for (size_t i = 0; i < plan.live.size(); ++i) {
+    int d = plan.digits[i * static_cast<size_t>(plan.nwin) + static_cast<size_t>(j)];
+    if (d == 0) continue;
+    const size_t b = static_cast<size_t>(std::abs(d)) - 1;
+    if (used[b]) {
+      buckets[b] = add_mixed(buckets[b],
+                             d > 0 ? plan.base[i] : neg_r2aff(plan.base[i]));
+    } else {
+      // First hit: the bucket is the (possibly negated) affine input itself.
+      const Affine& p = plan.live[i]->p;
+      buckets[b] = to_r1(d > 0 ? p : neg(p));
+      used[b] = 1;
+    }
+  }
+  // Fold: S walks the buckets top-down (S_b = sum_{v >= b} bucket_v),
+  // T accumulates every S_b, so T = sum_v v * bucket_v.
+  PointR1 s{}, t{};
+  bool s_any = false, t_any = false;
+  for (size_t b = half; b-- > 0;) {
+    if (used[b]) {
+      s = s_any ? add(s, to_r2(buckets[b])) : buckets[b];
+      s_any = true;
+    }
+    if (!s_any) continue;  // no buckets at or above this level yet
+    t = t_any ? add(t, to_r2(s)) : s;
+    t_any = true;
+  }
+  return t_any ? t : identity();
+}
+
+PointR1 msm_pippenger(const std::vector<ScalarPoint>& terms, int c,
+                      const MsmParallelFor& parallel) {
+  PipPlan plan = pippenger_prepare(terms, c);
+  if (plan.live.empty()) return identity();
+
+  std::vector<PointR1> winsum(static_cast<size_t>(plan.nwin), identity());
+  if (parallel && plan.nwin > 1) {
+    parallel(static_cast<size_t>(plan.nwin), [&](size_t j) {
+      std::vector<PointR1> buckets;
+      std::vector<uint8_t> used;
+      winsum[j] = pippenger_window(plan, static_cast<int>(j), buckets, used);
+    });
+  } else {
+    std::vector<PointR1> buckets;
+    std::vector<uint8_t> used;
+    for (int j = 0; j < plan.nwin; ++j)
+      winsum[static_cast<size_t>(j)] = pippenger_window(plan, j, buckets, used);
+  }
+
+  // MSB-first fold with c doublings between windows. Fixed order: the
+  // combined result does not depend on how the window sums were scheduled.
+  PointR1 q = identity();
+  bool any = false;
+  for (size_t j = static_cast<size_t>(plan.nwin); j-- > 0;) {
+    if (any)
+      for (int s = 0; s < plan.c; ++s) q = dbl(q);
+    if (!is_identity(winsum[j])) {
+      q = any ? add(q, to_r2(winsum[j])) : winsum[j];
+      any = true;
+    }
+  }
+  return any ? q : identity();
+}
+
+// ---------------------------------------------------------------------------
+// EndoSplit: the paper's 4-way decomposition per term. k = sum_j a_j 2^(64j)
+// with the raw 64-bit limbs as multi-scalars, so [k]P = sum_j [a_j]([2^64j]P)
+// — an exact integer identity needing no subgroup assumption and no even-k
+// correction. The auxiliary points stand in for phi/psi (DESIGN.md §2) and
+// cost 64 doublings each in software; all 3n of them are normalised back to
+// affine with one batched inversion.
+
+PointR1 msm_endosplit(const std::vector<ScalarPoint>& terms, int straus_width) {
+  std::vector<const ScalarPoint*> live;
+  for (const ScalarPoint& t : terms)
+    if (!t.k.is_zero()) live.push_back(&t);
+  if (live.empty()) return identity();
+
+  std::vector<PointR1> aux;  // [2^64]P, [2^128]P, [2^192]P per term
+  aux.reserve(3 * live.size());
+  for (const ScalarPoint* t : live) {
+    BasePoints bp = compute_base_points(t->p);
+    aux.push_back(bp.p2);
+    aux.push_back(bp.p3);
+    aux.push_back(bp.p4);
+  }
+  std::vector<Affine> aux_aff = batch_to_affine(aux);
+
+  std::vector<ScalarPoint> split;
+  split.reserve(4 * live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    const ScalarPoint& t = *live[i];
+    if (t.k.w[0]) split.push_back({U256(t.k.w[0]), t.p, 64});
+    for (int j = 1; j < 4; ++j)
+      if (t.k.w[static_cast<size_t>(j)])
+        split.push_back({U256(t.k.w[static_cast<size_t>(j)]),
+                         aux_aff[3 * i + static_cast<size_t>(j) - 1], 64});
+  }
+  if (split.empty()) return identity();
+  int width = straus_width ? straus_width : straus_width_for(split.size());
+  return msm_straus(split, width);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// wNAF recoding. The residual lives in five u64 limbs (a negative digit adds
+// up to 2^w - 1, which can carry past bit 255 for scalars near 2^256); each
+// digit step touches only the limbs the carry actually reaches, instead of
+// the full-width U512 add/sub the original construction used.
+
+std::vector<int8_t> wnaf(const U256& k, int width) {
+  FOURQ_CHECK(width >= 2 && width <= 7);
+  std::vector<int8_t> digits;
+  digits.reserve(static_cast<size_t>(std::max(k.top_bit() + 2, 1)));
+  uint64_t n[5] = {k.w[0], k.w[1], k.w[2], k.w[3], 0};
+  const uint64_t window = uint64_t{1} << width;  // 2^w
+  const uint64_t half = window / 2;
+  while ((n[0] | n[1] | n[2] | n[3] | n[4]) != 0) {
+    int8_t d = 0;
+    if (n[0] & 1) {
+      const uint64_t mods = n[0] & (window - 1);  // n mod 2^w
+      if (mods >= half) {
+        // Negative digit: d = mods - 2^w; the residual grows by |d|.
+        d = static_cast<int8_t>(static_cast<int64_t>(mods) -
+                                static_cast<int64_t>(window));
+        uint64_t carry = addc64(n[0], window - mods, 0, n[0]);
+        for (int i = 1; i < 5 && carry; ++i) carry = addc64(n[i], 0, carry, n[i]);
+        FOURQ_CHECK(carry == 0);
+      } else {
+        d = static_cast<int8_t>(mods);
+        n[0] -= mods;  // the low w bits equal mods: no borrow
+      }
+    }
+    digits.push_back(d);
+    for (int i = 0; i < 4; ++i) n[i] = (n[i] >> 1) | (n[i + 1] << 63);
+    n[4] >>= 1;
+  }
+  return digits;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+const char* msm_backend_name(MsmBackend b) {
+  switch (b) {
+    case MsmBackend::kAuto: return "auto";
+    case MsmBackend::kStraus: return "straus";
+    case MsmBackend::kPippenger: return "pippenger";
+    case MsmBackend::kEndoSplit: return "endosplit";
+  }
+  return "?";
+}
+
+MsmBackend msm_choose_backend(size_t n_terms, const MsmOptions& opts) {
+  if (opts.backend != MsmBackend::kAuto) return opts.backend;
+  // EndoSplit is never auto-selected: its auxiliary points cost 3x64
+  // doublings per term in software, which the 4x shorter doubling chain
+  // only repays at n = 1 — where it still ties Straus (bench_msm measures
+  // this; the hardware endomorphism the paper relies on is nearly free).
+  return n_terms < kPippengerMinTerms ? MsmBackend::kStraus
+                                      : MsmBackend::kPippenger;
+}
+
+int msm_choose_window(const std::vector<ScalarPoint>& terms) {
+  size_t live = 0, total_bits = 0;
+  int max_bits = 1;
+  for (const ScalarPoint& t : terms) {
+    if (t.k.is_zero()) continue;
+    ++live;
+    int b = effective_bits(t);
+    total_bits += static_cast<size_t>(b);
+    max_bits = std::max(max_bits, b);
+  }
+  if (live == 0) return 2;
+  // Predicted cost in field mults: mixed-add bucket insertions (7M each),
+  // bucket folding, and the inter-window doubling chain (7M per doubling).
+  // The fold's S chain adds once per occupied bucket (capped by the live
+  // term count), but its T chain walks every bucket level below the top
+  // occupied one — with random scalars that is essentially all 2^(c-1)
+  // levels, which is what stops the window from growing past the point
+  // where empty-level walking dominates.
+  int best_c = 2;
+  double best = 1e300;
+  for (int c = 2; c <= 13; ++c) {
+    double nwin = static_cast<double>((max_bits + c - 1) / c + 1);
+    double insert = (static_cast<double>(total_bits) / c + static_cast<double>(live)) * 7.0;
+    double buckets = static_cast<double>(size_t{1} << (c - 1));
+    double fold = nwin * (std::min(static_cast<double>(live), buckets) + buckets) * 10.0;
+    double dbls = nwin * c * 7.0;
+    double cost = insert + fold + dbls;
+    if (cost < best) {
+      best = cost;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+PointR1 multi_scalar_mul(const std::vector<ScalarPoint>& terms,
+                         const MsmOptions& opts) {
+  FOURQ_SPAN("curve.msm");
+  FOURQ_COUNTER_INC("curve.msm.calls");
+
+  // Counting live terms doubles as hint validation: effective_bits rejects
+  // any scalar exceeding its declared bound, on every backend.
+  size_t live = 0;
+  for (const ScalarPoint& t : terms)
+    if (!t.k.is_zero()) {
+      (void)effective_bits(t);
+      ++live;
+    }
+  if (live == 0) return identity();
+
+  MsmBackend backend = msm_choose_backend(live, opts);
+  switch (backend) {
+    case MsmBackend::kStraus: {
+      FOURQ_COUNTER_INC("curve.msm.straus");
+      int w = opts.straus_width ? opts.straus_width : straus_width_for(live);
+      return msm_straus(terms, w);
+    }
+    case MsmBackend::kPippenger: {
+      FOURQ_COUNTER_INC("curve.msm.pippenger");
+      int c = opts.window ? opts.window : msm_choose_window(terms);
+      FOURQ_CHECK(c >= 2 && c <= 15);  // int16 digits hold |d| <= 2^14
+      return msm_pippenger(terms, c, opts.parallel);
+    }
+    case MsmBackend::kEndoSplit:
+      FOURQ_COUNTER_INC("curve.msm.endosplit");
+      return msm_endosplit(terms, opts.straus_width);
+    case MsmBackend::kAuto:
+      break;  // unreachable: msm_choose_backend resolved it
+  }
+  FOURQ_CHECK_MSG(false, "unresolved MSM backend");
+  return identity();
+}
+
+PointR1 multi_scalar_mul(const std::vector<ScalarPoint>& terms) {
+  return multi_scalar_mul(terms, MsmOptions{});
 }
 
 }  // namespace fourq::curve

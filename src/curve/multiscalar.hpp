@@ -1,9 +1,36 @@
-// Multi-scalar multiplication sum_i [k_i] P_i via interleaved width-w NAF
-// (Straus): one shared doubling chain, per-point odd-multiple tables.
-// Used by batch signature verification, where a single n-term MSM replaces
-// n+1 separate scalar multiplications.
+// Multi-scalar multiplication sum_i [k_i] P_i — the hot loop of batch
+// signature verification (one n-term MSM replaces n+1 separate scalar
+// multiplications).
+//
+// Three backends live behind one multi_scalar_mul(terms, MsmOptions) API:
+//
+//  * Straus      — interleaved width-w NAF: one shared doubling chain,
+//                  per-point odd-multiple tables (normalised to affine via
+//                  one batched inversion, so the main loop runs on 7M mixed
+//                  additions). Best for small n.
+//  * Pippenger   — signed-window bucket method: per window, points are
+//                  accumulated into 2^(c-1) buckets and the buckets folded
+//                  with two running sums. Cost per term drops with n (the
+//                  window c grows), so it wins for large batches. Window
+//                  sums are independent, which is what msm parallelism
+//                  exploits (MsmOptions::parallel).
+//  * EndoSplit   — the paper's 4-way decomposition applied per term: each
+//                  256-bit (k, P) becomes four 64-bit terms over P, [2^64]P,
+//                  [2^128]P, [2^192]P (DESIGN.md §2 substitution for
+//                  phi/psi), shrinking the shared doubling chain 4x. In
+//                  software the auxiliary points cost 64 doublings each, so
+//                  this backend only breaks even where the doubling chain
+//                  dominates (n = 1); it exists because the hardware
+//                  endomorphism is nearly free and the backend doubles as a
+//                  cross-check of the decomposition identity.
+//
+// kAuto picks by a calibrated crossover (bench/bench_msm.cpp measures it).
+// All backends return the same group element; after to_affine() the
+// coordinates are bit-identical across backends and thread counts.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "curve/point.hpp"
@@ -13,9 +40,47 @@ namespace fourq::curve {
 struct ScalarPoint {
   U256 k;
   Affine p;
+  // Declared upper bound on k's bit length. Digit lengths are always
+  // derived from k itself — short scalars (batch verification's 128-bit
+  // random weights) are never padded to a common width, so they get fewer
+  // wNAF digits / bucket windows automatically. The bound is validated
+  // (a scalar exceeding it trips a check), documenting the caller's
+  // contract rather than steering the schedule.
+  int bits = 256;
 };
 
-// Window width 3: per-point table {P, 3P, 5P, 7P}, signed digits.
+enum class MsmBackend : uint8_t { kAuto, kStraus, kPippenger, kEndoSplit };
+
+// Parallel-for hook: run(n, fn) must invoke fn(i) exactly once for every
+// i in [0, n), on any mix of threads, and return only when all calls have
+// finished. An empty function means sequential execution. The engine's
+// worker pool provides one (engine::BatchEngine::msm_parallel()).
+using MsmParallelFor =
+    std::function<void(size_t n, const std::function<void(size_t)>& fn)>;
+
+struct MsmOptions {
+  MsmBackend backend = MsmBackend::kAuto;
+  // Pippenger bucket window width c in bits (buckets per window: 2^(c-1)).
+  // 0 = choose by minimising the predicted add count for the term set.
+  int window = 0;
+  // Straus wNAF width (2..7). 0 = choose from the term count.
+  int straus_width = 0;
+  // Optional parallel executor for Pippenger window accumulation. Results
+  // are bitwise independent of whether/how this runs (each window's sum is
+  // computed deterministically and combined in a fixed order).
+  MsmParallelFor parallel;
+};
+
+// Resolves kAuto against the calibrated crossover for n terms.
+MsmBackend msm_choose_backend(size_t n_terms, const MsmOptions& opts = {});
+// Pippenger window width minimising the predicted cost for the given term
+// set (uses the per-term bit-length hints).
+int msm_choose_window(const std::vector<ScalarPoint>& terms);
+const char* msm_backend_name(MsmBackend b);
+
+PointR1 multi_scalar_mul(const std::vector<ScalarPoint>& terms,
+                         const MsmOptions& opts);
+// Convenience overload: kAuto, sequential.
 PointR1 multi_scalar_mul(const std::vector<ScalarPoint>& terms);
 
 // Width-w non-adjacent form of k: digits in {0, ±1, ±3, ..., ±(2^w - 1)},

@@ -49,6 +49,44 @@ PointR2 to_r2(const PointR1& p) { return to_r2<Fp2>(p, curve_2d()); }
 
 PointR2 neg_r2(const PointR2& p) { return neg_r2<Fp2>(p, Fp2()); }
 
+PointR2Aff neg_r2aff(const PointR2Aff& p) { return neg_r2aff<Fp2>(p, Fp2()); }
+
+PointR2Aff to_r2aff(const Affine& p) {
+  Fp2 t = p.x * p.y;
+  return PointR2Aff{p.x + p.y, p.y - p.x, t * curve_2d()};
+}
+
+std::vector<Affine> batch_to_affine(const std::vector<PointR1>& ps) {
+  FOURQ_SPAN("curve.batch_normalize");
+  std::vector<Fp2> zs(ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    FOURQ_CHECK_MSG(!ps[i].Z.is_zero(), "point at infinity has no affine form");
+    zs[i] = ps[i].Z;
+  }
+  field::batch_invert(zs.data(), zs.size());
+  std::vector<Affine> out(ps.size());
+  for (size_t i = 0; i < ps.size(); ++i)
+    out[i] = Affine{ps[i].X * zs[i], ps[i].Y * zs[i]};
+  return out;
+}
+
+std::vector<PointR2Aff> batch_to_r2aff(const std::vector<PointR1>& ps) {
+  FOURQ_SPAN("curve.batch_normalize");
+  std::vector<Fp2> zs(ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    FOURQ_CHECK_MSG(!ps[i].Z.is_zero(), "point at infinity has no affine form");
+    zs[i] = ps[i].Z;
+  }
+  field::batch_invert(zs.data(), zs.size());
+  std::vector<PointR2Aff> out(ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    Fp2 x = ps[i].X * zs[i];
+    Fp2 y = ps[i].Y * zs[i];
+    out[i] = PointR2Aff{x + y, y - x, (x * y) * curve_2d()};
+  }
+  return out;
+}
+
 Affine deterministic_point(uint64_t seed) {
   Fp2 one = Fp2::from_u64(1);
   for (uint64_t j = 1;; ++j) {

@@ -13,6 +13,8 @@
 // equivalent of the paper's Python execution-trace recording.
 #pragma once
 
+#include <vector>
+
 #include "curve/params.hpp"
 
 namespace fourq::curve {
@@ -35,9 +37,23 @@ struct R2T {
   F dt2;  // 2dT
 };
 
+// Affine-normalised R2: (x+y, y-x, 2d*x*y) with Z = 1 implicit. The z2
+// coordinate of a general R2 point degenerates to the constant 2, so the
+// D = Z1*z2 multiplication of the unified addition becomes a doubling of
+// Z1 — mixed addition costs 7M instead of 8M. Tables and Pippenger bucket
+// inputs are stored in this form after a batched normalisation
+// (batch_to_r2aff, one shared field inversion).
+template <class F>
+struct R2AffT {
+  F xpy;  // x + y
+  F ymx;  // y - x
+  F dt2;  // 2d*x*y
+};
+
 using Affine = AffineT<Fp2>;
 using PointR1 = R1T<Fp2>;
 using PointR2 = R2T<Fp2>;
+using PointR2Aff = R2AffT<Fp2>;
 
 // `sqr(v)` hook: concrete fields use the optimised squaring; tracing types
 // record it as a plain multiplication (hardware has one multiplier).
@@ -105,6 +121,30 @@ R1T<F> add(const R1T<F>& p, const R2T<F>& q) {
   return R1T<F>{e * f, g * h, f * g, e, h};
 }
 
+// Mixed unified addition R1 + normalised-R2 -> R1: 7M + 7A. Identical
+// formula to add() with the Z1*z2 product replaced by Z1 + Z1 (z2 == 2).
+// Complete, like add().
+template <class F>
+R1T<F> add_mixed(const R1T<F>& p, const R2AffT<F>& q) {
+  F t = p.Ta * p.Tb;
+  F a = (p.Y - p.X) * q.ymx;
+  F b = (p.Y + p.X) * q.xpy;
+  F c = t * q.dt2;
+  F d = p.Z + p.Z;  // Z1 * 2, the mixed-addition saving
+  F e = b - a;
+  F f = d - c;
+  F g = d + c;
+  F h = b + a;
+  return R1T<F>{e * f, g * h, f * g, e, h};
+}
+
+// Negation of a normalised R2 point: swap the sum/difference coordinates,
+// negate 2dT.
+template <class F>
+R2AffT<F> neg_r2aff(const R2AffT<F>& p, const F& zero) {
+  return R2AffT<F>{p.ymx, p.xpy, zero - p.dt2};
+}
+
 // --- Concrete-field utilities ---------------------------------------------
 
 // R1 -> affine (one field inversion).
@@ -131,6 +171,17 @@ PointR1 identity();
 PointR1 to_r1(const Affine& p);
 PointR2 to_r2(const PointR1& p);
 PointR2 neg_r2(const PointR2& p);
+PointR2Aff neg_r2aff(const PointR2Aff& p);
+
+// Affine -> normalised R2 (2 multiplications, no inversion).
+PointR2Aff to_r2aff(const Affine& p);
+
+// Batched normalisation via Montgomery's simultaneous-inversion trick:
+// one field inversion for the whole array (plus ~7M per point), instead of
+// one inversion per point. Points must have Z != 0 (always true for results
+// of the complete formulas).
+std::vector<Affine> batch_to_affine(const std::vector<PointR1>& ps);
+std::vector<PointR2Aff> batch_to_r2aff(const std::vector<PointR1>& ps);
 
 // Deterministically finds a curve point: scans x = (j, seed) for the first
 // j >= 1 for which y^2 = (1 + x^2) / (1 - d x^2) has a root. Points are in

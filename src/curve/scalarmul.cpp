@@ -23,7 +23,7 @@ BasePoints compute_base_points(const Affine& p) {
   return bp;
 }
 
-std::array<PointR2, 8> build_table(const BasePoints& bp) {
+std::array<PointR1, 8> build_table_r1(const BasePoints& bp) {
   // T[0] = P; T[u | 1<<j] = T[u] + P_{j+2}. Seven additions total:
   // T1 = T0+P2, T2 = T0+P3, T3 = T1+P3, T4 = T0+P4, T5 = T1+P4,
   // T6 = T2+P4, T7 = T3+P4.
@@ -34,7 +34,11 @@ std::array<PointR2, 8> build_table(const BasePoints& bp) {
   t1[2] = add(t1[0], p3);
   t1[3] = add(t1[1], p3);
   for (int u = 0; u < 4; ++u) t1[u + 4] = add(t1[u], p4);
+  return t1;
+}
 
+std::array<PointR2, 8> build_table(const BasePoints& bp) {
+  std::array<PointR1, 8> t1 = build_table_r1(bp);
   std::array<PointR2, 8> table;
   for (int u = 0; u < 8; ++u) table[u] = to_r2(t1[u]);
   return table;

@@ -30,6 +30,9 @@ BasePoints compute_base_points(const Affine& p);
 // 8-entry table T[u] = P + u0*P2 + u1*P3 + u2*P4, u = (u2 u1 u0)_2, stored
 // in R2 (paper Alg. 1, step 2). Exactly 7 point additions.
 std::array<PointR2, 8> build_table(const BasePoints& bp);
+// Same table before the R2 conversion, for callers that normalise the
+// entries to affine R2 instead (FixedBaseMul's batched inversion).
+std::array<PointR1, 8> build_table_r1(const BasePoints& bp);
 
 // [k]P for any k in [0, 2^256). Cost: fixed-shape program independent of k.
 PointR1 scalar_mul(const U256& k, const Affine& p);

@@ -71,7 +71,8 @@ bool SchnorrQ::verify(const curve::Affine& pub, const std::string& msg,
   return curve::equal(lhs, rhs);
 }
 
-bool SchnorrQ::verify_batch(const std::vector<BatchItem>& items, Rng& rng) const {
+bool SchnorrQ::verify_batch(const std::vector<BatchItem>& items, Rng& rng,
+                            const curve::MsmOptions& msm) const {
   if (items.empty()) return true;
 
   U256 sum_zs;  // sum z_i s_i mod N
@@ -82,18 +83,23 @@ bool SchnorrQ::verify_batch(const std::vector<BatchItem>& items, Rng& rng) const
     if (!curve::on_curve(it.pub) || !curve::on_curve(it.sig.r)) return false;
     if (it.sig.s >= n_.modulus()) return false;
     U256 e = challenge(it.sig.r, it.pub, it.msg);
-    // 128-bit non-zero random weight.
-    U256 z(rng.next_u64(), rng.next_u64(), 0, 0);
-    if (z.is_zero()) z = U256(1);
+    // 128-bit non-zero random weight; z == 0 (probability 2^-128) is
+    // rejected up front, before any Montgomery round-trip touches it.
+    U256 z;
+    do {
+      z = U256(rng.next_u64(), rng.next_u64(), 0, 0);
+    } while (z.is_zero());
     U256 zs = n_.from_monty(n_.mul(n_.to_monty(z), n_.to_monty(it.sig.s)));
     sum_zs = addmod(sum_zs, zs, n_.modulus());
     U256 ze = n_.from_monty(n_.mul(n_.to_monty(z), n_.to_monty(e)));
-    terms.push_back({z, it.sig.r});
-    terms.push_back({ze, it.pub});
+    // The weight term is declared at its native half length: its wNAF /
+    // window digits stop at bit 127 instead of being padded to 256.
+    terms.push_back({z, it.sig.r, 128});
+    terms.push_back({ze, it.pub, 256});
   }
 
   curve::PointR1 lhs = g_mul_.mul(sum_zs);
-  curve::PointR1 rhs = curve::multi_scalar_mul(terms);
+  curve::PointR1 rhs = curve::multi_scalar_mul(terms, msm);
   return curve::equal(lhs, rhs);
 }
 

@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "curve/encoding.hpp"
 #include "curve/fixed_base.hpp"
+#include "curve/multiscalar.hpp"
 #include "curve/point.hpp"
 
 namespace fourq::dsa {
@@ -57,7 +58,12 @@ class SchnorrQ {
     std::string msg;
     Signature sig;
   };
-  bool verify_batch(const std::vector<BatchItem>& items, Rng& rng) const;
+  // The weight terms [z_i]R_i enter the MSM at their native 128-bit length
+  // (half the wNAF digits / bucket windows of a full scalar); msm selects
+  // the backend — Straus for small batches, Pippenger buckets for large
+  // ones, optionally parallelised via MsmOptions::parallel.
+  bool verify_batch(const std::vector<BatchItem>& items, Rng& rng,
+                    const curve::MsmOptions& msm = {}) const;
 
   // Wire format: 64 bytes = compressed R (32) || s little-endian (32).
   using EncodedSignature = std::array<uint8_t, 64>;

@@ -31,15 +31,41 @@ struct BatchEngine::BatchCtl {
   }
 };
 
+// Shared state of one parallel_for fan-out. Heap-allocated and reference-
+// counted from every queued help task: a help task that is drained after
+// the fan-out already finished (all indices claimed by other participants)
+// must still find valid memory, see next >= n, and fall through.
+struct BatchEngine::FanCtl {
+  std::function<void(size_t)> body;
+  size_t n = 0;
+  std::atomic<size_t> next{0};  // work-claim cursor, shared by all threads
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Claim-and-run loop; every participant (helpers and the caller) runs it.
+  void drain() {
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
 struct BatchEngine::Task {
-  enum class Kind : uint8_t { kSm, kVerify };
+  enum class Kind : uint8_t { kSm, kVerify, kHelp };
   Kind kind = Kind::kSm;
   size_t begin = 0, end = 0;  // index range into the batch arrays
   const SmJob* jobs = nullptr;
   SmResult* results = nullptr;
   const dsa::SchnorrQ::BatchItem* items = nullptr;
   uint8_t* verdicts = nullptr;
-  BatchCtl* ctl = nullptr;
+  BatchCtl* ctl = nullptr;              // batch completion (kSm / kVerify)
+  std::shared_ptr<FanCtl> fan;          // fan-out state (kHelp)
 };
 
 // Bounded MPMC ring. push() applies back-pressure when the ring is full;
@@ -56,6 +82,19 @@ class BatchEngine::Queue {
     ++count_;
     max_depth_ = std::max(max_depth_, count_);
     not_empty_.notify_one();
+  }
+
+  // Non-blocking push for fan-out help tasks: a full (or closed) queue just
+  // means fewer helpers — the fan-out caller executes the work itself, so
+  // dropping the task is always safe and never deadlocks.
+  bool try_push(const Task& t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || count_ >= buf_.size()) return false;
+    buf_[(head_ + count_) % buf_.size()] = t;
+    ++count_;
+    max_depth_ = std::max(max_depth_, count_);
+    not_empty_.notify_one();
+    return true;
   }
 
   bool pop(Task& t) {
@@ -125,9 +164,41 @@ void BatchEngine::worker_main(int /*worker_id*/) {
         exec_verify(t, rng);
         break;
       }
+      case Task::Kind::kHelp:
+        t.fan->drain();
+        break;
     }
-    t.ctl->done_one();
+    if (t.ctl) t.ctl->done_one();
+    t.fan.reset();  // release fan-out state before blocking in pop()
   }
+}
+
+void BatchEngine::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || threads_.size() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto fan = std::make_shared<FanCtl>();
+  fan->body = fn;
+  fan->n = n;
+  // Recruit helpers without ever blocking: a full queue (or helpers that are
+  // never scheduled because every worker is busy) only shifts work onto the
+  // calling thread.
+  size_t helpers = std::min(threads_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Task t;
+    t.kind = Task::Kind::kHelp;
+    t.fan = fan;
+    if (!queue_->try_push(t)) break;
+  }
+  fan->drain();  // the caller always participates
+  std::unique_lock<std::mutex> lock(fan->mu);
+  fan->cv.wait(lock, [&] { return fan->done.load(std::memory_order_acquire) == n; });
+}
+
+curve::MsmParallelFor BatchEngine::msm_parallel() {
+  return [this](size_t n, const std::function<void(size_t)>& fn) { parallel_for(n, fn); };
 }
 
 void BatchEngine::ensure_program() {
@@ -175,28 +246,34 @@ void BatchEngine::exec_sm(const Task& t, SimWorkspace& ws, trace::InputBindings&
 namespace {
 
 void verify_range(const dsa::SchnorrQ& scheme, const dsa::SchnorrQ::BatchItem* items,
-                  size_t begin, size_t end, uint8_t* verdicts, Rng& rng) {
+                  size_t begin, size_t end, uint8_t* verdicts, Rng& rng,
+                  const curve::MsmOptions& msm) {
   if (end - begin == 1) {
     verdicts[begin] =
         scheme.verify(items[begin].pub, items[begin].msg, items[begin].sig) ? 1 : 0;
     return;
   }
   std::vector<dsa::SchnorrQ::BatchItem> chunk(items + begin, items + end);
-  if (scheme.verify_batch(chunk, rng)) {
+  if (scheme.verify_batch(chunk, rng, msm)) {
     std::fill(verdicts + begin, verdicts + end, uint8_t{1});
     return;
   }
   // Bisect: each half re-tested as its own batch until single items remain,
   // so exactly the corrupted indices come back 0.
   size_t mid = begin + (end - begin) / 2;
-  verify_range(scheme, items, begin, mid, verdicts, rng);
-  verify_range(scheme, items, mid, end, verdicts, rng);
+  verify_range(scheme, items, begin, mid, verdicts, rng, msm);
+  verify_range(scheme, items, mid, end, verdicts, rng, msm);
 }
 
 }  // namespace
 
-void BatchEngine::exec_verify(const Task& t, Rng& rng) const {
-  verify_range(*scheme_, t.items, t.begin, t.end, t.verdicts, rng);
+void BatchEngine::exec_verify(const Task& t, Rng& rng) {
+  // The MSM inside each chunk fans back out over the same pool. Nested
+  // fan-outs cannot deadlock: parallel_for's caller self-drains, so a fully
+  // busy pool just degrades to the sequential path.
+  curve::MsmOptions msm = opt_.msm;
+  if (threads_.size() > 1 && !msm.parallel) msm.parallel = msm_parallel();
+  verify_range(*scheme_, t.items, t.begin, t.end, t.verdicts, rng, msm);
   FOURQ_COUNTER_ADD("engine.jobs.verify", t.end - t.begin);
 }
 
@@ -249,9 +326,12 @@ std::vector<uint8_t> BatchEngine::verify(const std::vector<dsa::SchnorrQ::BatchI
     if (!scheme_) scheme_ = std::make_unique<dsa::SchnorrQ>();
   }
 
+  // Fewer, larger chunks than run(): each chunk is one MSM, and the bucket
+  // method amortises better over more terms (the MSM itself re-parallelises
+  // over the pool via exec_verify's fan-out hook).
   size_t chunk = opt_.chunk;
   if (chunk == 0)
-    chunk = std::max<size_t>(1, items.size() / (threads_.size() * 8));
+    chunk = std::max<size_t>(1, items.size() / (threads_.size() * 2));
 
   BatchCtl ctl;
   std::vector<Task> tasks;

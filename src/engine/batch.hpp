@@ -23,11 +23,13 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "curve/multiscalar.hpp"
 #include "curve/point.hpp"
 #include "dsa/schnorrq.hpp"
 #include "engine/cache.hpp"
@@ -49,9 +51,14 @@ struct EngineOptions {
   int workers = 1;            // pool size (>= 1)
   size_t queue_capacity = 64; // bounded job-queue length (back-pressure)
   size_t chunk = 0;           // jobs per task; 0 = max(1, n / (workers * 8))
+                              // for run(), max(1, n / (workers * 2)) for
+                              // verify() (bigger chunks give the bucket MSM
+                              // more terms to amortise over)
   CompileKey key;             // program compiled/decoded for run()
   CompileCache* cache = nullptr;  // nullptr = CompileCache::process_cache()
   uint64_t verify_seed = 0x5eedf00d;  // BGR small-exponent weight seed
+  curve::MsmOptions msm;      // MSM backend policy for verify() (parallel
+                              // hook is filled in by the engine itself)
 };
 
 class BatchEngine {
@@ -68,6 +75,18 @@ class BatchEngine {
   // Per-item verdicts (1 = valid). Exactly the corrupted indices are 0.
   std::vector<uint8_t> verify(const std::vector<dsa::SchnorrQ::BatchItem>& items);
 
+  // Runs fn(i) for every i in [0, n) across the worker pool, returning when
+  // all calls are done. Safe to call from worker threads (nested fan-out):
+  // the calling thread claims work from the same atomic cursor as the
+  // helpers, so progress never depends on an idle worker being available —
+  // in the worst case the caller executes everything itself. This is the
+  // engine's curve::MsmParallelFor implementation (see msm_parallel()).
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+  // The pool as an MSM parallel hook, e.g. for one large verify_batch:
+  //   scheme.verify_batch(items, rng, {.parallel = eng.msm_parallel()}).
+  curve::MsmParallelFor msm_parallel();
+
   // The compiled program run() executes (compiling it on first use).
   const CompiledProgram& program();
   int workers() const { return static_cast<int>(threads_.size()); }
@@ -75,12 +94,13 @@ class BatchEngine {
  private:
   struct Task;
   struct BatchCtl;
+  struct FanCtl;
   class Queue;
 
   void worker_main(int worker_id);
   void ensure_program();
   void exec_sm(const Task& t, SimWorkspace& ws, trace::InputBindings& bindings);
-  void exec_verify(const Task& t, Rng& rng) const;
+  void exec_verify(const Task& t, Rng& rng);
   void dispatch(std::vector<Task>& tasks);
 
   EngineOptions opt_;

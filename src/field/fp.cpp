@@ -49,13 +49,51 @@ Fp operator-(const Fp& a, const Fp& b) {
 Fp Fp::operator-() const { return Fp() - *this; }
 
 U256 Fp::mul_wide(const Fp& a, const Fp& b) {
-  U256 x(a.lo(), a.hi(), 0, 0);
-  U256 y(b.lo(), b.hi(), 0, 0);
-  U512 p = fourq::mul_wide(x, y);
-  // Operands < 2^127 so the product < 2^254: top half beyond word 3 is zero.
-  FOURQ_CHECK((p.w[4] | p.w[5] | p.w[6] | p.w[7]) == 0);
-  return p.lo256();
+  // Dedicated 2x2-limb schoolbook (4 64x64 multiplies) rather than the
+  // generic 4x4 U256 product: operands are < 2^127, so the result is < 2^254
+  // and every carry chain below terminates inside word 3.
+  const uint64_t a0 = a.lo(), a1 = a.hi();
+  const uint64_t b0 = b.lo(), b1 = b.hi();
+  uint64_t h00, l00, h01, l01, h10, l10, h11, l11;
+  mul64x64(a0, b0, h00, l00);
+  mul64x64(a0, b1, h01, l01);
+  mul64x64(a1, b0, h10, l10);
+  mul64x64(a1, b1, h11, l11);
+  U256 r;
+  r.w[0] = l00;
+  uint64_t c = addc64(h00, l01, 0, r.w[1]);
+  c = addc64(h01, h10, c, r.w[2]);
+  c = addc64(h11, 0, c, r.w[3]);
+  c += addc64(r.w[1], l10, 0, r.w[1]);
+  // Re-absorb the carry out of word 1 into words 2 and 3.
+  uint64_t c2 = addc64(r.w[2], l11, c, r.w[2]);
+  c2 = addc64(r.w[3], 0, c2, r.w[3]);
+  FOURQ_CHECK(c2 == 0);  // product < 2^254 never overflows 256 bits
+  return r;
 }
+
+U256 Fp::sqr_wide(const Fp& a) {
+  // a = a0 + a1*2^64 with a1 < 2^63. a^2 = a0^2 + 2*a0*a1*2^64 + a1^2*2^128:
+  // the symmetric cross term is computed once and doubled by shifting —
+  // 3 64x64 multiplies instead of mul_wide's 4.
+  const uint64_t a0 = a.lo(), a1 = a.hi();
+  uint64_t ph, pl, mh, ml, qh, ql;
+  mul64x64(a0, a0, ph, pl);
+  mul64x64(a0, a1, mh, ml);
+  mul64x64(a1, a1, qh, ql);
+  // 2m < 2^128 (m < 2^64 * 2^63), so the doubled cross term fits two words.
+  const uint64_t m2l = ml << 1;
+  const uint64_t m2h = (mh << 1) | (ml >> 63);
+  U256 r;
+  r.w[0] = pl;
+  uint64_t c = addc64(ph, m2l, 0, r.w[1]);
+  c = addc64(ql, m2h, c, r.w[2]);
+  c = addc64(qh, 0, c, r.w[3]);
+  FOURQ_CHECK(c == 0);  // square < 2^254
+  return r;
+}
+
+Fp Fp::sqr() const { return reduce_wide(sqr_wide(*this)); }
 
 Fp Fp::reduce_wide(const U256& v) {
   // v = A + B*2^127 + C*2^254 with A, B < 2^127 and C < 4.

@@ -44,7 +44,10 @@ class Fp {
   friend Fp operator*(const Fp& a, const Fp& b);
   Fp operator-() const;
 
-  Fp sqr() const { return *this * *this; }
+  // Dedicated squaring: exploits the symmetry of the product (the two cross
+  // partial products are equal), so it needs 3 64x64 multiplies where the
+  // general multiplication needs 4. Bit-identical to `*this * *this`.
+  Fp sqr() const;
   // Multiplicative inverse via Fermat (x^(p-2)); x must be non-zero.
   Fp inv() const;
   // x^(2^n) — n repeated squarings.
@@ -57,6 +60,8 @@ class Fp {
   // The 254-bit product a*b as a U256, *without* modular reduction.
   // This is the value the lazy-reduction datapath carries between units.
   static U256 mul_wide(const Fp& a, const Fp& b);
+  // The 254-bit square a*a as a U256, without reduction (3 64x64 multiplies).
+  static U256 sqr_wide(const Fp& a);
   // Mersenne fold of a 256-bit value into [0, p):
   // interprets v = A + B*2^127 + C*2^254 and returns A + B + C mod p
   // (paper Alg. 2, steps t9/t10).

@@ -1,5 +1,7 @@
 #include "field/fp2.hpp"
 
+#include <vector>
+
 #include "common/check.hpp"
 
 namespace fourq::field {
@@ -107,6 +109,26 @@ bool Fp2::sqrt(Fp2& root) const {
     }
   }
   return false;
+}
+
+void batch_invert(Fp2* xs, size_t n) {
+  if (n == 0) return;
+  // prefix[i] = product of all non-zero xs[j], j < i.
+  std::vector<Fp2> prefix(n);
+  Fp2 acc = Fp2::from_u64(1);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    if (!xs[i].is_zero()) acc = acc * xs[i];
+  }
+  Fp2 inv = acc.inv();  // the single inversion (acc = 1 if all entries zero)
+  // Walking backwards, inv always holds (prod of non-zero xs[j], j <= i)^-1,
+  // so xs[i]^-1 = inv * prefix[i]; then fold xs[i] out of inv.
+  for (size_t i = n; i-- > 0;) {
+    if (xs[i].is_zero()) continue;
+    Fp2 xi = inv * prefix[i];
+    inv = inv * xs[i];
+    xs[i] = xi;
+  }
 }
 
 }  // namespace fourq::field

@@ -9,6 +9,7 @@
 // operator* uses the Karatsuba path; tests assert both paths agree.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "field/fp.hpp"
@@ -62,5 +63,12 @@ class Fp2 {
   Fp a_;  // real part
   Fp b_;  // imaginary part
 };
+
+// Montgomery's simultaneous-inversion trick: replaces every non-zero xs[i]
+// by its inverse using 3(n-1) multiplications and a single field inversion
+// (instead of n inversions). Zero entries are left untouched, so callers can
+// mix in degenerate values without branching. Results are bit-identical to
+// calling xs[i].inv() element-wise.
+void batch_invert(Fp2* xs, size_t n);
 
 }  // namespace fourq::field

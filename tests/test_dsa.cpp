@@ -113,6 +113,28 @@ TEST_F(SchnorrTest, BatchVerifyRejectsOutOfRangeS) {
   EXPECT_FALSE(scheme.verify_batch({{kp.pub, "m", sig}}, rng));
 }
 
+TEST_F(SchnorrTest, BatchVerifyBackendsAgreeOnAcceptAndReject) {
+  // Every MSM backend must reach the same verdict on the same batch — both
+  // for an all-valid batch and for one with a tampered message.
+  std::vector<SchnorrQ::BatchItem> items;
+  for (int i = 0; i < 8; ++i) {
+    auto kp = scheme.keygen(rng);
+    std::string msg = "backend agreement " + std::to_string(i);
+    items.push_back({kp.pub, msg, scheme.sign(kp, msg)});
+  }
+  using curve::MsmBackend;
+  for (MsmBackend b : {MsmBackend::kStraus, MsmBackend::kPippenger, MsmBackend::kEndoSplit,
+                       MsmBackend::kAuto}) {
+    curve::MsmOptions opts;
+    opts.backend = b;
+    Rng r1(777), r2(777);  // same weights for the accept and reject runs
+    EXPECT_TRUE(scheme.verify_batch(items, r1, opts)) << curve::msm_backend_name(b);
+    auto tampered = items;
+    tampered[5].msg += " (tampered)";
+    EXPECT_FALSE(scheme.verify_batch(tampered, r2, opts)) << curve::msm_backend_name(b);
+  }
+}
+
 TEST_F(SchnorrTest, SignatureSerializationRoundTrip) {
   auto kp = scheme.keygen(rng);
   auto sig = scheme.sign(kp, "serialize me");

@@ -274,6 +274,57 @@ TEST(BatchEngineTest, AllValidBatchPasses) {
   for (size_t i = 0; i < verdicts.size(); ++i) EXPECT_EQ(verdicts[i], 1u) << "index " << i;
 }
 
+TEST(BatchEngineTest, ParallelForCoversEveryIndexOnceIncludingNested) {
+  engine::EngineOptions opt;
+  opt.workers = 4;
+  engine::BatchEngine eng(opt);
+
+  std::vector<std::atomic<int>> hits(257);
+  eng.parallel_for(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+
+  // Nested fan-out from inside a fan-out body: the inner caller self-drains,
+  // so this must complete even when every worker is already occupied.
+  std::atomic<int> inner_total{0};
+  eng.parallel_for(8, [&](size_t) {
+    eng.parallel_for(16, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+
+  eng.parallel_for(0, [](size_t) { FAIL() << "body must not run for n=0"; });
+}
+
+TEST(BatchEngineTest, VerifyBisectionHoldsAcrossMsmBackends) {
+  // Corrupted-index isolation must survive the backend choice and the
+  // nested MSM fan-out that multi-worker verification triggers.
+  dsa::SchnorrQ scheme;
+  Rng rng(456);
+  constexpr int kSigs = 32;
+  const std::vector<size_t> corrupted = {0, 13, 31};
+  std::vector<dsa::SchnorrQ::BatchItem> items;
+  for (int i = 0; i < kSigs; ++i) {
+    dsa::SchnorrQ::KeyPair kp = scheme.keygen(rng);
+    std::string msg = "backend bisection " + std::to_string(i);
+    items.push_back({kp.pub, msg, scheme.sign(kp, msg)});
+  }
+  for (size_t idx : corrupted) items[idx].msg += " tampered";
+
+  using curve::MsmBackend;
+  for (MsmBackend b : {MsmBackend::kAuto, MsmBackend::kStraus, MsmBackend::kPippenger}) {
+    engine::EngineOptions opt;
+    opt.workers = 4;
+    opt.msm.backend = b;
+    engine::BatchEngine eng(opt);
+    std::vector<uint8_t> verdicts = eng.verify(items);
+    ASSERT_EQ(verdicts.size(), items.size());
+    for (size_t i = 0; i < verdicts.size(); ++i) {
+      bool bad = std::find(corrupted.begin(), corrupted.end(), i) != corrupted.end();
+      EXPECT_EQ(verdicts[i], bad ? 0 : 1)
+          << "index " << i << " backend " << curve::msm_backend_name(b);
+    }
+  }
+}
+
 TEST(BatchEngineTest, EmptyBatchesAreNoOps) {
   engine::EngineOptions opt;
   opt.key = functional_key();

@@ -165,6 +165,44 @@ TEST(Fp, HexRoundTrip) {
   EXPECT_EQ(Fp::from_hex("1"), Fp::from_u64(1));
 }
 
+TEST(Fp, SqrMatchesMulBitwise) {
+  // sqr() drops one 64x64 multiply vs the generic product but must stay
+  // bit-identical to a*a — both reduce to the canonical representative.
+  std::vector<Fp> edges = {
+      Fp(),                                             // 0
+      Fp::from_u64(1),
+      Fp::from_u64(2),
+      Fp::from_u64(~0ull),                              // one full low limb
+      Fp::from_words(0, 1),                             // 2^64
+      Fp::from_words(~0ull, 0x3fffffffffffffffull),     // 2^126 - 1
+      Fp::from_words(~0ull - 1, 0x7fffffffffffffffull)  // p - 1
+  };
+  for (const Fp& a : edges) {
+    EXPECT_EQ(a.sqr().to_u256(), (a * a).to_u256());
+    EXPECT_EQ(Fp::sqr_wide(a), Fp::mul_wide(a, a));
+  }
+  Rng rng(32);
+  for (int i = 0; i < 500; ++i) {
+    Fp a = rand_fp(rng);
+    EXPECT_EQ(a.sqr().to_u256(), (a * a).to_u256());
+    // The unreduced double-width products must agree too, not just their
+    // folded forms.
+    EXPECT_EQ(Fp::sqr_wide(a), Fp::mul_wide(a, a));
+    EXPECT_EQ(Fp::reduce_wide(Fp::sqr_wide(a)), a.sqr());
+  }
+}
+
+TEST(Fp, MulWideMatchesMontyProduct) {
+  // mul_wide's 4-multiply schoolbook against the generic Monty pipeline.
+  Rng rng(33);
+  Monty mt(kP);
+  for (int i = 0; i < 200; ++i) {
+    Fp a = rand_fp(rng), b = rand_fp(rng);
+    U256 expect = mt.from_monty(mt.mul(mt.to_monty(a.to_u256()), mt.to_monty(b.to_u256())));
+    EXPECT_EQ(Fp::reduce_wide(Fp::mul_wide(a, b)).to_u256(), expect);
+  }
+}
+
 TEST(Fp, PowMatchesMonty) {
   Rng rng(30);
   Monty mt(kP);

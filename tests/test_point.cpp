@@ -163,5 +163,51 @@ TEST(Point, ToR2MatchesDefinition) {
   EXPECT_EQ(r2.dt2, curve_2d() * p.Ta * p.Tb);
 }
 
+TEST(Point, MixedAdditionMatchesFullAddition) {
+  // add_mixed saves the Z1*z2 multiply by exploiting Z=1 in the affine
+  // operand (z2 = 2 exactly); the resulting point must be the same.
+  Rng rng(930);
+  for (int i = 0; i < 20; ++i) {
+    PointR1 p = to_r1(deterministic_point(static_cast<uint64_t>(400 + i)));
+    for (int j = 0; j < i % 3; ++j) p = dbl(p);  // non-trivial Z
+    Affine q = deterministic_point(static_cast<uint64_t>(500 + i));
+    EXPECT_TRUE(equal(add_mixed(p, to_r2aff(q)), add(p, to_r2(to_r1(q)))));
+  }
+  // Mixed addition with the identity and with a negated entry.
+  Affine id{Fp2(), Fp2::from_u64(1)};
+  PointR1 p = dbl(to_r1(deterministic_point(10)));
+  EXPECT_TRUE(equal(add_mixed(p, to_r2aff(id)), p));
+  Affine q = deterministic_point(11);
+  EXPECT_TRUE(equal(add_mixed(p, neg_r2aff(to_r2aff(q))), add(p, to_r2(to_r1(neg(q))))));
+}
+
+TEST(Point, BatchNormalizationMatchesElementwise) {
+  // One shared inversion (Montgomery's trick) must reproduce exactly the
+  // per-point to_affine results — bit for bit, since Fp2 is canonical.
+  Rng rng(931);
+  std::vector<PointR1> pts;
+  for (int i = 0; i < 17; ++i) {
+    PointR1 p = to_r1(deterministic_point(static_cast<uint64_t>(600 + i)));
+    for (int j = 0; j <= i % 4; ++j) p = dbl(p);
+    pts.push_back(p);
+  }
+  pts.push_back(identity());  // Z=1 entries must survive unharmed
+  std::vector<Affine> batch = batch_to_affine(pts);
+  ASSERT_EQ(batch.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    Affine one = to_affine(pts[i]);
+    EXPECT_TRUE(batch[i].x == one.x && batch[i].y == one.y) << "i=" << i;
+  }
+  std::vector<PointR2Aff> cached = batch_to_r2aff(pts);
+  ASSERT_EQ(cached.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    PointR2Aff one = to_r2aff(to_affine(pts[i]));
+    EXPECT_TRUE(cached[i].xpy == one.xpy && cached[i].ymx == one.ymx &&
+                cached[i].dt2 == one.dt2)
+        << "i=" << i;
+  }
+  EXPECT_TRUE(batch_to_affine({}).empty());
+}
+
 }  // namespace
 }  // namespace fourq::curve

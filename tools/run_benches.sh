@@ -90,6 +90,23 @@ else
   echo "skip  perf_regress (engine baseline)"
 fi
 
+# MSM regression gate: batch verification of 1024 signatures must stay >=5x
+# over per-signature verify, and every MSM backend must agree bitwise
+# (tools/baselines/bench_msm_baseline.jsonl).
+if [ -x "$build_dir/tools/perf_regress" ] && [ -f "$out_dir/BENCH_msm.json" ] \
+    && [ -f "$script_dir/baselines/bench_msm_baseline.jsonl" ]; then
+  ran=$((ran + 1))
+  if "$build_dir/tools/perf_regress" "$script_dir/baselines/bench_msm_baseline.jsonl" \
+      "$out_dir/BENCH_msm.json" > "$out_dir/perf_regress_msm.log" 2>&1; then
+    echo "ok    perf_regress (msm baseline)"
+  else
+    echo "FAIL  perf_regress (msm baseline) (see $out_dir/perf_regress_msm.log)" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "skip  perf_regress (msm baseline)"
+fi
+
 echo
 echo "results: $out_dir"
 ls "$out_dir"/BENCH_*.json "$out_dir"/LINT_*.json 2>/dev/null || echo "(no JSON records produced)"
