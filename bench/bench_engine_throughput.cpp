@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "curve/scalarmul.hpp"
 #include "engine/batch.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
@@ -124,6 +125,26 @@ int main(int argc, char** argv) {
   rec.record("compile.cold_ms", cold_ms, "ms");
   rec.record("compile.warm_ms", warm_ms, "ms");
   rec.record("check.mismatches", mismatches);
+
+  // Tail-latency view of the same runs, from the engine's lifecycle
+  // histograms: queue wait (enqueue -> dequeue) and service time.
+  if (obs::compiled_in()) {
+    obs::Registry& reg = obs::global().metrics;
+    obs::HistogramStats wait =
+        reg.latency_histogram("engine.queue.wait_us", {{"kind", "sm"}}).stats();
+    obs::HistogramStats svc =
+        reg.latency_histogram("engine.job.service_us", {{"kind", "sm"}}).stats();
+    if (wait.count) {
+      std::printf("Task lifecycle (both engine runs): queue-wait p50/p99 %.0f/%.0f us, "
+                  "service p50/p99 %.0f/%.0f us\n",
+                  wait.quantile(0.5), wait.quantile(0.99), svc.quantile(0.5),
+                  svc.quantile(0.99));
+      rec.record("queue_wait.p50_us", wait.quantile(0.5), "us");
+      rec.record("queue_wait.p99_us", wait.quantile(0.99), "us");
+      rec.record("service.p50_us", svc.quantile(0.5), "us");
+      rec.record("service.p99_us", svc.quantile(0.99), "us");
+    }
+  }
 
   std::printf(
       "\nThe engine amortises one scheduler solve over the whole batch and runs\n"

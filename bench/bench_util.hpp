@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "curve/scalarmul.hpp"
+#include "obs/json.hpp"
 #include "obs/span.hpp"
 #include "sched/compile.hpp"
 #include "trace/eval.hpp"
@@ -74,6 +75,13 @@ class JsonRecorder {
     path += "BENCH_" + bench + ".json";
     f_ = std::fopen(path.c_str(), "w");
     if (!f_) std::fprintf(stderr, "bench: cannot open %s for JSON records\n", path.c_str());
+    // First line: shared provenance header (schema, commit, UTC timestamp),
+    // so two BENCH_*.json files being diffed always identify their builds.
+    // perf_regress keys on "metric" and skips this line transparently.
+    if (f_) {
+      std::fputs(obs::provenance_line("fourq.bench.v1").c_str(), f_);
+      std::fflush(f_);
+    }
   }
   ~JsonRecorder() {
     if (f_) std::fclose(f_);

@@ -374,18 +374,21 @@ PointR1 multi_scalar_mul(const std::vector<ScalarPoint>& terms,
   MsmBackend backend = msm_choose_backend(live, opts);
   switch (backend) {
     case MsmBackend::kStraus: {
-      FOURQ_COUNTER_INC("curve.msm.straus");
+      FOURQ_COUNTER_INC_L("curve.msm.calls", "backend", "straus");
+      FOURQ_COUNTER_ADD_L("curve.msm.terms", "backend", "straus", live);
       int w = opts.straus_width ? opts.straus_width : straus_width_for(live);
       return msm_straus(terms, w);
     }
     case MsmBackend::kPippenger: {
-      FOURQ_COUNTER_INC("curve.msm.pippenger");
+      FOURQ_COUNTER_INC_L("curve.msm.calls", "backend", "pippenger");
+      FOURQ_COUNTER_ADD_L("curve.msm.terms", "backend", "pippenger", live);
       int c = opts.window ? opts.window : msm_choose_window(terms);
       FOURQ_CHECK(c >= 2 && c <= 15);  // int16 digits hold |d| <= 2^14
       return msm_pippenger(terms, c, opts.parallel);
     }
     case MsmBackend::kEndoSplit:
-      FOURQ_COUNTER_INC("curve.msm.endosplit");
+      FOURQ_COUNTER_INC_L("curve.msm.calls", "backend", "endosplit");
+      FOURQ_COUNTER_ADD_L("curve.msm.terms", "backend", "endosplit", live);
       return msm_endosplit(terms, opts.straus_width);
     case MsmBackend::kAuto:
       break;  // unreachable: msm_choose_backend resolved it

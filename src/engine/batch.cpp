@@ -66,7 +66,16 @@ struct BatchEngine::Task {
   uint8_t* verdicts = nullptr;
   BatchCtl* ctl = nullptr;              // batch completion (kSm / kVerify)
   std::shared_ptr<FanCtl> fan;          // fan-out state (kHelp)
+  uint64_t enqueue_us = 0;              // lifecycle stamp (set by the queue)
 };
+
+namespace {
+
+[[maybe_unused]] constexpr const char* kTaskKindLabel[3] = {"sm", "verify", "help"};
+[[maybe_unused]] constexpr const char* kTaskFlightName[3] = {
+    "engine.task.sm", "engine.task.verify", "engine.task.help"};
+
+}  // namespace
 
 // Bounded MPMC ring. push() applies back-pressure when the ring is full;
 // pop() blocks until a task or close() arrives.
@@ -76,11 +85,18 @@ class BatchEngine::Queue {
 
   void push(const Task& t) {
     std::unique_lock<std::mutex> lock(mu_);
+#if FOURQ_OBS_ENABLED
+    if (count_ >= buf_.size() && !closed_) {
+      // The ring is full: the producer is about to stall on back-pressure.
+      uint64_t t0 = obs::mono_us();
+      not_full_.wait(lock, [&] { return count_ < buf_.size() || closed_; });
+      obs_.bp_stalls.inc();
+      obs_.bp_wait_us.inc(obs::mono_us() - t0);
+    }
+#endif
     not_full_.wait(lock, [&] { return count_ < buf_.size() || closed_; });
     FOURQ_CHECK_MSG(!closed_, "push on closed engine queue");
-    buf_[(head_ + count_) % buf_.size()] = t;
-    ++count_;
-    max_depth_ = std::max(max_depth_, count_);
+    store_locked(t);
     not_empty_.notify_one();
   }
 
@@ -90,9 +106,7 @@ class BatchEngine::Queue {
   bool try_push(const Task& t) {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || count_ >= buf_.size()) return false;
-    buf_[(head_ + count_) % buf_.size()] = t;
-    ++count_;
-    max_depth_ = std::max(max_depth_, count_);
+    store_locked(t);
     not_empty_.notify_one();
     return true;
   }
@@ -104,6 +118,9 @@ class BatchEngine::Queue {
     t = buf_[head_];
     head_ = (head_ + 1) % buf_.size();
     --count_;
+#if FOURQ_OBS_ENABLED
+    obs_.depth.set(static_cast<double>(count_));
+#endif
     not_full_.notify_one();
     return true;
   }
@@ -121,11 +138,32 @@ class BatchEngine::Queue {
   }
 
  private:
+  void store_locked(const Task& t) {
+    Task& slot = buf_[(head_ + count_) % buf_.size()];
+    slot = t;
+    ++count_;
+    max_depth_ = std::max(max_depth_, count_);
+#if FOURQ_OBS_ENABLED
+    slot.enqueue_us = obs::mono_us();
+    obs_.depth.set(static_cast<double>(count_));
+#endif
+  }
+
   mutable std::mutex mu_;
   std::condition_variable not_full_, not_empty_;
   std::vector<Task> buf_;
   size_t head_ = 0, count_ = 0, max_depth_ = 0;
   bool closed_ = false;
+#if FOURQ_OBS_ENABLED
+  // Handles resolved once per queue; the registry never invalidates them.
+  struct Obs {
+    obs::Gauge& depth = obs::global().metrics.gauge("engine.queue.depth");
+    obs::Counter& bp_stalls =
+        obs::global().metrics.counter("engine.queue.backpressure.stalls");
+    obs::Counter& bp_wait_us =
+        obs::global().metrics.counter("engine.queue.backpressure.wait_us");
+  } obs_;
+#endif
 };
 
 // ---------------------------------------------------------------------------
@@ -145,14 +183,40 @@ BatchEngine::~BatchEngine() {
   for (std::thread& t : threads_) t.join();
 }
 
-void BatchEngine::worker_main(int /*worker_id*/) {
+void BatchEngine::worker_main(int worker_id) {
   // Worker-local arenas: the workspace and binding vector are sized on the
   // first job and only overwritten afterwards — zero steady-state
   // allocation on the scalar-mul path.
   SimWorkspace ws;
   trace::InputBindings bindings;
+#if !FOURQ_OBS_ENABLED
+  (void)worker_id;
+#else
+  // Handles resolved once per worker thread (dynamic labels can't use the
+  // static-caching macros). Queue-wait and service-time series are labeled
+  // by task kind, throughput/utilisation by worker.
+  obs::Registry& reg = obs::global().metrics;
+  const obs::Labels wl{{"worker", std::to_string(worker_id)}};
+  obs::Counter& c_tasks = reg.counter("engine.worker.tasks", wl);
+  obs::Counter& c_busy = reg.counter("engine.worker.busy_us", wl);
+  obs::Gauge& g_util = reg.gauge("engine.worker.utilisation", wl);
+  obs::Histogram* wait_h[3];
+  obs::Histogram* svc_h[3];
+  for (int k = 0; k < 3; ++k) {
+    obs::Labels kl{{"kind", kTaskKindLabel[k]}};
+    wait_h[k] = &reg.latency_histogram("engine.queue.wait_us", kl);
+    svc_h[k] = &reg.latency_histogram("engine.job.service_us", kl);
+  }
+  const uint64_t epoch_us = obs::mono_us();
+  uint64_t total_busy_us = 0;
+#endif
   Task t;
   while (queue_->pop(t)) {
+#if FOURQ_OBS_ENABLED
+    const uint64_t deq_us = obs::mono_us();
+    const int kind_i = static_cast<int>(t.kind);
+    wait_h[kind_i]->observe(static_cast<double>(deq_us - t.enqueue_us));
+#endif
     switch (t.kind) {
       case Task::Kind::kSm:
         exec_sm(t, ws, bindings);
@@ -168,6 +232,19 @@ void BatchEngine::worker_main(int /*worker_id*/) {
         t.fan->drain();
         break;
     }
+#if FOURQ_OBS_ENABLED
+    const uint64_t done_us = obs::mono_us();
+    const uint64_t service_us = done_us - deq_us;
+    svc_h[kind_i]->observe(static_cast<double>(service_us));
+    c_tasks.inc();
+    c_busy.inc(service_us);
+    total_busy_us += service_us;
+    if (done_us > epoch_us)
+      g_util.set(static_cast<double>(total_busy_us) /
+                 static_cast<double>(done_us - epoch_us));
+    obs::global().flight.record(obs::FlightKind::kTask, kTaskFlightName[kind_i], done_us,
+                                service_us, worker_id);
+#endif
     if (t.ctl) t.ctl->done_one();
     t.fan.reset();  // release fan-out state before blocking in pop()
   }

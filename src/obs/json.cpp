@@ -1,9 +1,12 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 #include "common/check.hpp"
+#include "obs/span.hpp"  // json_escape
 
 namespace fourq::obs::json {
 
@@ -210,3 +213,44 @@ std::vector<ValuePtr> parse_lines(const std::string& text, std::string* error) {
 }
 
 }  // namespace fourq::obs::json
+
+namespace fourq::obs {
+
+const char* build_git_sha() {
+#ifdef FOURQ_GIT_SHA
+  return FOURQ_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+Provenance make_provenance(const std::string& schema, const std::string& machine_hash) {
+  Provenance p;
+  p.schema = schema;
+  p.git_sha = build_git_sha();
+  p.machine_hash = machine_hash;
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  p.timestamp_utc = buf;
+  return p;
+}
+
+std::string provenance_json(const Provenance& p) {
+  std::string out = "{\"schema\":\"" + json_escape(p.schema) + "\"";
+  out += ",\"version\":" + std::to_string(p.version);
+  out += ",\"git_sha\":\"" + json_escape(p.git_sha) + "\"";
+  out += ",\"timestamp_utc\":\"" + json_escape(p.timestamp_utc) + "\"";
+  if (!p.machine_hash.empty())
+    out += ",\"machine_hash\":\"" + json_escape(p.machine_hash) + "\"";
+  out += "}";
+  return out;
+}
+
+std::string provenance_line(const std::string& schema, const std::string& machine_hash) {
+  return provenance_json(make_provenance(schema, machine_hash)) + "\n";
+}
+
+}  // namespace fourq::obs

@@ -44,3 +44,36 @@ ValuePtr parse(const std::string& text, std::string* error = nullptr);
 std::vector<ValuePtr> parse_lines(const std::string& text, std::string* error = nullptr);
 
 }  // namespace fourq::obs::json
+
+namespace fourq::obs {
+
+// Shared provenance header stamped on every exported artifact — BENCH_*.json
+// recorders, `fourqc` metrics.jsonl dumps, and snapshot-exporter files all
+// carry one of these so any two numbers being compared can be traced to a
+// schema, a commit, a generation time, and a machine configuration.
+struct Provenance {
+  std::string schema;         // e.g. "fourq.metrics.v1", "fourq.bench.v1"
+  int version = 1;
+  std::string git_sha;        // build-time commit (FOURQ_GIT_SHA), else "unknown"
+  std::string timestamp_utc;  // ISO-8601 Zulu, generation time
+  std::string machine_hash;   // MachineConfig/CompileKey hash hex; may be empty
+};
+
+// The commit the obs library was configured from ("unknown" outside git).
+const char* build_git_sha();
+
+// Provenance for `schema` stamped with the current UTC time.
+Provenance make_provenance(const std::string& schema,
+                           const std::string& machine_hash = "");
+
+// One JSON object (no trailing newline), e.g.
+//   {"schema":"fourq.metrics.v1","version":1,"git_sha":"abc","timestamp_utc":
+//    "2026-01-01T00:00:00Z","machine_hash":"0f3a..."}
+std::string provenance_json(const Provenance& p);
+
+// provenance_json(make_provenance(...)) + '\n' — the conventional first line
+// of a JSONL export. Consumers that key on "metric" skip it transparently.
+std::string provenance_line(const std::string& schema,
+                            const std::string& machine_hash = "");
+
+}  // namespace fourq::obs

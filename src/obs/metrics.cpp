@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <limits>
 
+#include "common/check.hpp"
+#include "obs/span.hpp"  // json_escape
+
 namespace fourq::obs {
 
 namespace {
@@ -22,7 +25,87 @@ std::string num_str(double v) {
   return buf;
 }
 
+Labels sorted_labels(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Prometheus metric-name charset; anything else (the '.' separators in
+// particular) becomes '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "fourq_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+// {k1="v1",k2="v2"} with optional extra label appended; empty string when
+// there are no labels at all.
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_val = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + prom_escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + prom_escape(extra_val) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+constexpr double kQuantiles[4] = {0.5, 0.9, 0.99, 0.999};
+constexpr const char* kQuantileSuffix[4] = {".p50", ".p90", ".p99", ".p999"};
+constexpr const char* kQuantileLabel[4] = {"0.5", "0.9", "0.99", "0.999"};
+
 }  // namespace
+
+std::string flatten_name(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = sorted_labels(labels);
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + json_escape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
 
 void Gauge::set_max(double v) {
   double cur = v_.load(std::memory_order_relaxed);
@@ -30,8 +113,52 @@ void Gauge::set_max(double v) {
   }
 }
 
+double HistogramStats::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t c = buckets[i].second;
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      double lo = i == 0 ? 0.0 : buckets[i - 1].first;
+      double hi = buckets[i].first;
+      if (std::isinf(hi)) hi = max;
+      // First non-empty bucket necessarily contains the observed minimum,
+      // the last the maximum — tighten the interpolation edges to them.
+      if (cum == 0) lo = std::max(lo, min);
+      if (cum + c == count) hi = std::min(hi, max);
+      double frac = (target - static_cast<double>(cum)) / static_cast<double>(c);
+      double est = lo + (hi - lo) * frac;
+      return std::clamp(est, min, max);
+    }
+    cum += c;
+  }
+  return max;
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor, int count) {
+  FOURQ_CHECK_MSG(start > 0 && factor > 1.0 && count > 0,
+                  "exponential_bounds: need start > 0, factor > 1, count > 0");
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(b);
+    b *= factor;
+  }
+  return out;
+}
+
+const std::vector<double>& Histogram::latency_bounds_us() {
+  static const std::vector<double> bounds = exponential_bounds(1.0, 2.0, 24);
+  return bounds;
 }
 
 void Histogram::observe(double x) {
@@ -39,6 +166,8 @@ void Histogram::observe(double x) {
   size_t i = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
   ++counts_[i];
+  if (count_ == 0 || x < min_) min_ = x;
+  if (count_ == 0 || x > max_) max_ = x;
   ++count_;
   sum_ += x;
 }
@@ -62,85 +191,228 @@ double Histogram::upper_bound(size_t i) const {
   return i < bounds_.size() ? bounds_[i] : std::numeric_limits<double>::infinity();
 }
 
+HistogramStats Histogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramStats s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.buckets.reserve(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i)
+    s.buckets.emplace_back(i < bounds_.size() ? bounds_[i]
+                                              : std::numeric_limits<double>::infinity(),
+                           counts_[i]);
+  return s;
+}
+
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0;
+  min_ = 0;
+  max_ = 0;
 }
 
-Counter& Registry::counter(const std::string& name) {
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return *slot;
+  auto& slot = counters_[flatten_name(name, labels)];
+  if (!slot.v) {
+    slot.name = name;
+    slot.labels = sorted_labels(labels);
+    slot.v = std::make_unique<Counter>();
+  }
+  return *slot.v;
 }
 
-Gauge& Registry::gauge(const std::string& name) {
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return *slot;
+  auto& slot = gauges_[flatten_name(name, labels)];
+  if (!slot.v) {
+    slot.name = name;
+    slot.labels = sorted_labels(labels);
+    slot.v = std::make_unique<Gauge>();
+  }
+  return *slot.v;
 }
 
-Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds,
+                               const Labels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
-  return *slot;
+  auto& slot = histograms_[flatten_name(name, labels)];
+  if (!slot.v) {
+    slot.name = name;
+    slot.labels = sorted_labels(labels);
+    slot.v = std::make_unique<Histogram>(std::move(bounds));
+  } else if (!bounds.empty()) {
+    FOURQ_CHECK_MSG(bounds == slot.v->bounds(),
+                    "histogram \"" + name +
+                        "\" re-acquired with different bounds; pass empty bounds to look "
+                        "up an existing histogram");
+  }
+  return *slot.v;
+}
+
+Histogram& Registry::latency_histogram(const std::string& name, const Labels& labels) {
+  return histogram(name, Histogram::latency_bounds_us(), labels);
 }
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [key, c] : counters_) c.v->reset();
+  for (auto& [key, g] : gauges_) g.v->reset();
+  for (auto& [key, h] : histograms_) h.v->reset();
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, c] : counters_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.name = c.name;
+    s.labels = c.labels;
+    s.export_name = key;
+    s.value = static_cast<double>(c.v->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, g] : gauges_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.name = g.name;
+    s.labels = g.labels;
+    s.export_name = key;
+    s.value = g.v->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [key, h] : histograms_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.name = h.name;
+    s.labels = h.labels;
+    s.export_name = key;
+    s.hist = h.v->stats();
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 std::string Registry::to_jsonl() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  for (const auto& [name, c] : counters_) {
-    out += "{\"metric\":\"" + name + "\",\"type\":\"counter\",\"value\":" +
-           std::to_string(c->value()) + "}\n";
-  }
-  for (const auto& [name, g] : gauges_) {
-    out += "{\"metric\":\"" + name + "\",\"type\":\"gauge\",\"value\":" +
-           num_str(g->value()) + "}\n";
-  }
-  for (const auto& [name, h] : histograms_) {
-    out += "{\"metric\":\"" + name + "\",\"type\":\"histogram\",\"count\":" +
-           std::to_string(h->count()) + ",\"sum\":" + num_str(h->sum()) +
-           ",\"buckets\":[";
-    for (size_t i = 0; i < h->num_buckets(); ++i) {
-      if (i) out += ",";
-      out += "{\"le\":";
-      double ub = h->upper_bound(i);
-      out += std::isinf(ub) ? "\"inf\"" : num_str(ub);
-      out += ",\"count\":" + std::to_string(h->bucket_count(i)) + "}";
+  for (const MetricSnapshot& s : snapshot()) {
+    out += "{\"metric\":\"" + json_escape(s.export_name) + "\"";
+    if (!s.labels.empty()) out += ",\"labels\":" + labels_json(s.labels);
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += ",\"type\":\"counter\",\"value\":" + num_str(s.value) + "}\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += ",\"type\":\"gauge\",\"value\":" + num_str(s.value) + "}\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out += ",\"type\":\"histogram\",\"count\":" + std::to_string(s.hist.count) +
+               ",\"sum\":" + num_str(s.hist.sum) + ",\"min\":" + num_str(s.hist.min) +
+               ",\"max\":" + num_str(s.hist.max);
+        for (int qi = 0; qi < 4; ++qi)
+          out += std::string(",\"") + (kQuantileSuffix[qi] + 1) +
+                 "\":" + num_str(s.hist.quantile(kQuantiles[qi]));
+        out += ",\"buckets\":[";
+        for (size_t i = 0; i < s.hist.buckets.size(); ++i) {
+          if (i) out += ",";
+          out += "{\"le\":";
+          double ub = s.hist.buckets[i].first;
+          out += std::isinf(ub) ? "\"inf\"" : num_str(ub);
+          out += ",\"count\":" + std::to_string(s.hist.buckets[i].second) + "}";
+        }
+        out += "]}\n";
+        // One gauge line per quantile under the stable name `name.pNN{...}`
+        // so perf_regress baselines can gate percentiles like any value.
+        for (int qi = 0; qi < 4; ++qi) {
+          out += "{\"metric\":\"" +
+                 json_escape(flatten_name(s.name + kQuantileSuffix[qi], s.labels)) +
+                 "\",\"type\":\"gauge\",\"value\":" +
+                 num_str(s.hist.quantile(kQuantiles[qi])) + "}\n";
+        }
+        break;
+      }
     }
-    out += "]}\n";
   }
   return out;
 }
 
 std::string Registry::to_table() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  char line[160];
-  for (const auto& [name, c] : counters_) {
-    std::snprintf(line, sizeof line, "%-44s %16llu  counter\n", name.c_str(),
-                  static_cast<unsigned long long>(c->value()));
+  char line[256];
+  for (const MetricSnapshot& s : snapshot()) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        std::snprintf(line, sizeof line, "%-52s %16llu  counter\n", s.export_name.c_str(),
+                      static_cast<unsigned long long>(s.value));
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        std::snprintf(line, sizeof line, "%-52s %16.4f  gauge\n", s.export_name.c_str(),
+                      s.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        std::snprintf(line, sizeof line,
+                      "%-52s %16llu  histogram (sum %.4g, p50 %.4g, p99 %.4g)\n",
+                      s.export_name.c_str(),
+                      static_cast<unsigned long long>(s.hist.count), s.hist.sum,
+                      s.hist.quantile(0.5), s.hist.quantile(0.99));
+        break;
+    }
     out += line;
   }
-  for (const auto& [name, g] : gauges_) {
-    std::snprintf(line, sizeof line, "%-44s %16.4f  gauge\n", name.c_str(), g->value());
-    out += line;
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  std::vector<MetricSnapshot> snaps = snapshot();
+  std::string out;
+  // Prometheus requires every series of a family to be contiguous; group by
+  // bare name within each kind (the flattened-key map order can interleave
+  // families whose names share a prefix).
+  auto families = [&](MetricSnapshot::Kind kind) {
+    std::map<std::string, std::vector<const MetricSnapshot*>> fam;
+    for (const MetricSnapshot& s : snaps)
+      if (s.kind == kind) fam[s.name].push_back(&s);
+    return fam;
+  };
+
+  for (const auto& [name, series] : families(MetricSnapshot::Kind::kCounter)) {
+    std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " counter\n";
+    for (const MetricSnapshot* s : series)
+      out += pn + prom_labels(s->labels) + " " + num_str(s->value) + "\n";
   }
-  for (const auto& [name, h] : histograms_) {
-    std::snprintf(line, sizeof line, "%-44s %16llu  histogram (sum %.4g)\n", name.c_str(),
-                  static_cast<unsigned long long>(h->count()), h->sum());
-    out += line;
+  for (const auto& [name, series] : families(MetricSnapshot::Kind::kGauge)) {
+    std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " gauge\n";
+    for (const MetricSnapshot* s : series)
+      out += pn + prom_labels(s->labels) + " " + num_str(s->value) + "\n";
+  }
+  for (const auto& [name, series] : families(MetricSnapshot::Kind::kHistogram)) {
+    std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " histogram\n";
+    for (const MetricSnapshot* s : series) {
+      uint64_t cum = 0;
+      for (const auto& [le, c] : s->hist.buckets) {
+        cum += c;
+        std::string le_str = std::isinf(le) ? "+Inf" : num_str(le);
+        out += pn + "_bucket" + prom_labels(s->labels, "le", le_str) + " " +
+               std::to_string(cum) + "\n";
+      }
+      out += pn + "_sum" + prom_labels(s->labels) + " " + num_str(s->hist.sum) + "\n";
+      out += pn + "_count" + prom_labels(s->labels) + " " + std::to_string(s->hist.count) +
+             "\n";
+    }
+    out += "# TYPE " + pn + "_q gauge\n";
+    for (const MetricSnapshot* s : series)
+      for (int qi = 0; qi < 4; ++qi)
+        out += pn + "_q" + prom_labels(s->labels, "quantile", kQuantileLabel[qi]) + " " +
+               num_str(s->hist.quantile(kQuantiles[qi])) + "\n";
   }
   return out;
 }

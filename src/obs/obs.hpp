@@ -18,6 +18,7 @@
 #pragma once
 
 #include "obs/events.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -29,16 +30,26 @@ namespace fourq::obs {
 
 struct Telemetry {
   Registry metrics;
+  FlightRecorder flight;
   SpanTracer spans;
+
+  // Completed spans mirror into the flight recorder's bounded ring so long
+  // runs keep a recent-history tail even once spans() grows unwieldy.
+  Telemetry() { spans.set_flight(&flight); }
 
   void reset() {
     metrics.reset();
     spans.reset();
+    flight.reset();
   }
 };
 
 // The process-global telemetry context.
 Telemetry& global();
+
+// Microseconds on the monotonic clock (process-wide timeline shared by the
+// engine's enqueue/dequeue/complete lifecycle stamps and flight records).
+uint64_t mono_us();
 
 // True when instrumentation macros are compiled in (exposed so tools can
 // report why a bundle is empty).
@@ -73,11 +84,34 @@ constexpr bool compiled_in() { return FOURQ_OBS_ENABLED != 0; }
     fourq_obs_g.set(static_cast<double>(v));                                \
   } while (0)
 
+// Labeled variants for call sites whose label value is a literal (one
+// static handle per site). Dynamic labels (e.g. worker ids) should resolve
+// Registry handles once per thread instead of going through a macro.
+#define FOURQ_COUNTER_ADD_L(name, lkey, lval, n)                            \
+  do {                                                                      \
+    static ::fourq::obs::Counter& fourq_obs_c =                             \
+        ::fourq::obs::global().metrics.counter(name, {{lkey, lval}});       \
+    fourq_obs_c.inc(static_cast<uint64_t>(n));                              \
+  } while (0)
+
+#define FOURQ_COUNTER_INC_L(name, lkey, lval) FOURQ_COUNTER_ADD_L(name, lkey, lval, 1)
+
+// Observation into the shared log-2 microsecond latency histogram.
+#define FOURQ_LATENCY_OBSERVE(name, us)                                     \
+  do {                                                                      \
+    static ::fourq::obs::Histogram& fourq_obs_h =                           \
+        ::fourq::obs::global().metrics.latency_histogram(name);             \
+    fourq_obs_h.observe(static_cast<double>(us));                           \
+  } while (0)
+
 #else  // !FOURQ_OBS_ENABLED
 
 #define FOURQ_SPAN(name) ((void)0)
 #define FOURQ_COUNTER_ADD(name, n) ((void)0)
 #define FOURQ_COUNTER_INC(name) ((void)0)
 #define FOURQ_GAUGE_SET(name, v) ((void)0)
+#define FOURQ_COUNTER_ADD_L(name, lkey, lval, n) ((void)0)
+#define FOURQ_COUNTER_INC_L(name, lkey, lval) ((void)0)
+#define FOURQ_LATENCY_OBSERVE(name, us) ((void)0)
 
 #endif  // FOURQ_OBS_ENABLED

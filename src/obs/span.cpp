@@ -1,10 +1,12 @@
 #include "obs/span.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
 #include "common/check.hpp"
+#include "obs/flight.hpp"
 
 namespace fourq::obs {
 
@@ -16,42 +18,108 @@ uint64_t steady_ns() {
                                    .count());
 }
 
+// Registry of live tracers so the thread-exit hook can notify each one.
+// Deliberately leaked (never destroyed): thread_local destructors of late-
+// exiting threads may run during static destruction, and must still find a
+// valid registry to walk.
+std::mutex& tracers_mu() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<SpanTracer*>& tracers() {
+  static auto* v = new std::vector<SpanTracer*>();
+  return *v;
+}
+
 }  // namespace
 
-SpanTracer::SpanTracer() : epoch_ns_(steady_ns()) {}
+// One per thread that ever traced: carries a process-unique token (never
+// reused, unlike std::thread::id) and, on thread exit, tells every live
+// tracer to release that thread's bookkeeping. tracers_mu() is held across
+// the walk so a tracer cannot be destroyed mid-notification.
+struct SpanThreadToken {
+  uint64_t value;
+  SpanThreadToken() {
+    static std::atomic<uint64_t> next{1};
+    value = next.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~SpanThreadToken() {
+    std::lock_guard<std::mutex> lock(tracers_mu());
+    for (SpanTracer* t : tracers()) t->on_thread_exit(value);
+  }
+  static uint64_t current() {
+    thread_local SpanThreadToken tok;
+    return tok.value;
+  }
+};
+
+SpanTracer::SpanTracer() : epoch_ns_(steady_ns()) {
+  std::lock_guard<std::mutex> lock(tracers_mu());
+  tracers().push_back(this);
+}
+
+SpanTracer::~SpanTracer() {
+  std::lock_guard<std::mutex> lock(tracers_mu());
+  auto& v = tracers();
+  v.erase(std::remove(v.begin(), v.end(), this), v.end());
+}
 
 uint64_t SpanTracer::now_us() const { return (steady_ns() - epoch_ns_) / 1000; }
 
-int SpanTracer::tid_for_locked(std::thread::id id) {
-  auto it = tids_.find(id);
+int SpanTracer::tid_for_locked(uint64_t token) {
+  auto it = tids_.find(token);
   if (it != tids_.end()) return it->second;
-  int tid = static_cast<int>(tids_.size());
-  tids_.emplace(id, tid);
+  int tid = next_tid_++;
+  tids_.emplace(token, tid);
   return tid;
 }
 
+void SpanTracer::on_thread_exit(uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tids_.find(token);
+  if (it == tids_.end()) return;
+  auto stack = open_.find(it->second);
+  if (stack != open_.end()) {
+    abandoned_ += stack->second.size();
+    open_.erase(stack);
+  }
+  tids_.erase(it);
+}
+
 void SpanTracer::begin(const std::string& name) {
+  uint64_t token = SpanThreadToken::current();
   uint64_t t = now_us();
   std::lock_guard<std::mutex> lock(mu_);
-  int tid = tid_for_locked(std::this_thread::get_id());
+  int tid = tid_for_locked(token);
   open_[tid].push_back({name, t});
 }
 
 void SpanTracer::end() {
+  uint64_t token = SpanThreadToken::current();
   uint64_t t = now_us();
-  std::lock_guard<std::mutex> lock(mu_);
-  int tid = tid_for_locked(std::this_thread::get_id());
-  std::vector<Open>& stack = open_[tid];
-  FOURQ_CHECK_MSG(!stack.empty(), "span end() without matching begin() on this thread");
-  Open o = std::move(stack.back());
-  stack.pop_back();
+  FlightRecorder* flight = nullptr;
   SpanRecord r;
-  r.name = std::move(o.name);
-  r.depth = static_cast<int>(stack.size());
-  r.tid = tid;
-  r.start_us = o.start_us;
-  r.dur_us = t - o.start_us;
-  spans_.push_back(std::move(r));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int tid = tid_for_locked(token);
+    auto stack_it = open_.find(tid);
+    FOURQ_CHECK_MSG(stack_it != open_.end() && !stack_it->second.empty(),
+                    "span end() without matching begin() on this thread");
+    std::vector<Open>& stack = stack_it->second;
+    Open o = std::move(stack.back());
+    stack.pop_back();
+    r.name = std::move(o.name);
+    r.depth = static_cast<int>(stack.size());
+    r.tid = tid;
+    r.start_us = o.start_us;
+    r.dur_us = t - o.start_us;
+    if (stack.empty()) open_.erase(stack_it);
+    spans_.push_back(r);
+    flight = flight_;
+  }
+  if (flight)
+    flight->record(FlightKind::kSpan, r.name, r.start_us + r.dur_us, r.dur_us, r.tid);
 }
 
 std::vector<SpanRecord> SpanTracer::spans() const {
@@ -60,8 +128,9 @@ std::vector<SpanRecord> SpanTracer::spans() const {
 }
 
 int SpanTracer::open_depth() const {
+  uint64_t token = SpanThreadToken::current();
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = tids_.find(std::this_thread::get_id());
+  auto it = tids_.find(token);
   if (it == tids_.end()) return 0;
   auto stack = open_.find(it->second);
   return stack == open_.end() ? 0 : static_cast<int>(stack->second.size());
@@ -75,11 +144,36 @@ size_t SpanTracer::count(const std::string& name) const {
   return n;
 }
 
+size_t SpanTracer::tracked_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tids_.size();
+}
+
+size_t SpanTracer::open_stacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [tid, stack] : open_)
+    if (!stack.empty()) ++n;
+  return n;
+}
+
+uint64_t SpanTracer::abandoned_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abandoned_;
+}
+
+void SpanTracer::set_flight(FlightRecorder* f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flight_ = f;
+}
+
 void SpanTracer::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   tids_.clear();
   open_.clear();
   spans_.clear();
+  next_tid_ = 0;
+  abandoned_ = 0;
   epoch_ns_ = steady_ns();
 }
 

@@ -5,20 +5,26 @@
 //
 // Thread safety: begin()/end() maintain a per-thread open-span stack, so
 // nesting is tracked correctly when the batch engine's worker pool traces
-// concurrently with the main thread. All state is guarded by one mutex —
+// concurrently with the main thread. Threads are identified by a per-thread
+// monotonic token (not std::thread::id, which the OS reuses after join —
+// a recycled id would silently inherit a dead worker's open stack). A
+// thread-exit hook releases the thread's bookkeeping in every live tracer,
+// so pools that shrink and regrow (BatchEngine re-creation) neither leak
+// entries nor leave orphaned open spans. All state is guarded by one mutex —
 // spans mark millisecond-scale pipeline stages, not per-cycle work, so the
 // lock is far off any hot path. Exported records carry a small stable `tid`
-// (assigned in first-begin order) rather than the raw std::thread::id.
+// (assigned in first-begin order) rather than the raw thread identity.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 namespace fourq::obs {
+
+class FlightRecorder;
 
 struct SpanRecord {
   std::string name;
@@ -31,6 +37,9 @@ struct SpanRecord {
 class SpanTracer {
  public:
   SpanTracer();
+  ~SpanTracer();
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
 
   void begin(const std::string& name);
   void end();
@@ -43,6 +52,21 @@ class SpanTracer {
   // Number of completed spans with this exact name (any thread). Used by
   // `fourqc batch` to prove a warm cache ran zero sched.compile spans.
   size_t count(const std::string& name) const;
+
+  // Live threads this tracer currently tracks (drops to the surviving
+  // traced threads as workers exit — regression surface for the
+  // thread-reuse bug).
+  size_t tracked_threads() const;
+  // Threads with a non-empty open-span stack right now.
+  size_t open_stacks() const;
+  // Spans dropped because their thread exited while they were still open.
+  uint64_t abandoned_spans() const;
+
+  // Mirrors every completed span into `f` (subject to the recorder's own
+  // sampling policy); nullptr detaches. Telemetry wires the global tracer
+  // to the global flight recorder so long runs keep a bounded recent
+  // history even after spans() grows unwieldy.
+  void set_flight(FlightRecorder* f);
 
   // Microseconds since the tracer was constructed (or last reset).
   uint64_t now_us() const;
@@ -57,15 +81,23 @@ class SpanTracer {
   void reset();
 
  private:
+  friend struct SpanThreadToken;
+
   struct Open {
     std::string name;
     uint64_t start_us;
   };
-  int tid_for_locked(std::thread::id id);
+  int tid_for_locked(uint64_t token);
+  // Called by the thread-exit hook: abandon the exiting thread's open
+  // spans and drop its bookkeeping.
+  void on_thread_exit(uint64_t token);
 
   mutable std::mutex mu_;
-  std::map<std::thread::id, int> tids_;            // thread -> stable small number
-  std::map<int, std::vector<Open>> open_;          // tid -> open stack
+  std::map<uint64_t, int> tids_;          // live thread token -> stable small number
+  std::map<int, std::vector<Open>> open_; // tid -> open stack (erased when empty)
+  int next_tid_ = 0;
+  uint64_t abandoned_ = 0;
+  FlightRecorder* flight_ = nullptr;
   std::vector<SpanRecord> spans_;
   uint64_t epoch_ns_ = 0;
 };

@@ -14,6 +14,8 @@
 #include "common/rng.hpp"
 #include "curve/scalarmul.hpp"
 #include "engine/batch.hpp"
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
 
 namespace fourq {
 namespace {
@@ -346,6 +348,114 @@ TEST(BatchEngineTest, RejectsUnrunnableProgramKinds) {
   engine::BatchEngine eng(opt);
   std::vector<engine::SmJob> jobs(1, engine::SmJob{U256(5), curve::deterministic_point(1)});
   EXPECT_THROW(eng.run(jobs), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle telemetry: the engine's queue/worker instrumentation must account
+// for every task exactly once.
+
+TEST(BatchEngineTest, LifecycleMetricsAccountForEveryTask) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  obs::global().reset();
+  obs::Registry& reg = obs::global().metrics;
+
+  constexpr int kWorkers = 4;
+  constexpr int kJobs = 32;
+  engine::CompileCache cache;
+  engine::EngineOptions opt;
+  opt.workers = kWorkers;
+  opt.chunk = 1;  // one task per job, so task counts are exact
+  opt.key = functional_key();  // run() needs the full program (affine outputs)
+  opt.cache = &cache;
+  std::vector<engine::SmJob> jobs(kJobs,
+                                  engine::SmJob{U256(7), curve::deterministic_point(1)});
+  {
+    engine::BatchEngine eng(opt);
+    eng.run(jobs);
+  }
+
+  // Every sm task passed through both lifecycle histograms exactly once.
+  obs::HistogramStats wait =
+      reg.latency_histogram("engine.queue.wait_us", {{"kind", "sm"}}).stats();
+  obs::HistogramStats svc =
+      reg.latency_histogram("engine.job.service_us", {{"kind", "sm"}}).stats();
+  EXPECT_EQ(wait.count, static_cast<uint64_t>(kJobs));
+  EXPECT_EQ(svc.count, static_cast<uint64_t>(kJobs));
+  EXPECT_GT(svc.sum, 0.0);
+  EXPECT_LE(svc.quantile(0.5), svc.quantile(0.99));
+
+  // Per-worker counters partition the same tasks, and utilisation is a
+  // fraction.
+  uint64_t tasks = 0;
+  for (int w = 0; w < kWorkers; ++w) {
+    obs::Labels wl{{"worker", std::to_string(w)}};
+    tasks += reg.counter("engine.worker.tasks", wl).value();
+    double util = reg.gauge("engine.worker.utilisation", wl).value();
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0);
+  }
+  EXPECT_EQ(tasks, static_cast<uint64_t>(kJobs));
+
+  // The queue drained fully and recorded a real high-water mark.
+  EXPECT_DOUBLE_EQ(reg.gauge("engine.queue.depth").value(), 0.0);
+  EXPECT_GE(reg.gauge("engine.queue.depth.max").value(), 1.0);
+
+  // Worker task completions landed in the flight recorder (bounded memory).
+  bool saw_task = false;
+  for (const obs::FlightRecorder::Event& e : obs::global().flight.snapshot())
+    if (e.kind == obs::FlightKind::kTask && e.name == "engine.task.sm") saw_task = true;
+  EXPECT_TRUE(saw_task);
+}
+
+TEST(BatchEngineTest, BackpressureStallsAreCounted) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  obs::global().reset();
+  obs::Registry& reg = obs::global().metrics;
+
+  // One slow worker behind a 2-slot ring: the producer must block while
+  // enqueueing 64 single-job tasks.
+  engine::CompileCache cache;
+  engine::EngineOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 2;
+  opt.chunk = 1;
+  opt.key = functional_key();
+  opt.cache = &cache;
+  std::vector<engine::SmJob> jobs(64, engine::SmJob{U256(9), curve::deterministic_point(2)});
+  {
+    engine::BatchEngine eng(opt);
+    eng.run(jobs);
+  }
+  EXPECT_GT(reg.counter("engine.queue.backpressure.stalls").value(), 0u);
+  EXPECT_GT(reg.counter("engine.queue.backpressure.wait_us").value(), 0u);
+}
+
+TEST(BatchEngineTest, TeardownLoopLeavesNoSpanOrphans) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  obs::global().reset();
+  obs::SpanTracer& spans = obs::global().spans;
+  {
+    obs::ScopedSpan anchor(spans, "test.anchor");
+  }
+  const size_t base_threads = spans.tracked_threads();
+
+  // Pools shrink and regrow across engine lifetimes; each cycle creates and
+  // joins fresh worker threads while the calling thread traces engine.run
+  // spans. No bookkeeping may accumulate.
+  engine::CompileCache cache;
+  std::vector<engine::SmJob> jobs(8, engine::SmJob{U256(3), curve::deterministic_point(1)});
+  for (int round = 0; round < 4; ++round) {
+    engine::EngineOptions opt;
+    opt.workers = 2 + round;
+    opt.key = functional_key();
+    opt.cache = &cache;
+    engine::BatchEngine eng(opt);
+    eng.run(jobs);
+  }
+  EXPECT_EQ(spans.tracked_threads(), base_threads);
+  EXPECT_EQ(spans.open_stacks(), 0u);
+  EXPECT_EQ(spans.count("engine.run"), 4u);
+  EXPECT_EQ(spans.abandoned_spans(), 0u);
 }
 
 }  // namespace

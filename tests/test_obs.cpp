@@ -5,10 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "asic/simulator.hpp"
 #include "curve/point.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "sched/compile.hpp"
@@ -72,12 +81,22 @@ TEST(Metrics, JsonlExportParses) {
   std::string err;
   auto lines = obs::json::parse_lines(reg.to_jsonl(), &err);
   ASSERT_TRUE(err.empty()) << err;
-  ASSERT_EQ(lines.size(), 3u);
+  // counter + gauge + histogram + 4 derived quantile gauges (p50/p90/p99/p999)
+  ASSERT_EQ(lines.size(), 7u);
   for (const auto& v : lines) {
     ASSERT_TRUE(v->is_object());
     EXPECT_TRUE(v->has("metric"));
     EXPECT_TRUE(v->has("type"));
   }
+  // The derived quantile lines carry the histogram's only sample.
+  bool saw_p99 = false;
+  for (const auto& v : lines)
+    if (v->at("metric").string() == "span.dur.p99") {
+      EXPECT_EQ(v->at("type").string(), "gauge");
+      EXPECT_DOUBLE_EQ(v->at("value").number(), 42.0);
+      saw_p99 = true;
+    }
+  EXPECT_TRUE(saw_p99);
   // Counters sort before gauges before histograms within the export.
   bool found = false;
   for (const auto& v : lines)
@@ -87,6 +106,337 @@ TEST(Metrics, JsonlExportParses) {
       found = true;
     }
   EXPECT_TRUE(found);
+}
+
+TEST(Metrics, LabeledSeriesIdentity) {
+  Registry reg;
+  obs::Counter& a = reg.counter("msm.calls", {{"backend", "straus"}});
+  obs::Counter& b = reg.counter("msm.calls", {{"backend", "pippenger"}});
+  obs::Counter& plain = reg.counter("msm.calls");
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(&a, &plain);
+  a.inc(3);
+  b.inc(5);
+  plain.inc(8);
+
+  // Label order is irrelevant: the sorted flattened name is the identity.
+  obs::Counter& two = reg.counter("q", {{"worker", "1"}, {"kind", "sm"}});
+  EXPECT_EQ(&reg.counter("q", {{"kind", "sm"}, {"worker", "1"}}), &two);
+  EXPECT_EQ(obs::flatten_name("q", {{"worker", "1"}, {"kind", "sm"}}),
+            "q{kind=\"sm\",worker=\"1\"}");
+  EXPECT_EQ(obs::flatten_name("q", {}), "q");
+
+  // Every labeled series exports under its own flattened name.
+  std::string err;
+  auto lines = obs::json::parse_lines(reg.to_jsonl(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  std::map<std::string, double> by_name;
+  for (const auto& v : lines) by_name[v->at("metric").string()] = v->at("value").number();
+  EXPECT_DOUBLE_EQ(by_name.at("msm.calls{backend=\"straus\"}"), 3.0);
+  EXPECT_DOUBLE_EQ(by_name.at("msm.calls{backend=\"pippenger\"}"), 5.0);
+  EXPECT_DOUBLE_EQ(by_name.at("msm.calls"), 8.0);
+
+  // snapshot() carries the structured label set alongside the export name.
+  bool found = false;
+  for (const obs::MetricSnapshot& s : reg.snapshot())
+    if (s.export_name == "msm.calls{backend=\"straus\"}") {
+      EXPECT_EQ(s.name, "msm.calls");
+      ASSERT_EQ(s.labels.size(), 1u);
+      EXPECT_EQ(s.labels[0].first, "backend");
+      EXPECT_EQ(s.labels[0].second, "straus");
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Metrics, HistogramBoundsConflictRejected) {
+  Registry reg;
+  obs::Histogram& h = reg.histogram("lat", {1.0, 10.0});
+  // Pure lookup (empty bounds) and exact-match bounds both return the
+  // original instance.
+  EXPECT_EQ(&reg.histogram("lat", {}), &h);
+  EXPECT_EQ(&reg.histogram("lat", {1.0, 10.0}), &h);
+  // Different bounds for the same series is a caller bug.
+  EXPECT_THROW(reg.histogram("lat", {5.0, 50.0}), std::logic_error);
+  EXPECT_THROW(reg.histogram("lat", {1.0, 10.0, 100.0}), std::logic_error);
+
+  // reset() keeps the handle valid and the bucket shape intact.
+  h.observe(3.0);
+  reg.reset();
+  EXPECT_EQ(h.count(), 0u);
+  ASSERT_EQ(h.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 10.0);
+  EXPECT_EQ(&reg.histogram("lat", {1.0, 10.0}), &h);  // same bounds still accepted
+  h.observe(2.0);
+  EXPECT_EQ(reg.histogram("lat", {}).count(), 1u);
+}
+
+TEST(Metrics, QuantileKnownAnswers) {
+  // Single observation: every quantile is that value.
+  {
+    obs::Histogram h(obs::Histogram::latency_bounds_us());
+    h.observe(137.0);
+    for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_DOUBLE_EQ(h.quantile(q), 137.0);
+  }
+  // Uniform 1..10000 on the shared log-2 scale: interpolation keeps the
+  // estimate within one bucket (factor 2), and q=0/q=1 are exact.
+  {
+    obs::Histogram h(obs::Histogram::latency_bounds_us());
+    for (int i = 1; i <= 10000; ++i) h.observe(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10000.0);
+    struct Case {
+      double q, exact;
+    } cases[] = {{0.5, 5000.0}, {0.9, 9000.0}, {0.99, 9900.0}, {0.999, 9990.0}};
+    for (const Case& c : cases) {
+      double est = h.quantile(c.q);
+      EXPECT_GT(est, c.exact / 2.0) << "q=" << c.q;
+      EXPECT_LT(est, c.exact * 2.0) << "q=" << c.q;
+    }
+    // Monotone in q.
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_LE(h.quantile(0.9), h.quantile(0.99));
+    EXPECT_LE(h.quantile(0.99), h.quantile(0.999));
+  }
+  // Heavy tail: most mass at the bottom, a few large outliers. p50 must stay
+  // near the mass, p99.9 near the outliers, and estimates clamp to [min,max].
+  {
+    obs::Histogram h(obs::Histogram::latency_bounds_us());
+    for (int i = 0; i < 990; ++i) h.observe(10.0);
+    for (int i = 0; i < 10; ++i) h.observe(100000.0);
+    EXPECT_LE(h.quantile(0.5), 16.0);
+    EXPECT_GE(h.quantile(0.999), 50000.0);
+    EXPECT_LE(h.quantile(0.999), 100000.0);
+    EXPECT_GE(h.quantile(0.0), 10.0);
+  }
+  // Empty histogram degrades to zero.
+  {
+    obs::Histogram h({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  }
+}
+
+TEST(Metrics, PrometheusExportShape) {
+  Registry reg;
+  reg.counter("msm.calls", {{"backend", "straus"}}).inc(3);
+  reg.gauge("engine.workers").set(8);
+  reg.latency_histogram("engine.queue.wait_us", {{"kind", "sm"}}).observe(100.0);
+  std::string prom = reg.to_prometheus();
+
+  // Sanitised names under the fourq_ prefix, labels preserved.
+  EXPECT_NE(prom.find("fourq_msm_calls{backend=\"straus\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE fourq_msm_calls counter"), std::string::npos);
+  EXPECT_NE(prom.find("fourq_engine_workers 8"), std::string::npos);
+  // Histograms: cumulative buckets, sum/count, and the quantile gauge family.
+  EXPECT_NE(prom.find("fourq_engine_queue_wait_us_bucket{"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("fourq_engine_queue_wait_us_count{kind=\"sm\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("fourq_engine_queue_wait_us_q{kind=\"sm\",quantile=\"0.99\"}"),
+            std::string::npos);
+  // Every non-comment line is `name value` or `name{labels} value`.
+  size_t pos = 0;
+  while (pos < prom.size()) {
+    size_t nl = prom.find('\n', pos);
+    if (nl == std::string::npos) nl = prom.size();
+    std::string line = prom.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    char* end = nullptr;
+    std::strtod(line.c_str() + sp + 1, &end);
+    EXPECT_EQ(*end, '\0') << line;
+  }
+}
+
+TEST(Flight, CapacityAndSampling) {
+  obs::FlightConfig cfg;
+  cfg.capacity = 1024;
+  cfg.sample_every = 1;
+  obs::FlightRecorder f(cfg);
+  const size_t baseline_mem = f.memory_bytes();
+
+  for (int i = 0; i < 10000; ++i)
+    f.record(obs::FlightKind::kTask, "engine.task.sm", static_cast<uint64_t>(i), 5, i % 8);
+  EXPECT_EQ(f.seen(), 10000u);
+  EXPECT_EQ(f.recorded(), 10000u);
+  EXPECT_EQ(f.size(), 1024u);            // bounded by capacity
+  EXPECT_EQ(f.evicted(), 10000u - 1024u);
+  // Fixed memory: the ring never grows past its initial allocation (the only
+  // growth allowed is the bounded name table).
+  EXPECT_LE(f.memory_bytes(), baseline_mem + 4096);
+
+  // Ring holds the *newest* events, oldest first.
+  std::vector<obs::FlightRecorder::Event> ev = f.snapshot();
+  ASSERT_EQ(ev.size(), 1024u);
+  EXPECT_EQ(ev.front().t_us, 10000u - 1024u);
+  EXPECT_EQ(ev.back().t_us, 9999u);
+  EXPECT_EQ(ev.back().name, "engine.task.sm");
+
+  // to_json round-trips through the reader with the bookkeeping fields.
+  std::string err;
+  obs::json::ValuePtr v = obs::json::parse(f.to_json(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(v->at("schema").string(), "fourq.flight.v1");
+  EXPECT_DOUBLE_EQ(v->at("seen").number(), 10000.0);
+  EXPECT_EQ(v->at("events").arr.size(), 1024u);
+
+  // 1-in-4 sampling: configure() drops old events, then records ~seen/4.
+  cfg.sample_every = 4;
+  f.configure(cfg);
+  for (int i = 0; i < 1000; ++i)
+    f.record(obs::FlightKind::kSpan, "span", static_cast<uint64_t>(i), 1);
+  EXPECT_EQ(f.seen(), 1000u);
+  EXPECT_EQ(f.recorded(), 250u);
+  EXPECT_EQ(f.size(), 250u);
+
+  f.reset();
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_EQ(f.seen(), 0u);
+}
+
+TEST(Spans, ThreadChurnReleasesBookkeeping) {
+  SpanTracer t;
+  {
+    obs::ScopedSpan s(t, "main.anchor");
+  }
+  const size_t base_threads = t.tracked_threads();
+
+  // 64 short-lived workers, each tracing properly nested spans. After every
+  // thread has exited, its bookkeeping must be gone — a tracer that keyed
+  // stacks by std::thread::id would both leak entries and cross-wire reused
+  // ids here.
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 16; ++i)
+      workers.emplace_back([&t] {
+        obs::ScopedSpan outer(t, "worker.outer");
+        obs::ScopedSpan inner(t, "worker.inner");
+      });
+    for (auto& w : workers) w.join();
+  }
+  EXPECT_EQ(t.tracked_threads(), base_threads);
+  EXPECT_EQ(t.open_stacks(), 0u);
+  EXPECT_EQ(t.count("worker.outer"), 64u);
+  EXPECT_EQ(t.count("worker.inner"), 64u);
+  EXPECT_EQ(t.abandoned_spans(), 0u);
+
+  // A thread that exits with spans still open abandons them instead of
+  // leaving an orphaned stack behind.
+  std::thread leaker([&t] { t.begin("worker.leak"); });
+  leaker.join();
+  EXPECT_EQ(t.tracked_threads(), base_threads);
+  EXPECT_EQ(t.open_stacks(), 0u);
+  EXPECT_EQ(t.abandoned_spans(), 1u);
+  EXPECT_EQ(t.count("worker.leak"), 0u);  // never completed
+
+  // The tracer still works for surviving threads and the trace stays valid.
+  {
+    obs::ScopedSpan s(t, "main.after");
+  }
+  std::string err;
+  obs::json::parse(t.chrome_trace_json(), &err);
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(Provenance, HeaderShape) {
+  obs::Provenance p = obs::make_provenance("fourq.metrics.v1", "0f3a");
+  EXPECT_EQ(p.schema, "fourq.metrics.v1");
+  EXPECT_EQ(p.version, 1);
+  EXPECT_EQ(p.machine_hash, "0f3a");
+  EXPECT_FALSE(p.git_sha.empty());
+  // ISO-8601 Zulu: "YYYY-MM-DDTHH:MM:SSZ".
+  ASSERT_EQ(p.timestamp_utc.size(), 20u);
+  EXPECT_EQ(p.timestamp_utc[10], 'T');
+  EXPECT_EQ(p.timestamp_utc.back(), 'Z');
+
+  std::string err;
+  obs::json::ValuePtr v = obs::json::parse(obs::provenance_json(p), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(v->at("schema").string(), "fourq.metrics.v1");
+  EXPECT_EQ(v->at("git_sha").string(), p.git_sha);
+  EXPECT_EQ(v->at("machine_hash").string(), "0f3a");
+  EXPECT_DOUBLE_EQ(v->at("version").number(), 1.0);
+
+  // The JSONL header form ends with exactly one newline and is a lone line.
+  std::string line = obs::provenance_line("fourq.bench.v1");
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  auto lines = obs::json::parse_lines(line, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_FALSE(lines[0]->has("metric"));  // perf_regress skips it
+}
+
+TEST(Exporter, SnapshotRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "fourq_obs_exporter_test";
+  fs::remove_all(dir);
+
+  obs::Telemetry tel;
+  tel.metrics.counter("engine.worker.tasks", {{"worker", "0"}}).inc(17);
+  obs::Histogram& h = tel.metrics.latency_histogram("engine.queue.wait_us", {{"kind", "sm"}});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i * 10));
+  tel.flight.record(obs::FlightKind::kMark, "test.mark", 1, 0);
+
+  obs::ExporterOptions opt;
+  opt.dir = dir.string();
+  opt.machine_hash = "cafe";
+  obs::SnapshotExporter exp(tel, opt);
+  ASSERT_TRUE(exp.write_snapshot());
+
+  for (const char* f : {"metrics.prom", "metrics.json", "metrics.jsonl", "flight.json"})
+    EXPECT_TRUE(fs::exists(dir / f)) << f;
+
+  // metrics.json: schema + provenance + labeled series with quantiles.
+  std::ifstream in(dir / "metrics.json", std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  obs::json::ValuePtr doc = obs::json::parse(ss.str(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(doc->at("schema").string(), "fourq.metrics.v1");
+  EXPECT_EQ(doc->at("provenance").at("machine_hash").string(), "cafe");
+  EXPECT_EQ(doc->at("provenance").at("schema").string(), "fourq.metrics.v1");
+  bool saw_counter = false, saw_hist = false;
+  for (const auto& m : doc->at("metrics").arr) {
+    if (m->at("name").string() == "engine.worker.tasks") {
+      EXPECT_EQ(m->at("labels").at("worker").string(), "0");
+      EXPECT_DOUBLE_EQ(m->at("value").number(), 17.0);
+      saw_counter = true;
+    }
+    if (m->at("name").string() == "engine.queue.wait_us") {
+      EXPECT_EQ(m->at("type").string(), "histogram");
+      EXPECT_DOUBLE_EQ(m->at("count").number(), 100.0);
+      double p50 = m->at("quantiles").at("p50").number();
+      double p99 = m->at("quantiles").at("p99").number();
+      EXPECT_GT(p50, 250.0);   // exact median 505 on a factor-2 scale
+      EXPECT_LT(p50, 1010.0);
+      EXPECT_GE(p99, p50);
+      EXPECT_LE(p99, 1000.0);  // clamped to the observed max
+      saw_hist = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+
+  // metrics.prom starts with the provenance comment and carries build info.
+  std::ifstream pin(dir / "metrics.prom", std::ios::binary);
+  std::stringstream pss;
+  pss << pin.rdbuf();
+  std::string prom = pss.str();
+  ASSERT_FALSE(prom.empty());
+  EXPECT_EQ(prom[0], '#');
+  EXPECT_NE(prom.find("# provenance: {\"schema\":\"fourq.metrics.v1\""), std::string::npos);
+  EXPECT_NE(prom.find("fourq_build_info{git_sha="), std::string::npos);
+
+  // A second snapshot bumps the sequence number (atomic rename kept the
+  // previous file readable throughout).
+  ASSERT_TRUE(exp.write_snapshot());
+  EXPECT_EQ(exp.snapshots_written(), 2u);
+
+  fs::remove_all(dir);
 }
 
 TEST(Spans, NestingDepths) {

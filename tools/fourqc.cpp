@@ -16,10 +16,14 @@
 //   fourqc batch --jobs 256 --workers 8 --rom-cache rom_cache
 //   fourqc batch --verify-sigs 64 --corrupt 3,17
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/lint.hpp"
@@ -36,6 +40,8 @@
 #include "curve/scalarmul.hpp"
 #include "dsa/schnorrq.hpp"
 #include "engine/batch.hpp"
+#include "obs/exporter.hpp"
+#include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "power/activity_energy.hpp"
 #include "power/area.hpp"
@@ -51,7 +57,7 @@ using namespace fourq;
 
 void usage() {
   std::printf(
-      "usage: fourqc [profile|explain] [options]\n"
+      "usage: fourqc [profile|explain|lint|batch|stats] [options]\n"
       "  --variant functional|paper-cost   endomorphism phase (default paper-cost)\n"
       "  --solver seq|list|anneal|bnb      scheduler (default list)\n"
       "  --anneal-iters N                  SA iterations (default 400)\n"
@@ -111,7 +117,33 @@ void usage() {
       "  --verify-sigs N                   also batch-verify N SchnorrQ signatures\n"
       "  --corrupt i,j,...                 corrupt these signature indices first\n"
       "  --msm-backend NAME                verify-sigs multi-scalar backend:\n"
-      "                                    auto|straus|pippenger|endosplit\n");
+      "                                    auto|straus|pippenger|endosplit\n"
+      "  --export-dir DIR                  live telemetry snapshot directory\n"
+      "                                    (default $FOURQ_OBS_EXPORT_DIR; off if unset)\n"
+      "  --export-interval-ms N            snapshot refresh period (default\n"
+      "                                    $FOURQ_OBS_EXPORT_INTERVAL_MS or 1000)\n"
+      "\n"
+      "stats subcommand — read and pretty-print (or tail) the telemetry\n"
+      "snapshots written by a live `fourqc batch` run or the exporter; also\n"
+      "validates the fourq.metrics.v1 JSON and Prometheus text, so it doubles\n"
+      "as a CI smoke check (exit 1 on malformed snapshots):\n"
+      "  --dir DIR                         snapshot directory (default\n"
+      "                                    $FOURQ_OBS_EXPORT_DIR)\n"
+      "  --json                            dump the validated metrics.json\n"
+      "  --follow N                        re-read and re-print N times\n"
+      "  --interval-ms N                   delay between --follow reads (default 1000)\n");
+}
+
+// MachineConfig/program identity stamped into provenance headers: the same
+// CompileKey hash the engine's ROM cache uses, so exported metrics can be
+// matched to the exact hardware configuration that produced them.
+std::string machine_hash_for(const trace::SmTraceOptions& topt,
+                             const sched::CompileOptions& copt) {
+  engine::CompileKey key;
+  key.kind = engine::ProgramKind::kSingleSm;
+  key.trace = topt;
+  key.compile = copt;
+  return key.hash_hex();
 }
 
 bool write_file(const std::filesystem::path& path, const std::string& content) {
@@ -301,7 +333,9 @@ int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOption
     summary += "\n(note: built with FOURQ_OBS=OFF — span/counter macros compiled out)\n";
 
   bool ok = write_file(dir / "trace.json", tel.spans.chrome_trace_json()) &&
-            write_file(dir / "metrics.jsonl", tel.metrics.to_jsonl()) &&
+            write_file(dir / "metrics.jsonl",
+                       obs::provenance_line("fourq.metrics.v1", machine_hash_for(topt, copt)) +
+                           tel.metrics.to_jsonl()) &&
             write_file(dir / "phases.json", phases_json(phases, vdd)) &&
             write_file(dir / "summary.txt", summary);
   if (ok && dump_events)
@@ -640,7 +674,10 @@ int run_explain(const trace::SmTraceOptions& topt, const sched::CompileOptions& 
     for (const std::string& g : gantts) full += g;
     bool ok = write_file(out_path / "report.txt", full) &&
               write_file(out_path / "explain.json", json + "\n") &&
-              write_file(out_path / "metrics.jsonl", tel.metrics.to_jsonl());
+              write_file(out_path / "metrics.jsonl",
+                         obs::provenance_line("fourq.metrics.v1",
+                                              machine_hash_for(topt, copt_base)) +
+                             tel.metrics.to_jsonl());
     if (!ok) return 1;
     std::printf("\nfourqc explain: report written to %s\n", out_path.string().c_str());
   }
@@ -743,7 +780,10 @@ int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& cop
   if (!lopt.out_dir.empty()) {
     bool ok = write_file(out_path / "lint.json", json + "\n") &&
               write_file(out_path / "lint.txt", analysis::lint_text(linted)) &&
-              write_file(out_path / "metrics.jsonl", tel.metrics.to_jsonl());
+              write_file(out_path / "metrics.jsonl",
+                         obs::provenance_line("fourq.metrics.v1",
+                                              machine_hash_for(topt, copt_base)) +
+                             tel.metrics.to_jsonl());
     if (!ok) return 2;
     if (!lopt.json)
       std::printf("fourqc lint: report written to %s\n", out_path.string().c_str());
@@ -764,6 +804,8 @@ struct BatchOptions {
   int verify_sigs = 0;      // also batch-verify N SchnorrQ signatures
   std::vector<int> corrupt; // signature indices to corrupt before verifying
   curve::MsmBackend msm = curve::MsmBackend::kAuto;  // verify-sigs MSM backend
+  std::string export_dir;   // "" = $FOURQ_OBS_EXPORT_DIR (exporter off if unset too)
+  int export_interval_ms = 0;  // 0 = $FOURQ_OBS_EXPORT_INTERVAL_MS / default
 };
 
 int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& copt,
@@ -791,6 +833,29 @@ int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& co
   eopt.cache = cache;
   eopt.msm.backend = bopt.msm;
   engine::BatchEngine eng(eopt);
+
+  // Live telemetry: when an export directory is configured (flag or env),
+  // a background exporter refreshes scrape-ready Prometheus-text and
+  // fourq.metrics.v1 JSON snapshots for `fourqc stats` / external scrapers.
+  std::unique_ptr<obs::SnapshotExporter> exporter;
+  {
+    obs::ExporterOptions xopt;
+    xopt.dir = bopt.export_dir;
+    if (xopt.dir.empty())
+      if (const char* d = std::getenv("FOURQ_OBS_EXPORT_DIR"); d && *d) xopt.dir = d;
+    if (const char* iv = std::getenv("FOURQ_OBS_EXPORT_INTERVAL_MS"); iv && *iv)
+      if (int v = std::atoi(iv); v > 0) xopt.interval_ms = v;
+    if (bopt.export_interval_ms > 0) xopt.interval_ms = bopt.export_interval_ms;
+    if (!xopt.dir.empty()) {
+      xopt.machine_hash = key.hash_hex();
+      int interval = xopt.interval_ms;
+      std::string dir = xopt.dir;
+      exporter = std::make_unique<obs::SnapshotExporter>(obs::global(), std::move(xopt));
+      exporter->start();
+      std::printf("fourqc batch: telemetry snapshots -> %s (every %d ms)\n", dir.c_str(),
+                  interval);
+    }
+  }
 
   std::printf("fourqc batch: %d jobs on %d worker%s (%s variant, key %s)\n",
               bopt.jobs, eng.workers(), eng.workers() == 1 ? "" : "s",
@@ -891,8 +956,226 @@ int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& co
               static_cast<unsigned long long>(reg.counter("engine.cache.miss").value()),
               static_cast<unsigned long long>(reg.counter("engine.cache.disk.hit").value()),
               obs::global().spans.count("sched.compile"));
+  if (obs::compiled_in()) {
+    obs::HistogramStats w =
+        reg.latency_histogram("engine.queue.wait_us", {{"kind", "sm"}}).stats();
+    obs::HistogramStats s =
+        reg.latency_histogram("engine.job.service_us", {{"kind", "sm"}}).stats();
+    if (w.count && s.count)
+      std::printf("  sm tasks: queue-wait p50/p99 %.0f/%.0f us, service p50/p99 "
+                  "%.0f/%.0f us (%llu tasks)\n",
+                  w.quantile(0.5), w.quantile(0.99), s.quantile(0.5), s.quantile(0.99),
+                  static_cast<unsigned long long>(s.count));
+  }
+  if (exporter) {
+    exporter->stop();  // final flush so the last snapshot covers the whole run
+    std::printf("  telemetry: %llu snapshot(s) written to %s\n",
+                static_cast<unsigned long long>(exporter->snapshots_written()),
+                exporter->options().dir.c_str());
+  }
   (void)prog;
   return rc;
+}
+
+// ---------------------------------------------------------------------------
+// stats subcommand — read back the exporter's snapshot directory, validate the
+// fourq.metrics.v1 JSON and the Prometheus text exposition, and pretty-print
+// (or tail) them. Exit 1 on any malformed file, so CI can use this as the
+// smoke check for the export pipeline.
+
+struct StatsOptions {
+  std::string dir;      // "" = $FOURQ_OBS_EXPORT_DIR
+  bool json = false;    // dump validated metrics.json instead of the table
+  int follow = 0;       // extra re-reads after the first
+  int interval_ms = 1000;
+};
+
+bool read_text_file(const std::string& path, std::string* out, std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// One Prometheus text-exposition line: `name value` or `name{labels} value`,
+// or a `#` comment. Returns false (with a reason) on anything else.
+bool validate_prom_line(const std::string& line, std::string* why) {
+  if (line.empty() || line[0] == '#') return true;
+  size_t i = 0;
+  auto name_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_' || c == ':';
+  };
+  while (i < line.size() && name_char(line[i])) ++i;
+  if (i == 0) {
+    *why = "metric name missing";
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    size_t close = line.find('}', i);
+    if (close == std::string::npos) {
+      *why = "unbalanced label braces";
+      return false;
+    }
+    i = close + 1;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *why = "expected space before value";
+    return false;
+  }
+  const char* start = line.c_str() + i + 1;
+  char* end = nullptr;
+  std::strtod(start, &end);
+  if (end == start || *end != '\0') {
+    *why = "value is not a number";
+    return false;
+  }
+  return true;
+}
+
+// Validates metrics.json against the fourq.metrics.v1 shape. Returns nullptr
+// and sets *err on any violation.
+obs::json::ValuePtr load_metrics_json(const std::string& path, std::string* err) {
+  std::string text;
+  if (!read_text_file(path, &text, err)) return nullptr;
+  std::string perr;
+  obs::json::ValuePtr doc = obs::json::parse(text, &perr);
+  if (!doc || !doc->is_object()) {
+    *err = path + ": " + (perr.empty() ? "not a JSON object" : perr);
+    return nullptr;
+  }
+  try {
+    if (doc->at("schema").string() != "fourq.metrics.v1") {
+      *err = path + ": schema is not fourq.metrics.v1";
+      return nullptr;
+    }
+    const obs::json::Value& prov = doc->at("provenance");
+    (void)prov.at("git_sha").string();
+    (void)prov.at("timestamp_utc").string();
+    const obs::json::Value& metrics = doc->at("metrics");
+    if (!metrics.is_array()) {
+      *err = path + ": \"metrics\" is not an array";
+      return nullptr;
+    }
+    for (const auto& m : metrics.arr) {
+      const std::string& type = m->at("type").string();
+      (void)m->at("name").string();
+      if (type == "counter" || type == "gauge") {
+        (void)m->at("value").number();
+      } else if (type == "histogram") {
+        (void)m->at("count").number();
+        const obs::json::Value& q = m->at("quantiles");
+        (void)q.at("p50").number();
+        (void)q.at("p99").number();
+      } else {
+        *err = path + ": unknown metric type \"" + type + "\"";
+        return nullptr;
+      }
+    }
+  } catch (const std::exception& e) {
+    *err = path + ": " + e.what();
+    return nullptr;
+  }
+  return doc;
+}
+
+int run_stats(const StatsOptions& sopt) {
+  std::string dir = sopt.dir;
+  if (dir.empty())
+    if (const char* d = std::getenv("FOURQ_OBS_EXPORT_DIR"); d && *d) dir = d;
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "fourqc stats: no snapshot directory (pass --dir or set "
+                 "FOURQ_OBS_EXPORT_DIR)\n");
+    return 2;
+  }
+
+  for (int round = 0; round <= sopt.follow; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sopt.interval_ms));
+      std::printf("\n");
+    }
+
+    std::string err;
+    obs::json::ValuePtr doc = load_metrics_json(dir + "/metrics.json", &err);
+    if (!doc) {
+      std::fprintf(stderr, "fourqc stats: %s\n", err.c_str());
+      return 1;
+    }
+
+    std::string prom;
+    if (!read_text_file(dir + "/metrics.prom", &prom, &err)) {
+      std::fprintf(stderr, "fourqc stats: %s\n", err.c_str());
+      return 1;
+    }
+    int prom_series = 0;
+    size_t pos = 0, lineno = 0;
+    while (pos <= prom.size()) {
+      size_t nl = prom.find('\n', pos);
+      std::string line =
+          prom.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
+      ++lineno;
+      std::string why;
+      if (!validate_prom_line(line, &why)) {
+        std::fprintf(stderr, "fourqc stats: %s/metrics.prom:%zu: %s: %s\n", dir.c_str(),
+                     lineno, why.c_str(), line.c_str());
+        return 1;
+      }
+      if (!line.empty() && line[0] != '#') ++prom_series;
+      if (nl == std::string::npos) break;
+      pos = nl + 1;
+    }
+
+    if (sopt.json) {
+      std::string text;
+      if (!read_text_file(dir + "/metrics.json", &text, &err)) {
+        std::fprintf(stderr, "fourqc stats: %s\n", err.c_str());
+        return 1;
+      }
+      std::fputs(text.c_str(), stdout);
+      continue;
+    }
+
+    const obs::json::Value& prov = doc->at("provenance");
+    std::printf("snapshot %s (sequence %.0f)\n", dir.c_str(),
+                doc->has("sequence") ? doc->at("sequence").number() : 0.0);
+    std::printf("  provenance: git %s, %s, machine %s\n",
+                prov.at("git_sha").string().c_str(),
+                prov.at("timestamp_utc").string().c_str(),
+                prov.has("machine_hash") ? prov.at("machine_hash").string().c_str() : "-");
+    const obs::json::Value& metrics = doc->at("metrics");
+    std::printf("  %zu metric(s), %d prometheus series\n", metrics.arr.size(),
+                prom_series);
+    for (const auto& m : metrics.arr) {
+      std::string label = m->at("name").string();
+      if (m->has("labels") && !m->at("labels").obj.empty()) {
+        label += "{";
+        bool first = true;
+        for (const auto& [k, v] : m->at("labels").obj) {
+          if (!first) label += ",";
+          first = false;
+          label += k + "=\"" + v->string() + "\"";
+        }
+        label += "}";
+      }
+      const std::string& type = m->at("type").string();
+      if (type == "histogram") {
+        const obs::json::Value& q = m->at("quantiles");
+        std::printf("  %-58s count=%-8.0f p50=%-10.1f p90=%-10.1f p99=%-10.1f\n",
+                    label.c_str(), m->at("count").number(), q.at("p50").number(),
+                    q.at("p90").number(), q.at("p99").number());
+      } else {
+        std::printf("  %-58s %s=%.6g\n", label.c_str(), type.c_str(),
+                    m->at("value").number());
+      }
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -922,6 +1205,9 @@ int main(int argc, char** argv) {
   bool batch_mode = false;
   BatchOptions bopt;
 
+  bool stats_mode = false;
+  StatsOptions sopt;
+
   int argstart = 1;
   if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
     profile_mode = true;
@@ -938,6 +1224,9 @@ int main(int argc, char** argv) {
     // Batch runs default to the checkable program: functional endomorphism
     // constants so outputs equal software [k]P.
     topt.endo = trace::EndoVariant::kFunctional;
+  } else if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    stats_mode = true;
+    argstart = 2;
   }
 
   for (int i = argstart; i < argc; ++i) {
@@ -1093,6 +1382,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown MSM backend: %s\n", b.c_str());
         return 2;
       }
+    } else if (batch_mode && a == "--export-dir") {
+      need(1);
+      bopt.export_dir = argv[++i];
+    } else if (batch_mode && a == "--export-interval-ms") {
+      need(1);
+      bopt.export_interval_ms = std::atoi(argv[++i]);
+    } else if (stats_mode && a == "--dir") {
+      need(1);
+      sopt.dir = argv[++i];
+    } else if (stats_mode && a == "--json") {
+      sopt.json = true;
+    } else if (stats_mode && a == "--follow") {
+      need(1);
+      sopt.follow = std::atoi(argv[++i]);
+    } else if (stats_mode && a == "--interval-ms") {
+      need(1);
+      sopt.interval_ms = std::atoi(argv[++i]);
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -1107,6 +1413,7 @@ int main(int argc, char** argv) {
     return run_profile(topt, copt, profile_out, profile_scalar, profile_events);
   if (explain_mode) return run_explain(topt, copt, eopt);
   if (lint_mode) return run_lint(topt, copt, lopt);
+  if (stats_mode) return run_stats(sopt);
   if (batch_mode) {
     if (bopt.jobs < 1 || bopt.workers < 1) {
       usage();

@@ -60,7 +60,27 @@ std::string record_key(const Value& v) {
   return key;
 }
 
-bool load(const char* path, std::map<std::string, Record>* out, std::string* err) {
+// The optional provenance header line (see obs::provenance_line): an object
+// with "schema" but no "metric". Kept both raw (so --update-baseline can
+// preserve it) and as a human-readable summary (printed on any mismatch, so
+// a failing comparison immediately shows which commits/machines produced the
+// two files).
+struct FileProvenance {
+  std::string raw;      // verbatim JSON line; empty when the file has none
+  std::string summary;  // "git abc @ 2026-..Z machine 0f3a.." or "(none)"
+};
+
+std::string summarize_provenance(const Value& v) {
+  std::string s = v.at("schema").string();
+  if (v.has("git_sha")) s += ", git " + v.at("git_sha").string();
+  if (v.has("timestamp_utc")) s += " @ " + v.at("timestamp_utc").string();
+  if (v.has("machine_hash") && !v.at("machine_hash").string().empty())
+    s += ", machine " + v.at("machine_hash").string();
+  return s;
+}
+
+bool load(const char* path, std::map<std::string, Record>* out, std::string* err,
+          FileProvenance* prov = nullptr) {
   std::ifstream in(path);
   if (!in) {
     *err = std::string("cannot open ") + path;
@@ -71,7 +91,25 @@ bool load(const char* path, std::map<std::string, Record>* out, std::string* err
   std::vector<ValuePtr> lines = parse_lines(ss.str(), err);
   if (!err->empty()) return false;
   for (const ValuePtr& v : lines) {
-    if (!v->is_object() || !v->has("metric")) continue;
+    if (!v->is_object()) continue;
+    if (!v->has("metric")) {
+      if (prov && prov->raw.empty() && v->has("schema")) {
+        prov->summary = summarize_provenance(*v);
+        prov->raw = "{\"schema\": \"" + fourq::obs::json_escape(v->at("schema").string()) +
+                    "\"";
+        if (v->has("version")) {
+          char num[32];
+          std::snprintf(num, sizeof num, "%.0f", v->at("version").number());
+          prov->raw += std::string(", \"version\": ") + num;
+        }
+        for (const char* k : {"git_sha", "timestamp_utc", "machine_hash"})
+          if (v->has(k))
+            prov->raw += std::string(", \"") + k + "\": \"" +
+                         fourq::obs::json_escape(v->at(k).string()) + "\"";
+        prov->raw += "}";
+      }
+      continue;
+    }
     // Histograms carry bucket vectors, not a single value — compare count.
     Record r;
     if (v->has("value")) {
@@ -118,9 +156,12 @@ std::string serialize(const Record& r) {
 // Rewrites `baseline_path` with current values, keeping each baseline
 // record's tolerance annotations. Returns the process exit code.
 int update_baseline(const char* baseline_path, const std::map<std::string, Record>& base,
-                    const std::map<std::string, Record>& cur) {
+                    const std::map<std::string, Record>& cur,
+                    const FileProvenance& cur_prov) {
   std::ostringstream out;
   int refreshed = 0, dropped = 0;
+  // The refreshed baseline records which run produced its numbers.
+  if (!cur_prov.raw.empty()) out << cur_prov.raw << "\n";
   for (const auto& [key, b] : base) {
     auto it = cur.find(key);
     if (it == cur.end()) {
@@ -174,17 +215,18 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, Record> base, cur;
+  FileProvenance base_prov, cur_prov;
   std::string err;
-  if (!load(baseline_path, &base, &err)) {
+  if (!load(baseline_path, &base, &err, &base_prov)) {
     std::fprintf(stderr, "perf_regress: %s: %s\n", baseline_path, err.c_str());
     return 2;
   }
-  if (!load(current_path, &cur, &err)) {
+  if (!load(current_path, &cur, &err, &cur_prov)) {
     std::fprintf(stderr, "perf_regress: %s: %s\n", current_path, err.c_str());
     return 2;
   }
 
-  if (update) return update_baseline(baseline_path, base, cur);
+  if (update) return update_baseline(baseline_path, base, cur, cur_prov);
 
   int failures = 0;
   std::printf("%-44s %14s %14s %9s  %s\n", "metric", "baseline", "current", "delta%",
@@ -214,6 +256,10 @@ int main(int argc, char** argv) {
   }
   if (failures) {
     std::printf("\nperf_regress: %d metric(s) regressed vs %s\n", failures, baseline_path);
+    std::printf("  baseline provenance: %s\n",
+                base_prov.summary.empty() ? "(none)" : base_prov.summary.c_str());
+    std::printf("  current provenance:  %s\n",
+                cur_prov.summary.empty() ? "(none)" : cur_prov.summary.c_str());
     return 1;
   }
   std::printf("\nperf_regress: all %zu baseline metrics within tolerance\n", base.size());
