@@ -75,6 +75,26 @@ namespace {
 [[maybe_unused]] constexpr const char* kTaskFlightName[3] = {
     "engine.task.sm", "engine.task.verify", "engine.task.help"};
 
+#if FOURQ_OBS_ENABLED
+// Refreshes the derived attribution gauges for one task kind from the
+// cumulative perf.* counters the workers maintain: cycles per completed job
+// and achieved IPC. Cheap (a few registry lookups), called once per batch.
+void update_perf_gauges(const char* kind, const char* jobs_counter) {
+  if (!obs::perf_enabled()) return;
+  obs::Registry& reg = obs::global().metrics;
+  const obs::Labels kl{{"kind", kind}};
+  const uint64_t cycles = reg.counter("perf.cycles", kl).value();
+  const uint64_t instr = reg.counter("perf.instructions", kl).value();
+  const uint64_t jobs = reg.counter(jobs_counter).value();
+  if (jobs)
+    reg.gauge("perf.cycles_per_job", kl)
+        .set(static_cast<double>(cycles) / static_cast<double>(jobs));
+  if (cycles)
+    reg.gauge("perf.ipc", kl).set(static_cast<double>(instr) /
+                                  static_cast<double>(cycles));
+}
+#endif
+
 }  // namespace
 
 // Bounded MPMC ring. push() applies back-pressure when the ring is full;
@@ -202,11 +222,27 @@ void BatchEngine::worker_main(int worker_id) {
   obs::Gauge& g_util = reg.gauge("engine.worker.utilisation", wl);
   obs::Histogram* wait_h[3];
   obs::Histogram* svc_h[3];
+  // Hardware-counter attribution (obs/perfctr): per-kind totals feed the
+  // perf.cycles_per_job / perf.ipc gauges set after each batch, the
+  // per-worker cycle counter shows pool imbalance.
+  obs::Counter* perf_cycles[3];
+  obs::Counter* perf_instr[3];
+  obs::Counter* perf_cache_refs[3];
+  obs::Counter* perf_cache_misses[3];
+  obs::Counter* perf_branch_misses[3];
+  obs::Counter* perf_task_clock[3];
   for (int k = 0; k < 3; ++k) {
     obs::Labels kl{{"kind", kTaskKindLabel[k]}};
     wait_h[k] = &reg.latency_histogram("engine.queue.wait_us", kl);
     svc_h[k] = &reg.latency_histogram("engine.job.service_us", kl);
+    perf_cycles[k] = &reg.counter("perf.cycles", kl);
+    perf_instr[k] = &reg.counter("perf.instructions", kl);
+    perf_cache_refs[k] = &reg.counter("perf.cache_refs", kl);
+    perf_cache_misses[k] = &reg.counter("perf.cache_misses", kl);
+    perf_branch_misses[k] = &reg.counter("perf.branch_misses", kl);
+    perf_task_clock[k] = &reg.counter("perf.task_clock_ns", kl);
   }
+  obs::Counter& c_worker_cycles = reg.counter("perf.worker.cycles", wl);
   const uint64_t epoch_us = obs::mono_us();
   uint64_t total_busy_us = 0;
 #endif
@@ -216,6 +252,8 @@ void BatchEngine::worker_main(int worker_id) {
     const uint64_t deq_us = obs::mono_us();
     const int kind_i = static_cast<int>(t.kind);
     wait_h[kind_i]->observe(static_cast<double>(deq_us - t.enqueue_us));
+    obs::PerfSample perf_begin;
+    if (obs::perf_enabled()) perf_begin = obs::perf_read_thread();
 #endif
     switch (t.kind) {
       case Task::Kind::kSm:
@@ -233,6 +271,18 @@ void BatchEngine::worker_main(int worker_id) {
         break;
     }
 #if FOURQ_OBS_ENABLED
+    if (perf_begin.source != obs::PerfSource::kUnavailable) {
+      obs::PerfDelta d = obs::perf_delta(perf_begin, obs::perf_read_thread());
+      if (d.source != obs::PerfSource::kUnavailable) {
+        perf_cycles[kind_i]->inc(d.cycles);
+        perf_instr[kind_i]->inc(d.instructions);
+        perf_cache_refs[kind_i]->inc(d.cache_refs);
+        perf_cache_misses[kind_i]->inc(d.cache_misses);
+        perf_branch_misses[kind_i]->inc(d.branch_misses);
+        perf_task_clock[kind_i]->inc(d.task_clock_ns);
+        c_worker_cycles.inc(d.cycles);
+      }
+    }
     const uint64_t done_us = obs::mono_us();
     const uint64_t service_us = done_us - deq_us;
     svc_h[kind_i]->observe(static_cast<double>(service_us));
@@ -391,6 +441,9 @@ std::vector<SmResult> BatchEngine::run(const std::vector<SmJob>& jobs) {
   FOURQ_COUNTER_ADD("engine.batches", 1);
   if (secs > 0) FOURQ_GAUGE_SET("engine.jobs_per_s", static_cast<double>(jobs.size()) / secs);
   FOURQ_GAUGE_SET("engine.queue.depth.max", queue_->max_depth());
+#if FOURQ_OBS_ENABLED
+  update_perf_gauges("sm", "engine.jobs.sm");
+#endif
   return results;
 }
 
@@ -424,6 +477,9 @@ std::vector<uint8_t> BatchEngine::verify(const std::vector<dsa::SchnorrQ::BatchI
   }
   dispatch(tasks);
   FOURQ_GAUGE_SET("engine.queue.depth.max", queue_->max_depth());
+#if FOURQ_OBS_ENABLED
+  update_perf_gauges("verify", "engine.jobs.verify");
+#endif
   return verdicts;
 }
 

@@ -44,6 +44,48 @@ std::string num_json(double v) {
 
 }  // namespace
 
+json::ValuePtr validate_metrics_json_v1(const std::string& text, std::string* err) {
+  std::string perr;
+  json::ValuePtr doc = json::parse(text, &perr);
+  if (!doc || !doc->is_object()) {
+    *err = perr.empty() ? "not a JSON object" : perr;
+    return nullptr;
+  }
+  try {
+    if (doc->at("schema").string() != "fourq.metrics.v1") {
+      *err = "schema is not fourq.metrics.v1";
+      return nullptr;
+    }
+    const json::Value& prov = doc->at("provenance");
+    (void)prov.at("git_sha").string();
+    (void)prov.at("timestamp_utc").string();
+    const json::Value& metrics = doc->at("metrics");
+    if (!metrics.is_array()) {
+      *err = "\"metrics\" is not an array";
+      return nullptr;
+    }
+    for (const auto& m : metrics.arr) {
+      const std::string& type = m->at("type").string();
+      (void)m->at("name").string();
+      if (type == "counter" || type == "gauge") {
+        (void)m->at("value").number();
+      } else if (type == "histogram") {
+        (void)m->at("count").number();
+        const json::Value& q = m->at("quantiles");
+        (void)q.at("p50").number();
+        (void)q.at("p99").number();
+      } else {
+        *err = "unknown metric type \"" + type + "\"";
+        return nullptr;
+      }
+    }
+  } catch (const std::exception& e) {
+    *err = e.what();
+    return nullptr;
+  }
+  return doc;
+}
+
 SnapshotExporter::SnapshotExporter(Telemetry& telemetry, ExporterOptions opt)
     : telemetry_(&telemetry), opt_(std::move(opt)) {
   if (opt_.interval_ms < 10) opt_.interval_ms = 10;
@@ -144,6 +186,17 @@ bool SnapshotExporter::write_snapshot() {
     return false;
   }
   fs::path dir(opt_.dir);
+
+  // A process killed mid-atomic_write leaves a *.tmp behind. They are never
+  // valid snapshots, so sweep them before writing — scrapers must only ever
+  // see the renamed files.
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".tmp") {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+
   Provenance prov = make_provenance("fourq.metrics.v1", opt_.machine_hash);
 
   std::string prom = "# fourq telemetry snapshot\n# provenance: " + provenance_json(prov) +

@@ -24,9 +24,18 @@
 #include <string>
 #include <thread>
 
+#include "obs/json.hpp"
+
 namespace fourq::obs {
 
 struct Telemetry;
+
+// Parses and validates one fourq.metrics.v1 document (the exporter's
+// metrics.json output): schema tag, provenance, and per-metric shape by
+// type. Returns the parsed document, or nullptr with *err set — this is
+// how `fourqc stats` detects a truncated or corrupt snapshot and exits
+// non-zero instead of reporting garbage.
+json::ValuePtr validate_metrics_json_v1(const std::string& text, std::string* err);
 
 struct ExporterOptions {
   std::string dir;         // created if missing

@@ -55,6 +55,43 @@ struct Parser {
     return fail(std::string("expected '") + c + "'");
   }
 
+  bool parse_hex4(unsigned* out) {
+    if (end - p < 4) return false;
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = p[i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else return false;
+    }
+    p += 4;
+    *out = v;
+    return true;
+  }
+
+  // \u00XX decodes to the single byte XX (inverting json_escape's byte-wise
+  // escaping of control and non-ASCII bytes, so escape->parse round-trips
+  // arbitrary byte strings exactly); code points above 0xFF encode as UTF-8.
+  static void append_codepoint(std::string* out, unsigned cp) {
+    if (cp < 0x100) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   bool parse_string(std::string* out) {
     if (!consume('"')) return false;
     out->clear();
@@ -73,9 +110,24 @@ struct Parser {
           case '"': out->push_back('"'); break;
           case '\\': out->push_back('\\'); break;
           case 'u': {
-            if (end - p < 4) return fail("bad \\u escape");
-            out->append("\\u").append(p, 4);  // pass-through, not decoded
-            p += 4;
+            unsigned cp = 0;
+            if (!parse_hex4(&cp)) return fail("bad \\u escape");
+            // Surrogate pair: combine \uD800-\uDBFF with the following
+            // \uDC00-\uDFFF escape into one supplementary code point.
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              unsigned lo = 0;
+              if (end - p >= 6 && p[0] == '\\' && p[1] == 'u') {
+                p += 2;
+                if (!parse_hex4(&lo) || lo < 0xDC00 || lo > 0xDFFF)
+                  return fail("bad surrogate pair");
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                return fail("unpaired surrogate");
+              }
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return fail("unpaired surrogate");
+            }
+            append_codepoint(out, cp);
             break;
           }
           default: return fail("bad escape char");

@@ -1,8 +1,11 @@
 // Minimal recursive-descent JSON reader — just enough to validate the
-// telemetry exporters' output (Chrome trace JSON, metrics JSONL) and to
-// drive tools/perf_regress. Not a general-purpose library: numbers are
-// doubles, no \uXXXX decoding beyond pass-through, inputs are trusted
-// telemetry files.
+// telemetry exporters' output (Chrome trace JSON, metrics JSONL, perf
+// profiles) and to drive tools/perf_regress. Not a general-purpose library:
+// numbers are doubles, and \uXXXX decoding is byte-oriented below 0x100 —
+// \u00XX yields the single byte XX, exactly inverting obs::json_escape's
+// byte-wise escaping of control/non-ASCII bytes, so escape -> parse
+// round-trips arbitrary byte strings (higher code points, including
+// surrogate pairs, decode to UTF-8 as usual).
 #pragma once
 
 #include <map>

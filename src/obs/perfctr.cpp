@@ -1,0 +1,223 @@
+#include "obs/perfctr.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef FOURQ_OBS_ENABLED
+#define FOURQ_OBS_ENABLED 1
+#endif
+
+// The syscall layer needs Linux kernel headers; everything else (enum,
+// delta arithmetic, the enable flag) is portable so tools and tests behave
+// identically on hosts where only the fallback exists.
+#if FOURQ_OBS_ENABLED && defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define FOURQ_PERFCTR_SYSCALL 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define FOURQ_PERFCTR_SYSCALL 0
+#endif
+
+namespace fourq::obs {
+
+const char* perf_source_name(PerfSource s) {
+  switch (s) {
+    case PerfSource::kHardware: return "hardware";
+    case PerfSource::kSoftware: return "software";
+    case PerfSource::kUnavailable: break;
+  }
+  return "unavailable";
+}
+
+PerfDelta perf_delta(const PerfSample& begin, const PerfSample& end) {
+  auto sub = [](uint64_t a, uint64_t b) { return b > a ? b - a : 0; };
+  PerfDelta d;
+  d.cycles = sub(begin.cycles, end.cycles);
+  d.instructions = sub(begin.instructions, end.instructions);
+  d.cache_refs = sub(begin.cache_refs, end.cache_refs);
+  d.cache_misses = sub(begin.cache_misses, end.cache_misses);
+  d.branch_misses = sub(begin.branch_misses, end.branch_misses);
+  d.task_clock_ns = sub(begin.task_clock_ns, end.task_clock_ns);
+  // A group never changes source mid-thread; the weaker endpoint decides
+  // (covers a begin taken before sampling was enabled).
+  d.source = begin.source < end.source ? begin.source : end.source;
+  return d;
+}
+
+namespace {
+
+// -1 = not yet resolved from the environment, 0 = off, 1 = on.
+std::atomic<int> g_enabled{-1};
+
+[[maybe_unused]] int env_default() {
+  const char* v = std::getenv("FOURQ_OBS_HW");
+  if (!v || !*v) return 0;
+  return (std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0) ? 0 : 1;
+}
+
+}  // namespace
+
+bool perf_enabled() {
+#if !FOURQ_OBS_ENABLED
+  return false;
+#else
+  int s = g_enabled.load(std::memory_order_relaxed);
+  if (s < 0) {
+    s = env_default();
+    int expect = -1;
+    if (!g_enabled.compare_exchange_strong(expect, s, std::memory_order_relaxed))
+      s = expect;  // raced with perf_set_enabled or another first check
+  }
+  return s == 1;
+#endif
+}
+
+void perf_set_enabled(bool on) {
+#if !FOURQ_OBS_ENABLED
+  (void)on;
+#else
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+#endif
+}
+
+#if FOURQ_PERFCTR_SYSCALL
+
+namespace {
+
+// Slot order inside the group read; kTaskClock rides along as a software
+// sibling even in the hardware group so wall attribution never degrades.
+enum EventSlot {
+  kSlotCycles = 0,
+  kSlotInstructions,
+  kSlotCacheRefs,
+  kSlotCacheMisses,
+  kSlotBranchMisses,
+  kSlotTaskClock,
+  kNumSlots
+};
+
+long sys_perf_open(perf_event_attr* attr, int group_fd) {
+  return syscall(SYS_perf_event_open, attr, 0 /* this thread */, -1 /* any cpu */,
+                 group_fd, PERF_FLAG_FD_CLOEXEC);
+}
+
+perf_event_attr make_attr(uint32_t type, uint64_t config, bool leader) {
+  perf_event_attr a;
+  std::memset(&a, 0, sizeof a);
+  a.size = sizeof a;
+  a.type = type;
+  a.config = config;
+  a.disabled = leader ? 1 : 0;  // the whole group starts via one ioctl
+  a.exclude_kernel = 1;         // required under perf_event_paranoid >= 2
+  a.exclude_hv = 1;
+  a.read_format =
+      PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return a;
+}
+
+// One group per thread; opened on first read, closed by the thread_local
+// destructor (perf fds are per-task and must not outlive their thread).
+struct ThreadGroup {
+  int fds[kNumSlots] = {-1, -1, -1, -1, -1, -1};
+  int read_index[kNumSlots] = {-1, -1, -1, -1, -1, -1};  // slot -> group position
+  int n_open = 0;
+  PerfSource source = PerfSource::kUnavailable;
+  bool opened = false;
+
+  ~ThreadGroup() {
+    for (int fd : fds)
+      if (fd >= 0) close(fd);
+  }
+
+  void open_slot(EventSlot slot, uint32_t type, uint64_t config) {
+    perf_event_attr a = make_attr(type, config, n_open == 0);
+    long fd = sys_perf_open(&a, n_open == 0 ? -1 : fds_leader());
+    if (fd < 0) return;  // missing PMU event: skip the slot, keep the group
+    fds[slot] = static_cast<int>(fd);
+    read_index[slot] = n_open++;
+  }
+
+  int fds_leader() const {
+    for (int fd : fds)
+      if (fd >= 0) return fd;
+    return -1;
+  }
+
+  void open() {
+    opened = true;
+    open_slot(kSlotCycles, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    if (fds[kSlotCycles] >= 0) {
+      source = PerfSource::kHardware;
+      open_slot(kSlotInstructions, PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+      open_slot(kSlotCacheRefs, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES);
+      open_slot(kSlotCacheMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+      open_slot(kSlotBranchMisses, PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES);
+    }
+    // Software fallback / rider: task-clock needs no PMU and survives
+    // containers and perf_event_paranoid-locked runners.
+    open_slot(kSlotTaskClock, PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK);
+    if (source == PerfSource::kUnavailable && fds[kSlotTaskClock] >= 0)
+      source = PerfSource::kSoftware;
+    int leader = fds_leader();
+    if (leader >= 0) ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+
+  PerfSample read() {
+    PerfSample s;
+    s.source = source;
+    int leader = fds_leader();
+    if (leader < 0) return s;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+    uint64_t buf[3 + kNumSlots] = {0};
+    ssize_t want = static_cast<ssize_t>((3 + n_open) * sizeof(uint64_t));
+    if (::read(leader, buf, static_cast<size_t>(want)) != want) return s;
+    // Scale for multiplexing (running < enabled when the PMU is shared);
+    // with one small group per thread this is almost always a no-op.
+    double scale = 1.0;
+    if (buf[2] != 0 && buf[2] < buf[1])
+      scale = static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+    auto value = [&](EventSlot slot) -> uint64_t {
+      int i = read_index[slot];
+      if (i < 0) return 0;
+      return static_cast<uint64_t>(static_cast<double>(buf[3 + i]) * scale);
+    };
+    s.cycles = value(kSlotCycles);
+    s.instructions = value(kSlotInstructions);
+    s.cache_refs = value(kSlotCacheRefs);
+    s.cache_misses = value(kSlotCacheMisses);
+    s.branch_misses = value(kSlotBranchMisses);
+    s.task_clock_ns = value(kSlotTaskClock);
+    return s;
+  }
+};
+
+ThreadGroup& thread_group() {
+  thread_local ThreadGroup g;
+  return g;
+}
+
+}  // namespace
+
+PerfSample perf_read_thread() {
+  if (!perf_enabled()) return PerfSample{};
+  ThreadGroup& g = thread_group();
+  if (!g.opened) g.open();
+  return g.read();
+}
+
+PerfSource perf_thread_source() {
+  ThreadGroup& g = thread_group();
+  return g.opened ? g.source : PerfSource::kUnavailable;
+}
+
+#else  // !FOURQ_PERFCTR_SYSCALL
+
+PerfSample perf_read_thread() { return PerfSample{}; }
+PerfSource perf_thread_source() { return PerfSource::kUnavailable; }
+
+#endif  // FOURQ_PERFCTR_SYSCALL
+
+}  // namespace fourq::obs

@@ -1,0 +1,94 @@
+// Hardware performance counters over Linux perf_event_open(2) — the host-
+// cycle ground truth behind every `perf.*` metric and `fourq.perf.v1`
+// profile artifact (docs/OBSERVABILITY.md).
+//
+// Each thread that samples gets its own counter group, opened lazily on the
+// first read and closed automatically at thread exit: cycles, instructions,
+// cache-references, cache-misses and branch-misses as hardware events plus
+// task-clock as a software sibling. When the kernel refuses hardware PMU
+// access (containers, perf_event_paranoid, VMs without vPMU) the layer
+// degrades in two documented steps: a software-only group (task-clock — wall
+// attribution still works, IPC does not), and finally "unavailable" (all-
+// zero samples; artifacts say so explicitly instead of reporting zeros as
+// measurements).
+//
+// Sampling is off by default and costs one relaxed atomic load per check.
+// It is switched on per process (`fourqc profile --hw`, `fourqc batch --hw`,
+// or $FOURQ_OBS_HW=1); the span tracer and the batch engine's workers then
+// read their thread's group around every span / pool task. Counter values
+// are cumulative per thread — subtract two samples (perf_delta) to attribute
+// a region. A build with FOURQ_OBS=OFF keeps this API but compiles the
+// syscall layer out entirely: perf_enabled() is constant false and reads
+// return "unavailable".
+#pragma once
+
+#include <cstdint>
+
+namespace fourq::obs {
+
+// What the calling thread's counter group is actually reading, in degrading
+// order. Comparisons use the numeric order (kHardware is "best").
+enum class PerfSource : uint8_t { kUnavailable = 0, kSoftware = 1, kHardware = 2 };
+
+// "unavailable" / "software" / "hardware" — the value of the `counters`
+// field in fourq.perf.v1 artifacts.
+const char* perf_source_name(PerfSource s);
+
+// One reading of the calling thread's counter group. Values are cumulative
+// since the group was opened; only the fields the source provides are
+// meaningful (software: task_clock_ns only; unavailable: none).
+struct PerfSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_refs = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  uint64_t task_clock_ns = 0;
+  PerfSource source = PerfSource::kUnavailable;
+};
+
+// Counter increments between two samples of the same thread, plus the
+// derived per-phase rates the profile artifacts report.
+struct PerfDelta {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_refs = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  uint64_t task_clock_ns = 0;
+  PerfSource source = PerfSource::kUnavailable;
+
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) / static_cast<double>(cycles) : 0.0;
+  }
+  double cache_miss_rate() const {
+    return cache_refs ? static_cast<double>(cache_misses) / static_cast<double>(cache_refs)
+                      : 0.0;
+  }
+  double branch_miss_per_kinstr() const {
+    return instructions ? 1000.0 * static_cast<double>(branch_misses) /
+                              static_cast<double>(instructions)
+                        : 0.0;
+  }
+};
+
+// end - begin, saturating at zero per counter (counter groups only count
+// up, but scaling under multiplexing can wobble by a few counts).
+PerfDelta perf_delta(const PerfSample& begin, const PerfSample& end);
+
+// Process-wide runtime switch. Initial state comes from $FOURQ_OBS_HW
+// ("1"/"on" enables); perf_set_enabled overrides it. Checking costs one
+// relaxed atomic load, so instrumented hot paths may branch on it freely.
+bool perf_enabled();
+void perf_set_enabled(bool on);
+
+// Reads the calling thread's counter group, opening it on first use. While
+// sampling is disabled (or under FOURQ_OBS=OFF / non-Linux builds) this
+// returns an all-zero sample with source == kUnavailable and opens nothing.
+PerfSample perf_read_thread();
+
+// The source the calling thread's group resolved to (kUnavailable until the
+// first perf_read_thread() with sampling enabled).
+PerfSource perf_thread_source();
+
+}  // namespace fourq::obs

@@ -89,14 +89,19 @@ void SpanTracer::on_thread_exit(uint64_t token) {
 
 void SpanTracer::begin(const std::string& name) {
   uint64_t token = SpanThreadToken::current();
+  // Counter reads touch only the calling thread's group — outside the lock.
+  PerfSample perf;
+  if (perf_enabled()) perf = perf_read_thread();
   uint64_t t = now_us();
   std::lock_guard<std::mutex> lock(mu_);
   int tid = tid_for_locked(token);
-  open_[tid].push_back({name, t});
+  open_[tid].push_back({name, t, perf});
 }
 
 void SpanTracer::end() {
   uint64_t token = SpanThreadToken::current();
+  PerfSample perf_end;
+  if (perf_enabled()) perf_end = perf_read_thread();
   uint64_t t = now_us();
   FlightRecorder* flight = nullptr;
   SpanRecord r;
@@ -114,6 +119,11 @@ void SpanTracer::end() {
     r.tid = tid;
     r.start_us = o.start_us;
     r.dur_us = t - o.start_us;
+    if (o.perf_begin.source != PerfSource::kUnavailable &&
+        perf_end.source != PerfSource::kUnavailable) {
+      r.perf = perf_delta(o.perf_begin, perf_end);
+      r.has_perf = r.perf.source != PerfSource::kUnavailable;
+    }
     if (stack.empty()) open_.erase(stack_it);
     spans_.push_back(r);
     flight = flight_;
@@ -236,14 +246,20 @@ std::string json_escape(const std::string& s) {
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
       case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Escape every control byte AND every non-ASCII byte as \u00XX, so
+        // arbitrary byte strings (span/flight names are not validated
+        // anywhere) always emit pure-ASCII, valid JSON. obs::json decodes
+        // \u00XX back to the single byte, making the round trip exact.
+        unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u >= 0x7f) {
           char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          std::snprintf(buf, sizeof buf, "\\u%04x", u);
           out += buf;
         } else {
           out += c;
         }
+      }
     }
   }
   return out;

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/perfctr.hpp"
+
 namespace fourq::obs {
 
 class FlightRecorder;
@@ -32,6 +34,11 @@ struct SpanRecord {
   int tid = 0;           // tracer-assigned thread number (0 = first tracing thread)
   uint64_t start_us = 0; // microseconds since the tracer epoch
   uint64_t dur_us = 0;
+  // Hardware-counter increments across the span (obs/perfctr). Populated
+  // only when sampling was enabled for the whole span on its thread;
+  // has_perf distinguishes "zero cycles" from "not measured".
+  bool has_perf = false;
+  PerfDelta perf;
 };
 
 class SpanTracer {
@@ -86,6 +93,7 @@ class SpanTracer {
   struct Open {
     std::string name;
     uint64_t start_us;
+    PerfSample perf_begin;  // source == kUnavailable when sampling was off
   };
   int tid_for_locked(uint64_t token);
   // Called by the thread-exit hook: abandon the exiting thread's open
@@ -115,6 +123,9 @@ class ScopedSpan {
 };
 
 // Escapes a string for embedding in a JSON literal (used by every exporter).
+// Output is pure ASCII: control bytes and non-ASCII bytes become \u00XX
+// escapes, so arbitrary byte strings in span/flight names always produce
+// valid JSON. obs::json::parse inverts this exactly (\u00XX -> one byte).
 std::string json_escape(const std::string& s);
 
 }  // namespace fourq::obs

@@ -581,6 +581,108 @@ TEST(EventStream, UtilisationAndStalls) {
             sim.stats.cycles);
 }
 
+TEST(Json, EscapeRoundTripsControlAndHighBytes) {
+  // The exporters embed caller-supplied names (span names, flight names,
+  // metric labels) in JSON; json_escape must make any byte string safe and
+  // the reader must invert it exactly.
+  const std::string nasty = std::string("line\nbreak \"quoted\" ctrl") +
+                            '\x01' + " high" + '\xb1' + '\xff' + " tab\t";
+  std::string doc = "{\"s\":\"" + obs::json_escape(nasty) + "\"}";
+  std::string err;
+  obs::json::ValuePtr v = obs::json::parse(doc, &err);
+  ASSERT_TRUE(err.empty()) << err << " in " << doc;
+  EXPECT_EQ(v->at("s").string(), nasty);
+
+  // The same bytes as a span name survive the Chrome trace export.
+  SpanTracer t;
+  t.begin(nasty);
+  t.end();
+  err.clear();
+  obs::json::ValuePtr trace = obs::json::parse(t.chrome_trace_json(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(trace->at("traceEvents").at(0).at("name").string(), nasty);
+
+  // ... and as a flight-recorder event name through to_json.
+  obs::FlightRecorder f((obs::FlightConfig()));
+  f.record(obs::FlightKind::kMark, nasty.c_str(), 1, 0);
+  err.clear();
+  obs::json::ValuePtr flight = obs::json::parse(f.to_json(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(flight->at("events").arr.size(), 1u);
+  EXPECT_EQ(flight->at("events").at(0).at("name").string(), nasty);
+}
+
+TEST(Exporter, StaleTmpFilesCleanedOnNextExport) {
+  // A process killed mid-export leaves `<name>.tmp` behind (write_snapshot
+  // writes to a temp file then renames). The next export must sweep them so
+  // a crash can't strand junk in the telemetry directory forever.
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "fourq_obs_staletmp_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::ofstream(dir / "metrics.json.tmp") << "{\"partial\":";
+  std::ofstream(dir / "flight.json.tmp") << "garbage";
+
+  obs::Telemetry tel;
+  tel.metrics.counter("engine.jobs.sm").inc(3);
+  obs::ExporterOptions opt;
+  opt.dir = dir.string();
+  obs::SnapshotExporter exp(tel, opt);
+  ASSERT_TRUE(exp.write_snapshot());
+
+  int tmp_left = 0;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.path().extension() == ".tmp") ++tmp_left;
+  EXPECT_EQ(tmp_left, 0);
+  // The real exports landed and the stale partial did not shadow them.
+  EXPECT_TRUE(fs::exists(dir / "metrics.json"));
+  std::ifstream in(dir / "metrics.json", std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  EXPECT_NE(obs::validate_metrics_json_v1(ss.str(), &err), nullptr) << err;
+  fs::remove_all(dir);
+}
+
+TEST(Exporter, TruncatedMetricsJsonRejected) {
+  // fourqc stats loads metrics.json through validate_metrics_json_v1; a
+  // file truncated by a crash or full disk must fail loudly (exit 1 in the
+  // CLI), never parse as a smaller-but-valid document.
+  obs::Telemetry tel;
+  tel.metrics.counter("engine.jobs.sm").inc(42);
+  tel.metrics.latency_histogram("engine.queue.wait_us", {{"kind", "sm"}}).observe(9.0);
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "fourq_obs_truncate_test";
+  fs::remove_all(dir);
+  obs::ExporterOptions opt;
+  opt.dir = dir.string();
+  obs::SnapshotExporter exp(tel, opt);
+  ASSERT_TRUE(exp.write_snapshot());
+  std::ifstream in(dir / "metrics.json", std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string full = ss.str();
+  fs::remove_all(dir);
+
+  std::string err;
+  EXPECT_NE(obs::validate_metrics_json_v1(full, &err), nullptr) << err;
+
+  err.clear();
+  EXPECT_EQ(obs::validate_metrics_json_v1(full.substr(0, full.size() * 3 / 5), &err),
+            nullptr);
+  EXPECT_FALSE(err.empty());
+
+  err.clear();
+  EXPECT_EQ(obs::validate_metrics_json_v1("", &err), nullptr);
+  EXPECT_FALSE(err.empty());
+
+  // Well-formed JSON with the wrong schema is rejected too.
+  err.clear();
+  EXPECT_EQ(obs::validate_metrics_json_v1("{\"schema\":\"fourq.flight.v1\"}", &err),
+            nullptr);
+  EXPECT_FALSE(err.empty());
+}
+
 TEST(Json, ParserBasics) {
   std::string err;
   obs::json::ValuePtr v =

@@ -1,0 +1,297 @@
+// fourq.perf.v1 profile tests: span-path reconstruction, artifact
+// round-trip, flamegraph folding, differential reports, and the perfctr
+// sampling layer's degradation contract (hardware -> software ->
+// unavailable must never turn into silent zeros).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/perf_profile.hpp"
+#include "obs/perfctr.hpp"
+
+namespace fourq {
+namespace {
+
+using obs::PerfAccum;
+using obs::PerfProfile;
+using obs::PerfSpanStat;
+using obs::SpanRecord;
+
+SpanRecord span(const char* name, int depth, int tid, uint64_t start_us,
+                uint64_t dur_us) {
+  SpanRecord s;
+  s.name = name;
+  s.depth = depth;
+  s.tid = tid;
+  s.start_us = start_us;
+  s.dur_us = dur_us;
+  return s;
+}
+
+SpanRecord hw_span(const char* name, int depth, int tid, uint64_t start_us,
+                   uint64_t dur_us, uint64_t cycles, uint64_t instructions) {
+  SpanRecord s = span(name, depth, tid, start_us, dur_us);
+  s.has_perf = true;
+  s.perf.cycles = cycles;
+  s.perf.instructions = instructions;
+  s.perf.cache_refs = 100;
+  s.perf.cache_misses = 10;
+  s.perf.source = obs::PerfSource::kHardware;
+  return s;
+}
+
+// Two repetitions of run{phase_a, phase_b} on one thread, plus an unrelated
+// top-level span on a second thread. Paths must be reconstructed per thread
+// from begin order and depth.
+std::vector<SpanRecord> two_rep_spans() {
+  return {
+      span("run", 0, 0, 0, 100),      span("phase_a", 1, 0, 10, 30),
+      span("phase_b", 1, 0, 50, 40),  span("run", 0, 0, 200, 120),
+      span("phase_a", 1, 0, 210, 34), span("phase_b", 1, 0, 250, 44),
+      span("io", 0, 1, 5, 7),
+  };
+}
+
+TEST(PerfAccum, StatsAndReconstruction) {
+  PerfAccum a;
+  for (double v : {10.0, 12.0, 14.0}) a.add(v);
+  EXPECT_EQ(a.n, 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 12.0);
+  EXPECT_NEAR(a.stddev(), 2.0, 1e-9);
+  EXPECT_NEAR(a.stderr_mean(), 2.0 / std::sqrt(3.0), 1e-9);
+
+  PerfAccum b = PerfAccum::from_stats(a.n, a.mean(), a.stddev());
+  EXPECT_EQ(b.n, a.n);
+  EXPECT_NEAR(b.mean(), a.mean(), 1e-9);
+  EXPECT_NEAR(b.stddev(), a.stddev(), 1e-6);
+
+  PerfAccum empty;
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.stderr_mean(), 0.0);
+}
+
+TEST(PerfProfile, PathReconstructionAcrossThreads) {
+  PerfProfile p = obs::build_perf_profile(two_rep_spans());
+  ASSERT_EQ(p.spans.size(), 4u);  // sorted by path
+  EXPECT_EQ(p.spans[0].path, "io");
+  EXPECT_EQ(p.spans[1].path, "run");
+  EXPECT_EQ(p.spans[2].path, "run;phase_a");
+  EXPECT_EQ(p.spans[3].path, "run;phase_b");
+
+  // Both repetitions aggregate into one path with noise statistics.
+  const PerfSpanStat& a = p.spans[2];
+  EXPECT_EQ(a.name, "phase_a");
+  EXPECT_EQ(a.depth, 1);
+  EXPECT_EQ(a.wall_us.n, 2u);
+  EXPECT_DOUBLE_EQ(a.wall_us.mean(), 32.0);
+  EXPECT_GT(a.wall_us.stddev(), 0.0);
+
+  // No counters attached anywhere -> the artifact says so explicitly.
+  EXPECT_EQ(p.counters, "unavailable");
+  EXPECT_EQ(a.perf_n, 0u);
+}
+
+TEST(PerfProfile, HardwareCountersAggregate) {
+  std::vector<SpanRecord> spans = {
+      hw_span("run", 0, 0, 0, 100, 1000, 2000),
+      hw_span("run", 0, 0, 200, 100, 3000, 6000),
+  };
+  PerfProfile p = obs::build_perf_profile(spans);
+  EXPECT_EQ(p.counters, "hardware");
+  ASSERT_EQ(p.spans.size(), 1u);
+  const PerfSpanStat& s = p.spans[0];
+  EXPECT_EQ(s.perf_n, 2u);
+  EXPECT_DOUBLE_EQ(s.cycles.mean(), 2000.0);
+  EXPECT_DOUBLE_EQ(s.ipc(), 2.0);  // 8000 instructions / 4000 cycles
+  EXPECT_DOUBLE_EQ(s.cache_miss_rate(), 0.1);
+}
+
+TEST(PerfProfile, JsonRoundTrip) {
+  std::vector<SpanRecord> spans = two_rep_spans();
+  spans.push_back(hw_span("run", 0, 0, 400, 110, 5000, 9000));
+  PerfProfile p = obs::build_perf_profile(spans);
+  std::string doc = obs::perf_profile_json(p, "beef");
+
+  // It is one well-formed JSON object with provenance.
+  std::string jerr;
+  obs::json::ValuePtr v = obs::json::parse(doc, &jerr);
+  ASSERT_TRUE(jerr.empty()) << jerr;
+  EXPECT_EQ(v->at("schema").string(), "fourq.perf.v1");
+  EXPECT_EQ(v->at("provenance").at("machine_hash").string(), "beef");
+
+  PerfProfile q;
+  std::string err;
+  ASSERT_TRUE(obs::parse_perf_profile(doc, &q, &err)) << err;
+  EXPECT_EQ(q.counters, p.counters);
+  ASSERT_EQ(q.spans.size(), p.spans.size());
+  for (size_t i = 0; i < p.spans.size(); ++i) {
+    EXPECT_EQ(q.spans[i].path, p.spans[i].path);
+    EXPECT_EQ(q.spans[i].wall_us.n, p.spans[i].wall_us.n);
+    EXPECT_NEAR(q.spans[i].wall_us.mean(), p.spans[i].wall_us.mean(), 1e-6);
+    EXPECT_NEAR(q.spans[i].wall_us.stddev(), p.spans[i].wall_us.stddev(), 1e-3);
+    EXPECT_EQ(q.spans[i].perf_n, p.spans[i].perf_n);
+  }
+
+  // Malformed input and wrong schema both fail with a message.
+  PerfProfile bad;
+  EXPECT_FALSE(obs::parse_perf_profile("{\"schema\":\"fourq.metrics.v1\"}", &bad, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(obs::parse_perf_profile("not json", &bad, &err));
+}
+
+TEST(PerfProfile, FoldedSelfTime) {
+  PerfProfile p = obs::build_perf_profile(two_rep_spans());
+  std::string folded = obs::perf_folded(p);
+
+  // Each line is "path self_value"; `run` self time excludes its children:
+  // total 220 - (64 + 84) = 72 us across the two repetitions.
+  EXPECT_NE(folded.find("io 7"), std::string::npos);
+  EXPECT_NE(folded.find("run 72"), std::string::npos);
+  EXPECT_NE(folded.find("run;phase_a 64"), std::string::npos);
+  EXPECT_NE(folded.find("run;phase_b 84"), std::string::npos);
+  // Well-formed collapsed-stack lines: non-empty, exactly one trailing value.
+  size_t pos = 0;
+  int lines = 0;
+  while (pos < folded.size()) {
+    size_t nl = folded.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    std::string line = folded.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lines;
+    size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(sp, 0u) << line;
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(PerfDiff, AlignedDeltasAndNoise) {
+  std::vector<SpanRecord> base_spans, cur_spans;
+  // Same workload measured 3x each; phase_a doubles, phase_b is unchanged,
+  // "gone" exists only in base and "new" only in current.
+  for (int rep = 0; rep < 3; ++rep) {
+    uint64_t t = 1000u * static_cast<unsigned>(rep);
+    base_spans.push_back(span("phase_a", 0, 0, t, 100));
+    base_spans.push_back(span("phase_b", 0, 0, t + 200, 50));
+    base_spans.push_back(span("gone", 0, 0, t + 300, 10));
+    cur_spans.push_back(span("phase_a", 0, 0, t, 200));
+    cur_spans.push_back(span("phase_b", 0, 0, t + 300, 50));
+    cur_spans.push_back(span("new", 0, 0, t + 400, 10));
+  }
+  PerfProfile base = obs::build_perf_profile(base_spans);
+  PerfProfile cur = obs::build_perf_profile(cur_spans);
+
+  obs::PerfDiffReport r = obs::perf_diff(base, cur);
+  EXPECT_EQ(r.metric, "wall_us");  // no hardware counters on either side
+  ASSERT_EQ(r.rows.size(), 4u);    // union of paths, sorted
+
+  for (const obs::PerfDiffRow& row : r.rows) {
+    if (row.path == "phase_a") {
+      EXPECT_TRUE(row.in_base && row.in_current);
+      EXPECT_NEAR(row.delta_pct, 100.0, 1e-9);
+      EXPECT_TRUE(row.significant);  // zero variance -> zero noise
+    } else if (row.path == "phase_b") {
+      EXPECT_NEAR(row.delta_pct, 0.0, 1e-9);
+      EXPECT_FALSE(row.significant);
+    } else if (row.path == "gone") {
+      EXPECT_TRUE(row.in_base);
+      EXPECT_FALSE(row.in_current);
+    } else if (row.path == "new") {
+      EXPECT_FALSE(row.in_base);
+      EXPECT_TRUE(row.in_current);
+    } else {
+      ADD_FAILURE() << "unexpected path " << row.path;
+    }
+  }
+
+  // Text report names the metric and flags the regression.
+  std::string text = obs::perf_diff_text(r);
+  EXPECT_NE(text.find("phase_a"), std::string::npos);
+  EXPECT_NE(text.find("SLOWER"), std::string::npos);
+  EXPECT_NE(text.find("NEW"), std::string::npos);
+  EXPECT_NE(text.find("GONE"), std::string::npos);
+
+  // JSON report parses and carries the same verdicts.
+  std::string jerr;
+  obs::json::ValuePtr v = obs::json::parse(obs::perf_diff_json(r), &jerr);
+  ASSERT_TRUE(jerr.empty()) << jerr;
+  EXPECT_EQ(v->at("schema").string(), "fourq.perfdiff.v1");
+  EXPECT_EQ(v->at("metric").string(), "wall_us");
+  EXPECT_EQ(v->at("rows").arr.size(), 4u);
+
+  // With hardware counters on both sides, the compared metric is cycles.
+  PerfProfile hb = obs::build_perf_profile({hw_span("x", 0, 0, 0, 10, 100, 200)});
+  PerfProfile hc = obs::build_perf_profile({hw_span("x", 0, 0, 0, 10, 150, 300)});
+  obs::PerfDiffReport hr = obs::perf_diff(hb, hc);
+  EXPECT_EQ(hr.metric, "cycles");
+  ASSERT_EQ(hr.rows.size(), 1u);
+  EXPECT_NEAR(hr.rows[0].delta_pct, 50.0, 1e-9);
+}
+
+TEST(PerfCtr, DeltaSaturatesAndDerivedRates) {
+  obs::PerfSample a, b;
+  a.cycles = 1000;
+  a.instructions = 500;
+  a.task_clock_ns = 10;
+  a.source = obs::PerfSource::kHardware;
+  b.cycles = 4000;
+  b.instructions = 6500;
+  b.task_clock_ns = 5;  // multiplex-scaling wobble: end < begin saturates to 0
+  b.source = obs::PerfSource::kHardware;
+  obs::PerfDelta d = obs::perf_delta(a, b);
+  EXPECT_EQ(d.cycles, 3000u);
+  EXPECT_EQ(d.instructions, 6000u);
+  EXPECT_EQ(d.task_clock_ns, 0u);
+  EXPECT_DOUBLE_EQ(d.ipc(), 2.0);
+  EXPECT_EQ(d.source, obs::PerfSource::kHardware);
+
+  // The delta's source is the weaker of the two samples.
+  b.source = obs::PerfSource::kSoftware;
+  EXPECT_EQ(obs::perf_delta(a, b).source, obs::PerfSource::kSoftware);
+
+  EXPECT_STREQ(obs::perf_source_name(obs::PerfSource::kUnavailable), "unavailable");
+  EXPECT_STREQ(obs::perf_source_name(obs::PerfSource::kSoftware), "software");
+  EXPECT_STREQ(obs::perf_source_name(obs::PerfSource::kHardware), "hardware");
+}
+
+TEST(PerfCtr, DisabledSamplingReadsUnavailable) {
+  obs::perf_set_enabled(false);
+  obs::PerfSample s = obs::perf_read_thread();
+  EXPECT_EQ(s.source, obs::PerfSource::kUnavailable);
+  EXPECT_EQ(s.cycles, 0u);
+  EXPECT_EQ(s.task_clock_ns, 0u);
+  EXPECT_FALSE(obs::perf_enabled());
+}
+
+TEST(PerfCtr, EnabledSamplingDegradesExplicitly) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  obs::perf_set_enabled(true);
+  obs::PerfSample first = obs::perf_read_thread();
+  // Whatever the kernel allowed (hardware, software fallback, or nothing in
+  // a locked-down container), the sample must say so and the per-thread
+  // source must agree with it.
+  EXPECT_EQ(first.source, obs::perf_thread_source());
+  if (first.source == obs::PerfSource::kUnavailable) {
+    obs::perf_set_enabled(false);
+    GTEST_SKIP() << "perf_event_open unavailable here — degradation verified";
+  }
+  // Counters are cumulative: burn some CPU, read again, the clock advanced.
+  volatile double sink = 1.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink * 1.0000001 + 1e-9;
+  obs::PerfSample second = obs::perf_read_thread();
+  obs::PerfDelta d = obs::perf_delta(first, second);
+  EXPECT_NE(d.source, obs::PerfSource::kUnavailable);
+  EXPECT_GT(d.task_clock_ns, 0u);
+  if (first.source == obs::PerfSource::kHardware) {
+    EXPECT_GT(d.cycles, 0u);
+  }
+  obs::perf_set_enabled(false);
+}
+
+}  // namespace
+}  // namespace fourq

@@ -43,6 +43,7 @@
 #include "obs/exporter.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/perf_profile.hpp"
 #include "power/activity_energy.hpp"
 #include "power/area.hpp"
 #include "power/sotb65.hpp"
@@ -57,7 +58,7 @@ using namespace fourq;
 
 void usage() {
   std::printf(
-      "usage: fourqc [profile|explain|lint|batch|stats] [options]\n"
+      "usage: fourqc [profile|explain|lint|batch|stats|perf] [options]\n"
       "  --variant functional|paper-cost   endomorphism phase (default paper-cost)\n"
       "  --solver seq|list|anneal|bnb      scheduler (default list)\n"
       "  --anneal-iters N                  SA iterations (default 400)\n"
@@ -81,8 +82,17 @@ void usage() {
       "  --out DIR                         bundle directory (default profile_out)\n"
       "  --scalar HEX                      scalar to profile (default fixed)\n"
       "  --events                          also dump the raw cycle event log\n"
+      "  --hw                              attach perf_event hardware counters\n"
+      "                                    (cycles/instructions/cache/branch) to\n"
+      "                                    every span; falls back to software\n"
+      "                                    counters, or 'unavailable', in\n"
+      "                                    containers that block perf_event_open\n"
+      "  --repeat N                        run the pipeline N times for noise\n"
+      "                                    bars in perf.json (default 1)\n"
+      "  --flame FILE                      write collapsed stacks for\n"
+      "                                    flamegraph.pl / speedscope\n"
       "  (bundle: trace.json [chrome://tracing], metrics.jsonl, phases.json,\n"
-      "   summary.txt, events.jsonl)\n"
+      "   perf.json [fourq.perf.v1], summary.txt, events.jsonl)\n"
       "\n"
       "explain subcommand — schedule explainability: critical-path lower\n"
       "bounds, bound gaps and stall root-cause attribution, side by side for\n"
@@ -122,6 +132,18 @@ void usage() {
       "                                    (default $FOURQ_OBS_EXPORT_DIR; off if unset)\n"
       "  --export-interval-ms N            snapshot refresh period (default\n"
       "                                    $FOURQ_OBS_EXPORT_INTERVAL_MS or 1000)\n"
+      "  --hw                              per-worker perf_event counters:\n"
+      "                                    perf.* series labeled by kind/worker,\n"
+      "                                    cycles-per-job + IPC gauges, and a\n"
+      "                                    fourq.perf.v1 artifact\n"
+      "  --perf-out FILE                   --hw artifact path (default\n"
+      "                                    batch_perf.json)\n"
+      "\n"
+      "perf subcommand — differential profiling:\n"
+      "  fourqc perf diff BASE.json CURRENT.json [--json]\n"
+      "    aligns two fourq.perf.v1 artifacts by span path and reports\n"
+      "    per-phase deltas with standard-error noise bars (compares cycles\n"
+      "    when both artifacts carry hardware counters, wall time otherwise)\n"
       "\n"
       "stats subcommand — read and pretty-print (or tail) the telemetry\n"
       "snapshots written by a live `fourqc batch` run or the exporter; also\n"
@@ -206,35 +228,59 @@ bool ensure_out_dir(const std::filesystem::path& dir) {
   return true;
 }
 
+struct ProfileOptions {
+  std::string out = "profile_out";
+  std::string scalar =
+      "1f2e3d4c5b6a79880123456789abcdef0fedcba987654321aa55aa55aa55aa55";
+  bool events = false;   // also dump the raw cycle event log
+  bool hw = false;       // attach perf_event counters to every span
+  int repeat = 1;        // re-run the pipeline N times for noise bars
+  std::string flame;     // collapsed-stack output path ("" = off)
+};
+
 int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOptions& copt,
-                const std::string& out_dir, const std::string& scalar_hex,
-                bool dump_events) {
-  std::filesystem::path out_path(out_dir);
+                const ProfileOptions& popt) {
+  const bool dump_events = popt.events;
+  std::filesystem::path out_path(popt.out);
   if (!ensure_out_dir(out_path)) return 2;
 
   obs::Telemetry& tel = obs::global();
   tel.reset();
+  if (popt.hw) obs::perf_set_enabled(true);
 
   U256 k;
   try {
-    k = U256::from_hex(scalar_hex);
+    k = U256::from_hex(popt.scalar);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fourqc profile: bad --scalar value: %s\n", e.what());
     return 2;
   }
   curve::Affine p = curve::deterministic_point(1);
 
-  // 1. Software pipeline: spans for decompose/precompute/loop/normalize.
+  // Phases 1-3 run --repeat times: every repetition contributes one more
+  // sample per span path, which is what gives `fourqc perf diff` its noise
+  // bars. Event sinks are cleared per repetition (energy attribution below
+  // reads the last repetition's stream); the repeat-summed sim counters are
+  // recorded once after the loop from the final repetition's stats.
+  const int repeat = std::max(1, popt.repeat);
+  trace::SmTraceOptions topt = topt_in;
   curve::Affine sw;
+  obs::RecordingSink flat_events;
+  asic::SimResult flat_res;
+  obs::RecordingSink loop_events;
+  asic::LoopedSm lsm;
+  asic::SimResult loop_res;
+  for (int rep = 0; rep < repeat; ++rep) {
+  flat_events.events.clear();
+  loop_events.events.clear();
+
+  // 1. Software pipeline: spans for decompose/precompute/loop/normalize.
   {
     FOURQ_SPAN("profile.software_sm");
     sw = curve::to_affine(curve::scalar_mul(k, p));
   }
 
   // 2. Hardware flow: trace -> schedule -> flat simulation with a recorder.
-  trace::SmTraceOptions topt = topt_in;
-  obs::RecordingSink flat_events;
-  asic::SimResult flat_res;
   {
     FOURQ_SPAN("profile.flat_sm");
     trace::SmTrace sm = trace::build_sm_trace(topt);
@@ -261,13 +307,9 @@ int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOption
       }
     }
   }
-  record_sim_metrics("sim.flat", flat_res.stats);
 
   // 3. Looped controller: segment boundaries give the hardware-phase
   //    windows for energy attribution.
-  obs::RecordingSink loop_events;
-  asic::LoopedSm lsm;
-  asic::SimResult loop_res;
   {
     FOURQ_SPAN("profile.looped_sm");
     asic::LoopedSmOptions lopt;
@@ -291,6 +333,8 @@ int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOption
                                        &loop_events);
     }
   }
+  }  // repeat loop
+  record_sim_metrics("sim.flat", flat_res.stats);
   record_sim_metrics("sim.looped", loop_res.stats);
 
   // 4. Per-phase energy attribution from the looped event stream.
@@ -329,6 +373,46 @@ int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOption
       summary += buf;
     }
   }
+  // Hardware-counter profile (fourq.perf.v1) aggregated over all
+  // repetitions. Always written — an artifact with counters:"unavailable"
+  // still carries wall-time stats usable by `fourqc perf diff`.
+  obs::PerfProfile prof = obs::build_perf_profile(tel.spans.spans());
+  if (popt.hw) {
+    summary += "\n== hardware counters (" + prof.counters + ", " +
+               std::to_string(repeat) + " repetition" + (repeat == 1 ? "" : "s") + ") ==\n";
+    if (prof.counters == "unavailable") {
+      summary +=
+          "(perf_event_open unavailable in this environment -- perf.json "
+          "carries wall times only)\n";
+    } else if (prof.counters == "software") {
+      // PMU events blocked (common under perf_event_paranoid >= 2 /
+      // containers): only the software task-clock is live.
+      char buf[220];
+      std::snprintf(buf, sizeof buf, "%-52s %4s %14s\n", "span path", "n",
+                    "task-clock us");
+      summary += buf;
+      for (const obs::PerfSpanStat& s : prof.spans) {
+        if (!s.perf_n) continue;
+        std::snprintf(buf, sizeof buf, "%-52s %4llu %14.1f\n", s.path.c_str(),
+                      static_cast<unsigned long long>(s.perf_n),
+                      s.task_clock_ns.mean() / 1e3);
+        summary += buf;
+      }
+    } else {
+      char buf[220];
+      std::snprintf(buf, sizeof buf, "%-46s %4s %14s %14s %6s %8s\n", "span path", "n",
+                    "cycles", "instrs", "IPC", "miss%");
+      summary += buf;
+      for (const obs::PerfSpanStat& s : prof.spans) {
+        if (!s.perf_n) continue;
+        std::snprintf(buf, sizeof buf, "%-46s %4llu %14.0f %14.0f %6.2f %7.2f%%\n",
+                      s.path.c_str(), static_cast<unsigned long long>(s.perf_n),
+                      s.cycles.mean(), s.instructions.mean(), s.ipc(),
+                      100.0 * s.cache_miss_rate());
+        summary += buf;
+      }
+    }
+  }
   if (!obs::compiled_in())
     summary += "\n(note: built with FOURQ_OBS=OFF — span/counter macros compiled out)\n";
 
@@ -337,14 +421,20 @@ int run_profile(const trace::SmTraceOptions& topt_in, const sched::CompileOption
                        obs::provenance_line("fourq.metrics.v1", machine_hash_for(topt, copt)) +
                            tel.metrics.to_jsonl()) &&
             write_file(dir / "phases.json", phases_json(phases, vdd)) &&
+            write_file(dir / "perf.json",
+                       obs::perf_profile_json(prof, machine_hash_for(topt, copt))) &&
             write_file(dir / "summary.txt", summary);
   if (ok && dump_events)
     ok = write_file(dir / "events.jsonl", obs::events_to_jsonl(flat_events.events));
+  if (ok && !popt.flame.empty()) ok = write_file(popt.flame, obs::perf_folded(prof));
   if (!ok) return 1;
 
   std::printf("%s", summary.c_str());
   std::printf("\nfourqc profile: bundle written to %s%s\n", dir.string().c_str(),
               dump_events ? " (with events.jsonl)" : "");
+  if (!popt.flame.empty())
+    std::printf("fourqc profile: collapsed stacks -> %s (flamegraph.pl / speedscope)\n",
+                popt.flame.c_str());
   return 0;
 }
 
@@ -806,6 +896,8 @@ struct BatchOptions {
   curve::MsmBackend msm = curve::MsmBackend::kAuto;  // verify-sigs MSM backend
   std::string export_dir;   // "" = $FOURQ_OBS_EXPORT_DIR (exporter off if unset too)
   int export_interval_ms = 0;  // 0 = $FOURQ_OBS_EXPORT_INTERVAL_MS / default
+  bool hw = false;          // per-worker perf_event counters + perf artifact
+  std::string perf_out;     // fourq.perf.v1 path (default batch_perf.json)
 };
 
 int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& copt,
@@ -813,6 +905,7 @@ int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& co
   // Fresh telemetry so the solve/compile span counts below describe exactly
   // this invocation.
   obs::global().reset();
+  if (bopt.hw) obs::perf_set_enabled(true);
 
   engine::CompileKey key;
   key.kind = engine::ProgramKind::kSingleSm;
@@ -967,6 +1060,28 @@ int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& co
                   w.quantile(0.5), w.quantile(0.99), s.quantile(0.5), s.quantile(0.99),
                   static_cast<unsigned long long>(s.count));
   }
+  if (bopt.hw && obs::compiled_in()) {
+    // Per-kind attribution from the worker-maintained perf.* counters
+    // (cycles-per-job and IPC gauges are refreshed after every batch).
+    const char* src = obs::perf_source_name(obs::perf_thread_source());
+    const obs::Labels sm_l{{"kind", "sm"}};
+    double cpj = reg.gauge("perf.cycles_per_job", sm_l).value();
+    double ipc = reg.gauge("perf.ipc", sm_l).value();
+    if (cpj > 0)
+      std::printf("  hw counters (%s): %.3g cpu-cycles/sm-job, IPC %.2f\n", src, cpj, ipc);
+    else if (reg.counter("perf.task_clock_ns", sm_l).value() > 0)
+      std::printf("  hw counters (%s): %.3g task-clock ns/sm-job\n", src,
+                  static_cast<double>(reg.counter("perf.task_clock_ns", sm_l).value()) /
+                      static_cast<double>(std::max<uint64_t>(
+                          1, reg.counter("engine.jobs.sm").value())));
+    else
+      std::printf("  hw counters: unavailable (perf_event_open blocked here)\n");
+    std::string path = bopt.perf_out.empty() ? "batch_perf.json" : bopt.perf_out;
+    obs::PerfProfile prof = obs::build_perf_profile(obs::global().spans.spans());
+    if (write_file(path, obs::perf_profile_json(prof, key.hash_hex())))
+      std::printf("  hw profile (fourq.perf.v1, counters: %s) -> %s\n",
+                  prof.counters.c_str(), path.c_str());
+  }
   if (exporter) {
     exporter->stop();  // final flush so the last snapshot covers the whole run
     std::printf("  telemetry: %llu snapshot(s) written to %s\n",
@@ -1038,47 +1153,16 @@ bool validate_prom_line(const std::string& line, std::string* why) {
   return true;
 }
 
-// Validates metrics.json against the fourq.metrics.v1 shape. Returns nullptr
+// Validates metrics.json against the fourq.metrics.v1 shape (shared with
+// the exporter tests via obs::validate_metrics_json_v1). Returns nullptr
 // and sets *err on any violation.
 obs::json::ValuePtr load_metrics_json(const std::string& path, std::string* err) {
   std::string text;
   if (!read_text_file(path, &text, err)) return nullptr;
-  std::string perr;
-  obs::json::ValuePtr doc = obs::json::parse(text, &perr);
-  if (!doc || !doc->is_object()) {
-    *err = path + ": " + (perr.empty() ? "not a JSON object" : perr);
-    return nullptr;
-  }
-  try {
-    if (doc->at("schema").string() != "fourq.metrics.v1") {
-      *err = path + ": schema is not fourq.metrics.v1";
-      return nullptr;
-    }
-    const obs::json::Value& prov = doc->at("provenance");
-    (void)prov.at("git_sha").string();
-    (void)prov.at("timestamp_utc").string();
-    const obs::json::Value& metrics = doc->at("metrics");
-    if (!metrics.is_array()) {
-      *err = path + ": \"metrics\" is not an array";
-      return nullptr;
-    }
-    for (const auto& m : metrics.arr) {
-      const std::string& type = m->at("type").string();
-      (void)m->at("name").string();
-      if (type == "counter" || type == "gauge") {
-        (void)m->at("value").number();
-      } else if (type == "histogram") {
-        (void)m->at("count").number();
-        const obs::json::Value& q = m->at("quantiles");
-        (void)q.at("p50").number();
-        (void)q.at("p99").number();
-      } else {
-        *err = path + ": unknown metric type \"" + type + "\"";
-        return nullptr;
-      }
-    }
-  } catch (const std::exception& e) {
-    *err = path + ": " + e.what();
+  std::string verr;
+  obs::json::ValuePtr doc = obs::validate_metrics_json_v1(text, &verr);
+  if (!doc) {
+    *err = path + ": " + verr;
     return nullptr;
   }
   return doc;
@@ -1178,6 +1262,43 @@ int run_stats(const StatsOptions& sopt) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// perf subcommand — differential profiling over fourq.perf.v1 artifacts.
+
+int run_perf_diff(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 3; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--json") json = true;
+    else if (a == "--help" || a == "-h") {
+      std::printf("usage: fourqc perf diff BASE.json CURRENT.json [--json]\n");
+      return 0;
+    } else files.push_back(a);
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr, "usage: fourqc perf diff BASE.json CURRENT.json [--json]\n");
+    return 2;
+  }
+  obs::PerfProfile profs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::string text, err;
+    if (!read_text_file(files[static_cast<size_t>(i)], &text, &err)) {
+      std::fprintf(stderr, "fourqc perf diff: %s\n", err.c_str());
+      return 2;
+    }
+    if (!obs::parse_perf_profile(text, &profs[i], &err)) {
+      std::fprintf(stderr, "fourqc perf diff: %s: %s\n",
+                   files[static_cast<size_t>(i)].c_str(), err.c_str());
+      return 2;
+    }
+  }
+  obs::PerfDiffReport rep = obs::perf_diff(profs[0], profs[1]);
+  std::string out = json ? obs::perf_diff_json(rep) : obs::perf_diff_text(rep);
+  std::printf("%s", out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1192,9 +1313,7 @@ int main(int argc, char** argv) {
   int disasm_from = -1, disasm_count = 0;
 
   bool profile_mode = false;
-  bool profile_events = false;
-  std::string profile_out = "profile_out";
-  std::string profile_scalar = "1f2e3d4c5b6a79880123456789abcdef0fedcba987654321aa55aa55aa55aa55";
+  ProfileOptions popt;
 
   bool explain_mode = false;
   ExplainOptions eopt;
@@ -1227,6 +1346,10 @@ int main(int argc, char** argv) {
   } else if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
     stats_mode = true;
     argstart = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "perf") == 0) {
+    if (argc > 2 && std::strcmp(argv[2], "diff") == 0) return run_perf_diff(argc, argv);
+    std::fprintf(stderr, "usage: fourqc perf diff BASE.json CURRENT.json [--json]\n");
+    return 2;
   }
 
   for (int i = argstart; i < argc; ++i) {
@@ -1309,12 +1432,20 @@ int main(int argc, char** argv) {
       report = true;
     } else if (profile_mode && a == "--out") {
       need(1);
-      profile_out = argv[++i];
+      popt.out = argv[++i];
     } else if (profile_mode && a == "--scalar") {
       need(1);
-      profile_scalar = argv[++i];
+      popt.scalar = argv[++i];
     } else if (profile_mode && a == "--events") {
-      profile_events = true;
+      popt.events = true;
+    } else if (profile_mode && a == "--hw") {
+      popt.hw = true;
+    } else if (profile_mode && a == "--repeat") {
+      need(1);
+      popt.repeat = std::atoi(argv[++i]);
+    } else if (profile_mode && a == "--flame") {
+      need(1);
+      popt.flame = argv[++i];
     } else if (explain_mode && a == "--program") {
       need(1);
       eopt.program = argv[++i];
@@ -1388,6 +1519,11 @@ int main(int argc, char** argv) {
     } else if (batch_mode && a == "--export-interval-ms") {
       need(1);
       bopt.export_interval_ms = std::atoi(argv[++i]);
+    } else if (batch_mode && a == "--hw") {
+      bopt.hw = true;
+    } else if (batch_mode && a == "--perf-out") {
+      need(1);
+      bopt.perf_out = argv[++i];
     } else if (stats_mode && a == "--dir") {
       need(1);
       sopt.dir = argv[++i];
@@ -1409,8 +1545,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (profile_mode)
-    return run_profile(topt, copt, profile_out, profile_scalar, profile_events);
+  if (profile_mode) return run_profile(topt, copt, popt);
   if (explain_mode) return run_explain(topt, copt, eopt);
   if (lint_mode) return run_lint(topt, copt, lopt);
   if (stats_mode) return run_stats(sopt);

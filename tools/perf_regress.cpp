@@ -2,7 +2,11 @@
 // written by `fourqc profile` or the bench_util JSON recorder) against a
 // checked-in baseline, with per-metric tolerances.
 //
-//   perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline]
+//   perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline] [--json]
+//
+// A baseline with no metric records (missing header-only or empty file) is
+// an error (exit 2), never a silent pass. --json replaces the table with one
+// machine-readable verdict object on stdout (exit codes unchanged).
 //
 // Baseline lines look like the current-file lines:
 //   {"metric":"sim.flat.cycles","type":"counter","value":6623}
@@ -191,6 +195,7 @@ int update_baseline(const char* baseline_path, const std::map<std::string, Recor
 int main(int argc, char** argv) {
   double default_tol = 1.0;  // percent, for non-counter metrics
   bool update = false;
+  bool json = false;
   const char* baseline_path = nullptr;
   const char* current_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -198,19 +203,23 @@ int main(int argc, char** argv) {
       default_tol = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--update-baseline") == 0) {
       update = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (!baseline_path) {
       baseline_path = argv[i];
     } else if (!current_path) {
       current_path = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline]\n");
+      std::fprintf(
+          stderr,
+          "usage: perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline] [--json]\n");
       return 2;
     }
   }
   if (!baseline_path || !current_path) {
-    std::fprintf(stderr,
-                 "usage: perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline]\n");
+    std::fprintf(
+        stderr,
+        "usage: perf_regress BASELINE CURRENT [--tol PCT] [--update-baseline] [--json]\n");
     return 2;
   }
 
@@ -226,20 +235,55 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // A baseline that parsed but contributed zero metric records would make
+  // every comparison below vacuously pass — that is always a harness bug
+  // (wrong path, truncated checkout, header-only file), never a green run.
+  if (base.empty()) {
+    std::fprintf(stderr,
+                 "perf_regress: baseline %s has no metric records (empty or "
+                 "header-only file) — refusing to pass an empty gate\n",
+                 baseline_path);
+    return 2;
+  }
+
   if (update) return update_baseline(baseline_path, base, cur, cur_prov);
 
   int failures = 0;
-  std::printf("%-44s %14s %14s %9s  %s\n", "metric", "baseline", "current", "delta%",
-              "status");
+  std::string rows;  // --json verdict rows
+  if (!json)
+    std::printf("%-44s %14s %14s %9s  %s\n", "metric", "baseline", "current", "delta%",
+                "status");
+  auto add_row = [&](const std::string& key, const Record& b, const double* c,
+                     double delta_pct, double tol, const char* status) {
+    char buf[512];
+    std::string cur_field;
+    if (c) {
+      char num[48];
+      std::snprintf(num, sizeof num, "%.12g", *c);
+      cur_field = std::string(",\"current\":") + num + ",\"delta_pct\":";
+      std::snprintf(num, sizeof num, "%.6g", delta_pct);
+      cur_field += num;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"key\":\"%s\",\"baseline\":%.12g%s,\"tol_pct\":%.6g,"
+                  "\"dir\":\"%s\",\"status\":\"%s\"}",
+                  rows.empty() ? "" : ",", fourq::obs::json_escape(key).c_str(), b.value,
+                  cur_field.c_str(), tol, b.dir.empty() ? "two-sided" : b.dir.c_str(),
+                  status);
+    rows += buf;
+  };
   for (const auto& [key, b] : base) {
+    double tol = b.tol_pct >= 0 ? b.tol_pct : (b.is_counter ? 0.0 : default_tol);
     auto it = cur.find(key);
     if (it == cur.end()) {
-      std::printf("%-44s %14.6g %14s %9s  MISSING\n", key.c_str(), b.value, "-", "-");
+      if (json)
+        add_row(key, b, nullptr, 0, tol, "missing");
+      else
+        std::printf("%-44s %14.6g %14s %9s  MISSING\n", key.c_str(), b.value, "-", "-");
       ++failures;
       continue;
     }
     double c = it->second.value;
-    double tol = b.tol_pct >= 0 ? b.tol_pct : (b.is_counter ? 0.0 : default_tol);
     double denom = std::abs(b.value) > 0 ? std::abs(b.value) : 1.0;
     double delta_pct = 100.0 * (c - b.value) / denom;
     bool ok;
@@ -250,9 +294,20 @@ int main(int argc, char** argv) {
     } else {
       ok = std::abs(delta_pct) <= tol;
     }
-    std::printf("%-44s %14.6g %14.6g %+8.3f%%  %s\n", key.c_str(), b.value, c, delta_pct,
-                ok ? "ok" : "REGRESSION");
+    if (json)
+      add_row(key, b, &c, delta_pct, tol, ok ? "ok" : "regression");
+    else
+      std::printf("%-44s %14.6g %14.6g %+8.3f%%  %s\n", key.c_str(), b.value, c, delta_pct,
+                  ok ? "ok" : "REGRESSION");
     if (!ok) ++failures;
+  }
+  if (json) {
+    std::printf("{\"tool\":\"perf_regress\",\"baseline\":\"%s\",\"current\":\"%s\","
+                "\"status\":\"%s\",\"failures\":%d,\"metrics\":[%s]}\n",
+                fourq::obs::json_escape(baseline_path).c_str(),
+                fourq::obs::json_escape(current_path).c_str(),
+                failures ? "regression" : "ok", failures, rows.c_str());
+    return failures ? 1 : 0;
   }
   if (failures) {
     std::printf("\nperf_regress: %d metric(s) regressed vs %s\n", failures, baseline_path);

@@ -90,6 +90,23 @@ else
   echo "skip  perf_regress (engine baseline)"
 fi
 
+# Observability overhead gate: full telemetry (spans, labeled metrics,
+# flight recorder, perf_event sampling) must add <2% to the engine hot path
+# (tools/baselines/bench_obs_overhead_baseline.jsonl, docs/OBSERVABILITY.md).
+if [ -x "$build_dir/tools/perf_regress" ] && [ -f "$out_dir/BENCH_obs_overhead.json" ] \
+    && [ -f "$script_dir/baselines/bench_obs_overhead_baseline.jsonl" ]; then
+  ran=$((ran + 1))
+  if "$build_dir/tools/perf_regress" "$script_dir/baselines/bench_obs_overhead_baseline.jsonl" \
+      "$out_dir/BENCH_obs_overhead.json" > "$out_dir/perf_regress_obs_overhead.log" 2>&1; then
+    echo "ok    perf_regress (obs overhead baseline)"
+  else
+    echo "FAIL  perf_regress (obs overhead baseline) (see $out_dir/perf_regress_obs_overhead.log)" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "skip  perf_regress (obs overhead baseline)"
+fi
+
 # MSM regression gate: batch verification of 1024 signatures must stay >=5x
 # over per-signature verify, and every MSM backend must agree bitwise
 # (tools/baselines/bench_msm_baseline.jsonl).
@@ -107,8 +124,17 @@ else
   echo "skip  perf_regress (msm baseline)"
 fi
 
+# Mirror the JSON records into the repo root so CI can pick them up as
+# per-PR artifacts with a stable path (see .github/workflows/ci.yml), and
+# so a local run leaves the bench trajectory next to the sources.
+repo_root=$(CDPATH= cd -- "$script_dir/.." && pwd)
+for record in "$out_dir"/BENCH_*.json; do
+  [ -f "$record" ] || continue
+  cp "$record" "$repo_root/$(basename "$record")"
+done
+
 echo
-echo "results: $out_dir"
+echo "results: $out_dir (BENCH_*.json mirrored to $repo_root)"
 ls "$out_dir"/BENCH_*.json "$out_dir"/LINT_*.json 2>/dev/null || echo "(no JSON records produced)"
 if [ "$failures" -gt 0 ]; then
   echo "run_benches.sh: $failures of $ran steps failed" >&2
