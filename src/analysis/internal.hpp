@@ -12,7 +12,11 @@ class FindingSink {
   explicit FindingSink(LintReport& report) : report_(report) {}
 
   void add(Rule rule, int cycle, int reg, std::string message);
-  // Emits the per-rule suppression summaries. Call once, after all passes.
+  // Range-rule variant carrying the wide micro-op node id.
+  void add(Rule rule, int cycle, int reg, int node, std::string message);
+  // Stable-sorts the recorded findings by (rule, node, cycle, reg, message)
+  // — byte-deterministic --json output — then emits the per-rule
+  // suppression summaries. Call once, after all passes.
   void finish();
 
   bool any_error() const { return errors_ > 0; }

@@ -84,8 +84,17 @@ enum class Rule : uint8_t {
   // -- modulo steady-state --
   kModuloInfeasible,
   kModuloInvalid,
+  // -- range verification (analysis/range, `fourqc lint --ranges`) --
+  kOverflowPossible,        // a bound exceeds its stage register width
+  kReduceMissing,           // unreduced value reaches a canonical-only site
+  kReduceRedundant,         // reduction of an already-canonical value
+  kBoundWideningLoop,       // carried bound found no finite fixed point
+  kDagRomBoundMismatch,     // ROM-side bound disagrees with the DAG proof
+  kSelectBoundDivergence,   // select candidates carry unequal bounds
+  kRangeUnbounded,          // Top bound reaches a width-checked site
+  kRangeCertInvalid,        // fourq.ranges.v1 certificate fails replay
 };
-inline constexpr int kNumRules = 23;
+inline constexpr int kNumRules = 31;
 
 const char* rule_name(Rule r);     // kebab-case, e.g. "ssa-alien-value"
 const char* rule_meaning(Rule r);  // one-line definition
@@ -96,6 +105,7 @@ struct Finding {
   Severity severity = Severity::kError;
   int cycle = -1;  // ROM cycle, -1 = program-wide
   int reg = -1;    // register-file slot, -1 = n/a
+  int node = -1;   // wide micro-op node (range rules), -1 = n/a
   std::string message;
 };
 
@@ -123,6 +133,13 @@ struct LintReport {
   int never_read_regs = 0;
   int max_reads_in_cycle = 0;
   int max_writes_in_cycle = 0;
+  // Range-verification summary (zero unless `fourqc lint --ranges` ran).
+  int range_nodes = 0;         // wide micro-ops analysed
+  int range_reduce_sites = 0;  // fold sites whose operand contract was checked
+  int range_max_bits = 0;      // widest finite bound proven anywhere
+  int range_widened = 0;       // carried bounds widened to Top
+  bool ranges_checked = false; // the range pass ran on this program
+  bool ranges_proven = false;  // overflow-freedom proven (no range errors)
 
   int errors() const;
   int warnings() const;

@@ -1,0 +1,62 @@
+// Expansion of a traced program into the wide micro-op DAG: every trace op
+// is unrolled through the datapath shapes of shape.hpp; selects become
+// joins over their candidate components.
+#include <vector>
+
+#include "analysis/range/internal.hpp"
+#include "analysis/range/shape.hpp"
+
+namespace fourq::analysis::range {
+
+using detail::Pair;
+
+ExpandResult expand_program(const trace::Program& p) {
+  ExpandResult r;
+  WideProgram& wp = r.wide;
+  std::vector<Pair> nodes(p.ops.size());
+
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    const trace::Op& op = p.ops[i];
+    int origin = static_cast<int>(i);
+    switch (op.kind) {
+      case trace::OpKind::kInput: {
+        Pair in;
+        in.re = wp.add({WideKind::kInput, -1, -1, 0, InLimit::kNone, origin, -1, "in.re"});
+        in.im = wp.add({WideKind::kInput, -1, -1, 0, InLimit::kNone, origin, -1, "in.im"});
+        nodes[i] = in;
+        break;
+      }
+      case trace::OpKind::kSelect: {
+        const trace::SelectTable& t = p.tables[static_cast<size_t>(op.a.table)];
+        std::vector<int> re_cands, im_cands;
+        for (const std::vector<int>& variant : t.candidates)
+          for (int cand : variant) {
+            re_cands.push_back(nodes[static_cast<size_t>(cand)].re);
+            im_cands.push_back(nodes[static_cast<size_t>(cand)].im);
+          }
+        Pair sel;
+        int jre = static_cast<int>(wp.joins.size());
+        wp.joins.push_back(std::move(re_cands));
+        sel.re = wp.add({WideKind::kJoin, -1, -1, 0, InLimit::kNone, origin, jre, "sel.re"});
+        int jim = static_cast<int>(wp.joins.size());
+        wp.joins.push_back(std::move(im_cands));
+        sel.im = wp.add({WideKind::kJoin, -1, -1, 0, InLimit::kNone, origin, jim, "sel.im"});
+        nodes[i] = sel;
+        break;
+      }
+      default: {
+        Pair a = nodes[static_cast<size_t>(op.a.ssa)];
+        Pair b = op.kind == trace::OpKind::kConj ? Pair{}
+                                                 : nodes[static_cast<size_t>(op.b.ssa)];
+        nodes[i] = detail::emit_compute(wp, op.kind, a, b, origin);
+        break;
+      }
+    }
+  }
+
+  r.op_nodes.reserve(nodes.size());
+  for (const Pair& n : nodes) r.op_nodes.emplace_back(n.re, n.im);
+  return r;
+}
+
+}  // namespace fourq::analysis::range

@@ -1,0 +1,321 @@
+// ROM-side range verification: the control words are executed symbolically
+// with magnitude bounds in place of field elements (register file, unit
+// pipelines and forwarding buses all hold bounds), every issue is expanded
+// through the same datapath shapes as the DAG proof, and the two proofs
+// must agree — via the shared hash-consed value numbering of lift.cpp — at
+// every corresponding value and at the program outputs.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/range/internal.hpp"
+#include "analysis/range/shape.hpp"
+
+namespace fourq::analysis::range {
+
+namespace {
+
+using analysis::detail::FindingSink;
+using detail::Pair;
+using detail::PropagateCtx;
+using sched::CompiledSm;
+using sched::SelectMap;
+using sched::SrcSel;
+using sched::UnitCtrl;
+using sched::WbCtrl;
+using trace::OpKind;
+using trace::Program;
+
+// Same hash-cons keys as lift.cpp's ValueTable — (0, op, 0) for inputs,
+// (1, map, iter) for indexed reads, (8 + kind, a, b) for unit results — so
+// "corresponding value" means key equality across the two passes.
+class VnTable {
+ public:
+  static constexpr int kInputTag = 0;
+  static constexpr int kSelectTag = 1;
+  static constexpr int kComputeTag = 8;
+
+  int cons(int tag, int a, int b) {
+    auto [it, fresh] =
+        ids_.try_emplace(std::make_tuple(tag, a, b), static_cast<int>(ids_.size()));
+    (void)fresh;
+    return it->second;
+  }
+
+ private:
+  std::map<std::tuple<int, int, int>, int> ids_;
+};
+
+struct BPair {
+  Bound re = Bound::unbounded();
+  Bound im = Bound::unbounded();
+};
+
+struct RegState {
+  int vn = -1;  // -1 = undefined or error-recovered
+  BPair b;
+  bool defined = false;
+};
+
+bool dominates(const Bound& outer, const Bound& inner) {
+  if (outer.top) return true;
+  if (inner.top) return false;
+  return outer.max >= inner.max;
+}
+
+struct RomPass {
+  const CompiledSm& sm;
+  const Program& ref;
+  const ProgramRanges& dag;
+  LintReport& report;
+  FindingSink sink;
+  VnTable vt;
+
+  std::vector<int> ref_vn;             // trace op -> vn
+  std::vector<BPair> dag_bound;        // vn -> DAG-proven bounds
+  std::vector<char> dag_known;         // vn has a DAG bound
+  std::vector<RegState> rf;
+  std::vector<std::map<int, RegState>> pipes[2];  // [class][instance]: due -> state
+  std::set<int> diverged_maps;         // select-bound-divergence once per map
+  std::set<int> mismatched_vns;        // dag-rom-bound-mismatch once per value
+  RangeStats stats;
+  int wide_nodes = 0;
+  int max_bits = 0;
+
+  RomPass(const CompiledSm& s, const Program& r, const ProgramRanges& d, LintReport& rep)
+      : sm(s), ref(r), dag(d), report(rep), sink(rep) {
+    rf.assign(static_cast<size_t>(std::max(sm.cfg.rf_size, sm.rf_slots)), RegState{});
+    pipes[0].resize(static_cast<size_t>(sm.cfg.num_multipliers));
+    pipes[1].resize(static_cast<size_t>(sm.cfg.num_addsubs));
+  }
+
+  void record_dag(int vn, const BPair& b) {
+    if (vn >= static_cast<int>(dag_bound.size())) {
+      dag_bound.resize(static_cast<size_t>(vn) + 1);
+      dag_known.resize(static_cast<size_t>(vn) + 1, 0);
+    }
+    if (!dag_known[static_cast<size_t>(vn)]) {
+      dag_known[static_cast<size_t>(vn)] = 1;
+      dag_bound[static_cast<size_t>(vn)] = b;
+    }
+  }
+
+  BPair dag_bounds_of(int op) {
+    const auto& [re, im] = dag.expand.op_nodes[static_cast<size_t>(op)];
+    return BPair{dag.result.bounds[static_cast<size_t>(re)],
+                 dag.result.bounds[static_cast<size_t>(im)]};
+  }
+
+  void number_reference() {
+    ref_vn.assign(ref.ops.size(), -1);
+    for (size_t i = 0; i < ref.ops.size(); ++i) {
+      const trace::Op& op = ref.ops[i];
+      int vn = -1;
+      switch (op.kind) {
+        case OpKind::kInput:
+          vn = vt.cons(VnTable::kInputTag, static_cast<int>(i), 0);
+          break;
+        case OpKind::kSelect:
+          vn = vt.cons(VnTable::kSelectTag, op.a.table, op.a.iter);
+          break;
+        default: {
+          int a = ref_vn[static_cast<size_t>(op.a.ssa)];
+          int b = op.kind == OpKind::kConj ? -1 : ref_vn[static_cast<size_t>(op.b.ssa)];
+          vn = vt.cons(VnTable::kComputeTag + static_cast<int>(op.kind), a, b);
+          break;
+        }
+      }
+      ref_vn[i] = vn;
+      record_dag(vn, dag_bounds_of(static_cast<int>(i)));
+    }
+  }
+
+  void preload() {
+    for (const auto& [op_id, reg] : sm.preload) {
+      if (op_id < 0 || op_id >= static_cast<int>(ref.ops.size())) continue;
+      if (reg < 0 || reg >= static_cast<int>(rf.size())) continue;
+      if (ref.ops[static_cast<size_t>(op_id)].kind != OpKind::kInput) continue;
+      rf[static_cast<size_t>(reg)] =
+          RegState{ref_vn[static_cast<size_t>(op_id)], dag_bounds_of(op_id), true};
+    }
+  }
+
+  // Lifting defects (undefined reads, empty buses, shape mismatches) were
+  // already reported by lint_rom; here they resolve to Top/unknown silently
+  // and surface only if the Top bound reaches a checked correspondence.
+  RegState resolve(const SrcSel& src, int cycle) {
+    switch (src.kind) {
+      case SrcSel::Kind::kReg: {
+        if (src.reg < 0 || src.reg >= static_cast<int>(rf.size())) return RegState{};
+        const RegState& s = rf[static_cast<size_t>(src.reg)];
+        return s.defined ? s : RegState{};
+      }
+      case SrcSel::Kind::kMulBus:
+      case SrcSel::Kind::kAddBus: {
+        int cls = src.kind == SrcSel::Kind::kMulBus ? 0 : 1;
+        if (src.unit < 0 || src.unit >= static_cast<int>(pipes[cls].size()))
+          return RegState{};
+        auto& pipe = pipes[cls][static_cast<size_t>(src.unit)];
+        auto it = pipe.find(cycle);
+        return it == pipe.end() ? RegState{} : it->second;
+      }
+      case SrcSel::Kind::kIndexed: {
+        if (src.map < 0 || src.map >= static_cast<int>(sm.select_maps.size()))
+          return RegState{};
+        const SelectMap& m = sm.select_maps[static_cast<size_t>(src.map)];
+        BPair j{Bound::exact(U512{}), Bound::exact(U512{})};
+        bool first = true, diverge = false, any_top = false;
+        for (const std::vector<int>& variant : m.reg)
+          for (int r : variant) {
+            BPair c;
+            if (r >= 0 && r < static_cast<int>(rf.size()) &&
+                rf[static_cast<size_t>(r)].defined)
+              c = rf[static_cast<size_t>(r)].b;
+            else
+              any_top = true;  // lint_rom already flagged the candidate
+            if (!first && (c.re != j.re || c.im != j.im)) diverge = true;
+            j.re = first ? c.re : bjoin(j.re, c.re);
+            j.im = first ? c.im : bjoin(j.im, c.im);
+            first = false;
+          }
+        if (diverge && !any_top && diverged_maps.insert(src.map).second)
+          sink.add(Rule::kSelectBoundDivergence, cycle, -1, -1,
+                   "select map " + std::to_string(src.map) +
+                       ": candidate registers carry unequal bounds — selected "
+                       "magnitude depends on the digit");
+        RegState s;
+        s.vn = vt.cons(VnTable::kSelectTag, src.map, src.iter);
+        s.b = j;
+        s.defined = true;
+        return s;
+      }
+      case SrcSel::Kind::kNone:
+        break;
+    }
+    return RegState{};
+  }
+
+  // Runs one issue's operands through the shared datapath shape with the
+  // same transfer functions as the DAG proof, reporting any ROM-side
+  // contract violation at its issue cycle.
+  BPair shape_transfer(OpKind kind, const BPair& a, const BPair& b, int cycle) {
+    WideProgram wp;
+    Pair pa, pb;
+    pa.re = wp.add({WideKind::kInput, -1, -1, 0, InLimit::kNone, -1, -1, "a.re"});
+    pa.im = wp.add({WideKind::kInput, -1, -1, 0, InLimit::kNone, -1, -1, "a.im"});
+    pb.re = wp.add({WideKind::kInput, -1, -1, 0, InLimit::kNone, -1, -1, "b.re"});
+    pb.im = wp.add({WideKind::kInput, -1, -1, 0, InLimit::kNone, -1, -1, "b.im"});
+    Pair out = detail::emit_compute(wp, kind, pa, pb, -1);
+    std::vector<Bound> bounds(wp.ops.size());
+    bounds[static_cast<size_t>(pa.re)] = a.re;
+    bounds[static_cast<size_t>(pa.im)] = a.im;
+    bounds[static_cast<size_t>(pb.re)] = b.re;
+    bounds[static_cast<size_t>(pb.im)] = b.im;
+    PropagateCtx ctx;
+    ctx.sink = &sink;
+    ctx.cycle = cycle;
+    ctx.stats = &stats;
+    detail::propagate(wp, bounds, ctx);
+    wide_nodes += static_cast<int>(wp.ops.size()) - 4;
+    for (const Bound& bd : bounds)
+      if (!bd.top && bd.bits() > max_bits) max_bits = bd.bits();
+    return BPair{bounds[static_cast<size_t>(out.re)], bounds[static_cast<size_t>(out.im)]};
+  }
+
+  // The agreement check: the ROM-side bound of a value the DAG proof also
+  // derived must stay inside the DAG-proven bound.
+  void compare(int vn, const BPair& rom, int cycle) {
+    if (vn < 0 || vn >= static_cast<int>(dag_bound.size()) ||
+        !dag_known[static_cast<size_t>(vn)])
+      return;
+    const BPair& d = dag_bound[static_cast<size_t>(vn)];
+    if (dominates(d.re, rom.re) && dominates(d.im, rom.im)) return;
+    if (!mismatched_vns.insert(vn).second) return;
+    sink.add(Rule::kDagRomBoundMismatch, cycle, -1, -1,
+             "ROM-side bound of value " + std::to_string(vn) +
+                 " exceeds the DAG-proven bound — the certificate does not "
+                 "cover this schedule");
+  }
+
+  void issue(const UnitCtrl& u, int cls, int cycle, int latency) {
+    if (u.unit < 0 || u.unit >= static_cast<int>(pipes[cls].size())) return;
+    OpKind kind = cls == 0 ? OpKind::kMul : u.op;
+    RegState a = resolve(u.a, cycle);
+    RegState b = kind == OpKind::kConj ? RegState{} : resolve(u.b, cycle);
+    RegState r;
+    if (kind == OpKind::kConj)
+      r.vn = a.vn >= 0
+                 ? vt.cons(VnTable::kComputeTag + static_cast<int>(kind), a.vn, -1)
+                 : -1;
+    else
+      r.vn = a.vn >= 0 && b.vn >= 0
+                 ? vt.cons(VnTable::kComputeTag + static_cast<int>(kind), a.vn, b.vn)
+                 : -1;
+    r.b = shape_transfer(kind, a.b, b.b, cycle);
+    r.defined = true;
+    compare(r.vn, r.b, cycle);
+    pipes[cls][static_cast<size_t>(u.unit)].emplace(cycle + latency, r);
+  }
+
+  void writeback(const WbCtrl& wb, int cycle) {
+    int cls = wb.from_mul ? 0 : 1;
+    if (wb.unit < 0 || wb.unit >= static_cast<int>(pipes[cls].size())) return;
+    auto& pipe = pipes[cls][static_cast<size_t>(wb.unit)];
+    auto it = pipe.find(cycle);
+    if (it == pipe.end()) return;
+    if (wb.reg >= 0 && wb.reg < static_cast<int>(rf.size()))
+      rf[static_cast<size_t>(wb.reg)] = it->second;
+  }
+
+  void expire(int cycle) {
+    for (int cls = 0; cls < 2; ++cls)
+      for (auto& pipe : pipes[cls]) pipe.erase(cycle);
+  }
+
+  void finish() {
+    // Outputs: whatever the ROM leaves in each output register must sit
+    // inside the DAG-proven bound of the corresponding reference output.
+    std::map<std::string, int> want;
+    for (const auto& [id, name] : ref.outputs)
+      want[name] = ref_vn[static_cast<size_t>(id)];
+    for (const auto& [name, reg] : sm.outputs) {
+      auto it = want.find(name);
+      if (it == want.end()) continue;
+      if (reg < 0 || reg >= static_cast<int>(rf.size())) continue;
+      const RegState& s = rf[static_cast<size_t>(reg)];
+      if (!s.defined) continue;  // lint_rom reports the missing output
+      compare(it->second, s.b, -1);
+    }
+  }
+};
+
+}  // namespace
+
+void analyze_rom(const CompiledSm& sm, const Program& reference,
+                 const ProgramRanges& dag, LintReport& report) {
+  RomPass pass(sm, reference, dag, report);
+  pass.number_reference();
+  pass.preload();
+  for (int t = 0; t < sm.cycles(); ++t) {
+    const sched::CtrlWord& w = sm.rom[static_cast<size_t>(t)];
+    for (const UnitCtrl& u : w.mul) pass.issue(u, 0, t, sm.cfg.mul_latency);
+    for (const UnitCtrl& u : w.addsub) pass.issue(u, 1, t, sm.cfg.addsub_latency);
+    for (const WbCtrl& wb : w.writebacks) pass.writeback(wb, t);
+    pass.expire(t);
+  }
+  pass.finish();
+  bool clean = !pass.sink.any_error();
+  pass.sink.finish();
+
+  report.ranges_checked = true;
+  report.ranges_proven = dag.result.proven && clean;
+  report.range_nodes = pass.wide_nodes;
+  report.range_reduce_sites = pass.stats.reduce_sites;
+  report.range_max_bits = pass.max_bits;
+  report.range_widened = 0;
+}
+
+}  // namespace fourq::analysis::range

@@ -1,6 +1,8 @@
 // Rule vocabulary, finding sink, lint drivers, and the fourq.lint.v1
 // report writers.
+#include <algorithm>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "analysis/internal.hpp"
@@ -76,6 +78,27 @@ constexpr RuleMeta kRuleMeta[kNumRules] = {
      Severity::kError},
     {"modulo-invalid", "modulo steady-state kernel fails re-validation",
      Severity::kError},
+    {"overflow-possible",
+     "a value's proven magnitude bound exceeds its datapath stage register width",
+     Severity::kError},
+    {"reduce-missing",
+     "an unreduced value reaches a site whose contract requires a canonical operand",
+     Severity::kError},
+    {"reduce-redundant", "reduction applied to a value that is already canonical",
+     Severity::kWarning},
+    {"bound-widening-loop",
+     "a loop-carried bound kept growing and was widened to Top (no finite fixed point)",
+     Severity::kError},
+    {"dag-rom-bound-mismatch",
+     "independently propagated ROM-side bound disagrees with the DAG-side proof",
+     Severity::kError},
+    {"select-bound-divergence",
+     "candidates of a digit-addressed read carry unequal bounds (digit-dependent magnitude)",
+     Severity::kWarning},
+    {"range-unbounded", "a Top (unbounded) value reaches a width-checked datapath site",
+     Severity::kError},
+    {"range-cert-invalid", "fourq.ranges.v1 certificate fails independent replay",
+     Severity::kError},
 };
 
 }  // namespace
@@ -101,21 +124,32 @@ int LintReport::warnings() const {
 namespace detail {
 
 void FindingSink::add(Rule rule, int cycle, int reg, std::string message) {
+  add(rule, cycle, reg, -1, std::move(message));
+}
+
+void FindingSink::add(Rule rule, int cycle, int reg, int node, std::string message) {
   Severity sev = rule_severity(rule);
   if (sev == Severity::kError) ++errors_;
   int& n = counts_[static_cast<int>(rule)];
   ++n;
   if (n > kMaxFindingsPerRule) return;  // summarised in finish()
-  report_.findings.push_back(Finding{rule, sev, cycle, reg, std::move(message)});
+  report_.findings.push_back(Finding{rule, sev, cycle, reg, node, std::move(message)});
 }
 
 void FindingSink::finish() {
+  // Byte-deterministic emission order regardless of pass interleaving:
+  // stable-sort keeps same-key findings in discovery order.
+  std::stable_sort(report_.findings.begin(), report_.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return std::tie(a.rule, a.node, a.cycle, a.reg, a.message) <
+                            std::tie(b.rule, b.node, b.cycle, b.reg, b.message);
+                   });
   for (int r = 0; r < kNumRules; ++r) {
     int suppressed = counts_[r] - kMaxFindingsPerRule;
     if (suppressed <= 0) continue;
     Rule rule = static_cast<Rule>(r);
     report_.findings.push_back(
-        Finding{rule, rule_severity(rule), -1, -1,
+        Finding{rule, rule_severity(rule), -1, -1, -1,
                 "... and " + std::to_string(suppressed) + " more " +
                     rule_name(rule) + " finding(s) suppressed"});
   }
@@ -181,6 +215,12 @@ std::string report_json(const LintReport& r) {
   out += "\"never_read_regs\":" + num(r.never_read_regs) + ",";
   out += "\"max_reads_in_cycle\":" + num(r.max_reads_in_cycle) + ",";
   out += "\"max_writes_in_cycle\":" + num(r.max_writes_in_cycle) + ",";
+  out += std::string("\"ranges_checked\":") + (r.ranges_checked ? "true" : "false") + ",";
+  out += std::string("\"ranges_proven\":") + (r.ranges_proven ? "true" : "false") + ",";
+  out += "\"range_nodes\":" + num(r.range_nodes) + ",";
+  out += "\"range_reduce_sites\":" + num(r.range_reduce_sites) + ",";
+  out += "\"range_max_bits\":" + num(r.range_max_bits) + ",";
+  out += "\"range_widened\":" + num(r.range_widened) + ",";
   out += "\"errors\":" + num(r.errors()) + ",";
   out += "\"warnings\":" + num(r.warnings()) + ",";
   out += "\"findings\":[";
@@ -191,6 +231,7 @@ std::string report_json(const LintReport& r) {
     out += "\"severity\":\"" + std::string(severity_name(f.severity)) + "\",";
     out += "\"cycle\":" + num(f.cycle) + ",";
     out += "\"reg\":" + num(f.reg) + ",";
+    out += "\"node\":" + num(f.node) + ",";
     out += "\"message\":\"" + obs::json_escape(f.message) + "\"}";
   }
   out += "]}";
@@ -238,6 +279,11 @@ std::string lint_text(const std::vector<LintedProgram>& programs) {
            ", port peaks " + num(r.max_reads_in_cycle) + "R/" +
            num(r.max_writes_in_cycle) + "W, dead writes " + num(r.dead_writes) +
            ", never-read regs " + num(r.never_read_regs) + "\n";
+    if (r.ranges_checked)
+      out += "  ranges: " + num(r.range_nodes) + " wide nodes, " +
+             num(r.range_reduce_sites) + " reduce sites, max bound " +
+             num(r.range_max_bits) + " bits, widened " + num(r.range_widened) +
+             ", overflow-freedom " + (r.ranges_proven ? "PROVEN" : "NOT proven") + "\n";
     out += "  findings: " + num(r.errors()) + " error(s), " + num(r.warnings()) +
            " warning(s)\n";
     for (const Finding& f : r.findings) {
@@ -262,6 +308,11 @@ void record_lint_metrics(const std::string& label, const LintReport& r) {
   m.gauge(p + "constant_time").set(r.constant_time ? 1 : 0);
   m.gauge(p + "peak_live").set(r.peak_live);
   m.gauge(p + "dead_writes").set(r.dead_writes);
+  if (r.ranges_checked) {
+    m.gauge(p + "ranges_proven").set(r.ranges_proven ? 1 : 0);
+    m.gauge(p + "range_nodes").set(r.range_nodes);
+    m.gauge(p + "range_max_bits").set(r.range_max_bits);
+  }
   m.counter("lint.programs").inc();
   m.counter("lint.errors").inc(static_cast<uint64_t>(r.errors()));
   m.counter("lint.warnings").inc(static_cast<uint64_t>(r.warnings()));

@@ -1,11 +1,13 @@
 #include "common/rng.hpp"
 
 #include "common/check.hpp"
+#include "common/wrap.hpp"
 
 namespace fourq {
 
 namespace {
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 uint64_t splitmix64(uint64_t& x) {
   x += 0x9e3779b97f4a7c15ull;
   uint64_t z = x;
@@ -14,6 +16,7 @@ uint64_t splitmix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
@@ -23,6 +26,7 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = splitmix64(x);
 }
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 uint64_t Rng::next_u64() {
   uint64_t result = rotl(s_[1] * 5, 7) * 9;
   uint64_t t = s_[1] << 17;

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "common/wrap.hpp"
+
 namespace fourq {
 
 using u128 = unsigned __int128;
@@ -22,7 +24,9 @@ inline uint64_t addc64(uint64_t a, uint64_t b, uint64_t carry_in, uint64_t& r) {
   return static_cast<uint64_t>(s >> 64);
 }
 
-// r = a - b - borrow_in; returns borrow_out (0 or 1).
+// r = a - b - borrow_in; returns borrow_out (0 or 1). The u128 difference
+// wraps on borrow by design — the top bit *is* the borrow.
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 inline uint64_t subb64(uint64_t a, uint64_t b, uint64_t borrow_in, uint64_t& r) {
   u128 d = static_cast<u128>(a) - b - borrow_in;
   r = static_cast<uint64_t>(d);

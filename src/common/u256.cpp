@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/hexutil.hpp"
+#include "common/wrap.hpp"
 
 namespace fourq {
 
@@ -86,6 +87,7 @@ U512 mul_wide(const U256& a, const U256& b) {
 
 U256 mul_lo(const U256& a, const U256& b) { return mul_wide(a, b).lo256(); }
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 U256 shl(const U256& a, unsigned n) {
   U256 r;
   if (n >= 256) return r;
@@ -100,6 +102,7 @@ U256 shl(const U256& a, unsigned n) {
   return r;
 }
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 U256 shr(const U256& a, unsigned n) {
   U256 r;
   if (n >= 256) return r;
@@ -126,6 +129,7 @@ uint64_t sub(const U512& a, const U512& b, U512& r) {
   return bw;
 }
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 U512 shl(const U512& a, unsigned n) {
   U512 r;
   if (n >= 512) return r;
@@ -140,6 +144,7 @@ U512 shl(const U512& a, unsigned n) {
   return r;
 }
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 U512 shr(const U512& a, unsigned n) {
   U512 r;
   if (n >= 512) return r;

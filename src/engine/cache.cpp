@@ -10,6 +10,7 @@
 
 #include "asic/romfile.hpp"
 #include "common/check.hpp"
+#include "common/wrap.hpp"
 #include "obs/obs.hpp"
 
 namespace fourq::engine {
@@ -18,7 +19,7 @@ namespace {
 
 struct Fnv1a {
   uint64_t h = 14695981039346656037ull;
-  void mix(uint64_t v) {
+  FOURQ_NO_SANITIZE_UNSIGNED_WRAP void mix(uint64_t v) {
     for (int i = 0; i < 8; ++i) {
       h ^= (v >> (8 * i)) & 0xff;
       h *= 1099511628211ull;

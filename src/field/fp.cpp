@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/hexutil.hpp"
+#include "common/wrap.hpp"
 
 namespace fourq::field {
 
@@ -72,6 +73,7 @@ U256 Fp::mul_wide(const Fp& a, const Fp& b) {
   return r;
 }
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 U256 Fp::sqr_wide(const Fp& a) {
   // a = a0 + a1*2^64 with a1 < 2^63. a^2 = a0^2 + 2*a0*a1*2^64 + a1^2*2^128:
   // the symmetric cross term is computed once and doubled by shifting —

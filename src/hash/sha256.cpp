@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/hexutil.hpp"
+#include "common/wrap.hpp"
 
 namespace fourq::hash {
 
@@ -21,6 +22,7 @@ constexpr std::array<uint32_t, 64> kK = {
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
     0xc67178f2};
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 uint32_t rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
 }  // namespace
@@ -29,6 +31,7 @@ Sha256::Sha256()
     : h_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
          0x5be0cd19} {}
 
+FOURQ_NO_SANITIZE_UNSIGNED_WRAP
 void Sha256::process_block(const uint8_t* block) {
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {

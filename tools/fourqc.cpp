@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "analysis/range/range.hpp"
 #include "asic/explain.hpp"
 #include "asic/looped.hpp"
 #include "asic/romfile.hpp"
@@ -112,6 +114,17 @@ void usage() {
       "                                    modulo (loop) / looped (sm segments)\n"
       "  --json                            fourq.lint.v1 JSON on stdout\n"
       "  --out DIR                         write lint.json, lint.txt, metrics.jsonl\n"
+      "                                    (+ ranges.json with --ranges/--fleet)\n"
+      "  --ranges                          abstract-interpretation range proofs:\n"
+      "                                    overflow-freedom of the lazy-reduction\n"
+      "                                    datapath, DAG and ROM sides, plus the\n"
+      "                                    fourq.ranges.v1 certificate\n"
+      "  --fleet                           sweep the full verifier (ranges always\n"
+      "                                    on) over backends x a MachineConfig grid\n"
+      "                                    in parallel\n"
+      "  --fleet-grid smoke|full           3-point CI grid (default) or the 12-point\n"
+      "                                    DSE gate\n"
+      "  --fleet-workers N                 fleet pool size (0 = hw concurrency)\n"
       "\n"
       "batch subcommand — compile once (through the engine's CompileCache),\n"
       "then run a batch of scalar multiplications on the worker-pool\n"
@@ -785,7 +798,22 @@ struct LintOptions {
   std::vector<std::string> backends;  // default filled per program
   bool json = false;                  // machine-readable stdout
   std::string out_dir;                // also write lint.json/lint.txt/metrics
+  bool ranges = false;                // abstract-interpretation range proofs
+  bool fleet = false;                 // sweep backends x MachineConfig grid
+  std::string fleet_grid = "smoke";   // "smoke" (3 configs) or "full" (12)
+  int fleet_workers = 0;              // 0 = hardware concurrency
 };
+
+// Loop-carried value pairing for the range verifier: the Alg. 1 loop body's
+// q-state inputs are fed, positionally, by the previous iteration's outputs
+// (the same pairing body_carried_deps uses for the modulo backend).
+analysis::range::RangeOptions range_options_for(const ProgramUnderTest& put) {
+  analysis::range::RangeOptions ropt;
+  if (put.loop_mode)
+    for (size_t i = 0; i < put.body.q_inputs.size() && i < put.program.outputs.size(); ++i)
+      ropt.carried.emplace_back(put.body.q_inputs[i], put.program.outputs[i].first);
+  return ropt;
+}
 
 int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& copt_base,
              const LintOptions& lopt) {
@@ -817,6 +845,34 @@ int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& cop
     linted.push_back({label, std::move(rep)});
   };
 
+  // Range verification state: the DAG-side proof is machine- and
+  // backend-independent, so it runs once; each backend's ROM then gets the
+  // independent ROM-side propagation checked against it. `ranges_store`
+  // gives the certificate entries stable addresses (looped mode adds one
+  // per controller segment).
+  double ranges_ms = 0;
+  auto timed_ranges = [&](auto&& fn) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    ranges_ms += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  };
+  std::deque<analysis::range::ProgramRanges> ranges_store;
+  std::vector<analysis::range::CertEntry> cert_entries;
+  analysis::range::RangeOptions ropt = range_options_for(put);
+  if (lopt.ranges) {
+    analysis::LintReport dag_rep;
+    timed_ranges([&] {
+      ranges_store.push_back(analysis::range::analyze_program(put.program, ropt, dag_rep));
+      analysis::range::check_certificate(ranges_store.back(), ropt, dag_rep);
+    });
+    cert_entries.push_back({lopt.program + "/ranges", &ranges_store.front()});
+    add(lopt.program + "/ranges", std::move(dag_rep));
+  }
+  const analysis::range::ProgramRanges* dag_ranges =
+      lopt.ranges ? &ranges_store.front() : nullptr;
+
   int best_makespan = -1;
   for (const std::string& name : backends) {
     if (name == "modulo") {
@@ -824,6 +880,8 @@ int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& cop
         std::fprintf(stderr, "fourqc lint: the modulo backend applies to --program loop only\n");
         return 2;
       }
+      // No ROM is emitted for the modulo kernel; range coverage for this
+      // backend is the DAG-side "<program>/ranges" entry.
       add(lopt.program + "/modulo", analysis::lint_modulo(pr, put.carried_deps(pr)));
       continue;
     }
@@ -833,9 +891,25 @@ int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& cop
         return 2;
       }
       asic::LoopedSm lsm = asic::build_looped_sm(looped_options(topt, copt_base));
-      add("looped/prologue", analysis::lint_rom(lsm.prologue, lsm.prologue_program));
-      add("looped/body", analysis::lint_rom(lsm.body, lsm.body_program));
-      add("looped/epilogue", analysis::lint_rom(lsm.epilogue, lsm.epilogue_program));
+      auto segment = [&](const std::string& label, const sched::CompiledSm& ssm,
+                         const trace::Program& sp) {
+        analysis::LintReport rep = analysis::lint_rom(ssm, sp);
+        if (lopt.ranges) {
+          // Each controller segment is its own program: DAG proof, replay
+          // check and ROM cross-check all land in the segment's report.
+          timed_ranges([&] {
+            analysis::range::RangeOptions seg_opt;
+            ranges_store.push_back(analysis::range::analyze_program(sp, seg_opt, rep));
+            analysis::range::check_certificate(ranges_store.back(), seg_opt, rep);
+            analysis::range::analyze_rom(ssm, sp, ranges_store.back(), rep);
+          });
+          cert_entries.push_back({label + "/ranges", &ranges_store.back()});
+        }
+        add(label, std::move(rep));
+      };
+      segment("looped/prologue", lsm.prologue, lsm.prologue_program);
+      segment("looped/body", lsm.body, lsm.body_program);
+      segment("looped/epilogue", lsm.epilogue, lsm.epilogue_program);
       continue;
     }
     sched::CompileOptions copt = copt_base;
@@ -850,8 +924,15 @@ int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& cop
     sched::CompileResult r = sched::compile_program(put.program, copt);
     if (best_makespan < 0 || r.schedule.makespan < best_makespan)
       best_makespan = r.schedule.makespan;
-    add(lopt.program + "/" + name, analysis::lint_rom(r.sm, put.program));
+    analysis::LintReport rep = analysis::lint_rom(r.sm, put.program);
+    if (dag_ranges)
+      timed_ranges(
+          [&] { analysis::range::analyze_rom(r.sm, put.program, *dag_ranges, rep); });
+    add(lopt.program + "/" + name, std::move(rep));
   }
+
+  if (lopt.ranges)
+    tel.metrics.gauge("lint.ranges.total_ms").set(static_cast<int64_t>(ranges_ms));
 
   int errors = 0, warnings = 0;
   for (const analysis::LintedProgram& p : linted) {
@@ -874,9 +955,164 @@ int run_lint(const trace::SmTraceOptions& topt, const sched::CompileOptions& cop
                          obs::provenance_line("fourq.metrics.v1",
                                               machine_hash_for(topt, copt_base)) +
                              tel.metrics.to_jsonl());
+    if (ok && lopt.ranges)
+      ok = write_file(out_path / "ranges.json",
+                      analysis::range::ranges_json(cert_entries) + "\n");
     if (!ok) return 2;
     if (!lopt.json)
       std::printf("fourqc lint: report written to %s\n", out_path.string().c_str());
+  }
+  return errors ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// fourqc lint --fleet: sweep the full verifier (lift + liveness + taint +
+// range proofs, always on here — the point is gating the DSE search space
+// on provable overflow-freedom) over the scheduler-backend matrix times a
+// MachineConfig grid, one grid point per BatchEngine task.
+
+int run_fleet_lint(const trace::SmTraceOptions& topt,
+                   const sched::CompileOptions& copt_base, const LintOptions& lopt) {
+  obs::Telemetry& tel = obs::global();
+  tel.reset();
+
+  std::filesystem::path out_path(lopt.out_dir);
+  if (!lopt.out_dir.empty() && !ensure_out_dir(out_path)) return 2;
+
+  ProgramUnderTest put;
+  put.build(lopt.program, topt);
+
+  // Machine grid: multiplier pipeline depth x unit count x RF porting.
+  // "smoke" is the CI leg (paper-like point, deeper pipeline, wide 2-issue
+  // machine); "full" is the DSE gate.
+  struct GridPoint {
+    int mul_latency, units, read_ports, write_ports;
+  };
+  std::vector<GridPoint> grid;
+  if (lopt.fleet_grid == "full") {
+    for (int ml : {2, 3, 4})
+      for (int units : {1, 2}) {
+        grid.push_back({ml, units, 4, 2});
+        grid.push_back({ml, units, 6, 3});
+      }
+  } else {
+    grid = {{3, 1, 4, 2}, {4, 1, 4, 2}, {3, 2, 6, 3}};
+  }
+
+  std::vector<std::string> backends = lopt.backends;
+  if (backends.empty()) {
+    backends = {"seq", "list", "anneal"};
+    if (put.loop_mode) {
+      backends.push_back("bnb");
+      backends.push_back("modulo");
+    }
+    // sm mode: the looped controller is rebuilt per config elsewhere
+    // (microcode-lint CI leg); the fleet sweeps the flat schedulers.
+  }
+
+  auto start = std::chrono::steady_clock::now();
+
+  // The DAG-side proof is machine-independent: one certificate covers the
+  // whole grid, and every ROM is cross-checked against it.
+  analysis::range::RangeOptions ropt = range_options_for(put);
+  analysis::LintReport dag_rep;
+  analysis::range::ProgramRanges pranges =
+      analysis::range::analyze_program(put.program, ropt, dag_rep);
+  analysis::range::check_certificate(pranges, ropt, dag_rep);
+
+  // One result slot per grid point; metrics are recorded serially below
+  // (the obs registry is shared), so workers only fill their own slot.
+  std::vector<std::vector<analysis::LintedProgram>> per_cfg(grid.size());
+  engine::EngineOptions eng_opt;
+  unsigned hw = std::thread::hardware_concurrency();
+  eng_opt.workers = lopt.fleet_workers > 0 ? lopt.fleet_workers
+                                           : static_cast<int>(hw ? hw : 1);
+  engine::BatchEngine eng(eng_opt);
+  eng.parallel_for(grid.size(), [&](size_t gi) {
+    const GridPoint& g = grid[gi];
+    sched::CompileOptions cfg_base = copt_base;
+    cfg_base.cfg.mul_latency = g.mul_latency;
+    cfg_base.cfg.num_multipliers = g.units;
+    cfg_base.cfg.num_addsubs = g.units;
+    cfg_base.cfg.rf_read_ports = g.read_ports;
+    cfg_base.cfg.rf_write_ports = g.write_ports;
+    std::string tag = "@ml" + std::to_string(g.mul_latency) + "m" +
+                      std::to_string(g.units) + "r" + std::to_string(g.read_ports) +
+                      "w" + std::to_string(g.write_ports);
+    sched::Problem pr = sched::build_problem(put.program, cfg_base.cfg);
+
+    int best_makespan = -1;
+    for (const std::string& name : backends) {
+      if (name == "modulo") {
+        if (!put.loop_mode) continue;
+        per_cfg[gi].push_back({lopt.program + "/modulo" + tag,
+                               analysis::lint_modulo(pr, put.carried_deps(pr))});
+        continue;
+      }
+      sched::CompileOptions copt = cfg_base;
+      if (!solver_from_name(name, &copt.solver)) continue;
+      if (copt.solver == sched::Solver::kBnb) {
+        // Exact search is block-sized and single-instance only.
+        if (pr.nodes.size() > 64 || g.units != 1) continue;
+        if (best_makespan > 0) copt.bnb.upper_bound = best_makespan + 1;
+      }
+      sched::CompileResult r = sched::compile_program(put.program, copt);
+      if (best_makespan < 0 || r.schedule.makespan < best_makespan)
+        best_makespan = r.schedule.makespan;
+      analysis::LintReport rep = analysis::lint_rom(r.sm, put.program);
+      analysis::range::analyze_rom(r.sm, put.program, pranges, rep);
+      per_cfg[gi].push_back({lopt.program + "/" + name + tag, std::move(rep)});
+    }
+  });
+
+  std::vector<analysis::LintedProgram> linted;
+  linted.push_back({lopt.program + "/ranges", std::move(dag_rep)});
+  for (std::vector<analysis::LintedProgram>& cfg : per_cfg)
+    for (analysis::LintedProgram& p : cfg) linted.push_back(std::move(p));
+  for (const analysis::LintedProgram& p : linted)
+    analysis::record_lint_metrics(p.label, p.report);
+
+  double total_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  tel.metrics.gauge("lint.fleet.total_ms").set(static_cast<int64_t>(total_ms));
+  tel.metrics.gauge("lint.fleet.configs").set(static_cast<int64_t>(grid.size()));
+
+  int errors = 0, warnings = 0, proven = 0, checked = 0;
+  for (const analysis::LintedProgram& p : linted) {
+    errors += p.report.errors();
+    warnings += p.report.warnings();
+    if (p.report.ranges_checked) {
+      ++checked;
+      proven += p.report.ranges_proven ? 1 : 0;
+    }
+  }
+
+  std::string json = analysis::lint_json(linted);
+  if (lopt.json) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::printf("%s", analysis::lint_text(linted).c_str());
+    std::printf(
+        "\nfourqc lint --fleet: %zu config(s) x %zu backend(s), %zu report(s), "
+        "%d/%d range-checked proven, %d error(s), %d warning(s) -> %s\n",
+        grid.size(), backends.size(), linted.size(), proven, checked, errors,
+        warnings, errors ? "FAIL" : "CLEAN");
+  }
+
+  if (!lopt.out_dir.empty()) {
+    std::vector<analysis::range::CertEntry> cert{{lopt.program + "/ranges", &pranges}};
+    bool ok = write_file(out_path / "lint.json", json + "\n") &&
+              write_file(out_path / "lint.txt", analysis::lint_text(linted)) &&
+              write_file(out_path / "ranges.json",
+                         analysis::range::ranges_json(cert) + "\n") &&
+              write_file(out_path / "metrics.jsonl",
+                         obs::provenance_line("fourq.metrics.v1",
+                                              machine_hash_for(topt, copt_base)) +
+                             tel.metrics.to_jsonl());
+    if (!ok) return 2;
+    if (!lopt.json)
+      std::printf("fourqc lint: fleet report written to %s\n", out_path.string().c_str());
   }
   return errors ? 1 : 0;
 }
@@ -1471,6 +1707,20 @@ int main(int argc, char** argv) {
     } else if (lint_mode && a == "--out") {
       need(1);
       lopt.out_dir = argv[++i];
+    } else if (lint_mode && a == "--ranges") {
+      lopt.ranges = true;
+    } else if (lint_mode && a == "--fleet") {
+      lopt.fleet = true;
+    } else if (lint_mode && a == "--fleet-grid") {
+      need(1);
+      lopt.fleet_grid = argv[++i];
+      if (lopt.fleet_grid != "smoke" && lopt.fleet_grid != "full") {
+        usage();
+        return 2;
+      }
+    } else if (lint_mode && a == "--fleet-workers") {
+      need(1);
+      lopt.fleet_workers = std::atoi(argv[++i]);
     } else if (explain_mode && a == "--gantt") {
       eopt.gantt = 1;
     } else if (explain_mode && a == "--no-gantt") {
@@ -1547,7 +1797,8 @@ int main(int argc, char** argv) {
 
   if (profile_mode) return run_profile(topt, copt, popt);
   if (explain_mode) return run_explain(topt, copt, eopt);
-  if (lint_mode) return run_lint(topt, copt, lopt);
+  if (lint_mode)
+    return lopt.fleet ? run_fleet_lint(topt, copt, lopt) : run_lint(topt, copt, lopt);
   if (stats_mode) return run_stats(sopt);
   if (batch_mode) {
     if (bopt.jobs < 1 || bopt.workers < 1) {

@@ -69,6 +69,19 @@ if [ -x "$build_dir/tools/fourqc" ]; then
       failures=$((failures + 1))
     fi
   done
+  # Range verification (abstract-interpretation overflow-freedom proof):
+  # the same backends with the --ranges pass on, recorded separately so the
+  # bench run carries the per-program range verdict and timing.
+  for program in loop sm; do
+    ran=$((ran + 1))
+    if "$build_dir/tools/fourqc" lint --program "$program" --ranges --json \
+        > "$out_dir/LINT_ranges_$program.json" 2> "$out_dir/LINT_ranges_$program.log"; then
+      echo "ok    lint ranges ($program)"
+    else
+      echo "FAIL  lint ranges ($program) (see $out_dir/LINT_ranges_$program.json)" >&2
+      failures=$((failures + 1))
+    fi
+  done
 else
   echo "skip  lint ($build_dir/tools/fourqc not built)"
 fi
@@ -122,6 +135,25 @@ if [ -x "$build_dir/tools/perf_regress" ] && [ -f "$out_dir/BENCH_msm.json" ] \
   fi
 else
   echo "skip  perf_regress (msm baseline)"
+fi
+
+# Range-analysis wall-time gate: the overflow-freedom proof must stay
+# within its per-program budget (tools/baselines/lint_ranges_baseline.jsonl)
+# so it can run on every CI build.
+if [ -x "$build_dir/tools/perf_regress" ] && [ -x "$build_dir/tools/fourqc" ] \
+    && [ -f "$script_dir/baselines/lint_ranges_baseline.jsonl" ]; then
+  ran=$((ran + 1))
+  if "$build_dir/tools/fourqc" lint --program sm --ranges \
+        --out "$out_dir/lint_ranges_out" > /dev/null 2>&1 \
+      && "$build_dir/tools/perf_regress" "$script_dir/baselines/lint_ranges_baseline.jsonl" \
+        "$out_dir/lint_ranges_out/metrics.jsonl" > "$out_dir/perf_regress_lint_ranges.log" 2>&1; then
+    echo "ok    perf_regress (lint ranges baseline)"
+  else
+    echo "FAIL  perf_regress (lint ranges baseline) (see $out_dir/perf_regress_lint_ranges.log)" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "skip  perf_regress (lint ranges baseline)"
 fi
 
 # Mirror the JSON records into the repo root so CI can pick them up as
