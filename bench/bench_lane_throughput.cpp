@@ -1,0 +1,124 @@
+// Lane executor experiment — wave-width sweep. One pre-decoded program, one
+// worker, wave width W in {1, 2, 4, 8}: W = 1 is the scalar interpreter
+// walk (the pre-lanes engine), wider waves run all W jobs through the SoA
+// lane executor and the dispatched vector field kernels. The headline
+// metric is the laned-vs-scalar throughput ratio measured in-process —
+// both paths see the same ambient load, so the ratio is stable where
+// absolute jobs/s on a shared host is not. The 8-worker leg guards the
+// queue-chunking fix (8 workers must not fall below 1 worker again).
+//
+// Gated by tools/baselines/bench_lanes_baseline.jsonl via perf_regress:
+// the full-wave ratio must hold >= 5x, 8w/1w >= 1, and every lane output
+// must match the software golden model bitwise.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "curve/scalarmul.hpp"
+#include "engine/batch.hpp"
+#include "field/fp_lanes.hpp"
+
+namespace {
+
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fourq;
+  bench::parse_bench_args(argc, argv);
+
+  bench::print_header("Lane executor — wave-width sweep (1 = scalar path)");
+
+  engine::CompileKey key;
+  key.kind = engine::ProgramKind::kSingleSm;
+  key.trace.endo = trace::EndoVariant::kFunctional;
+
+  constexpr int kJobs = 256;
+  Rng rng(20260808);
+  curve::Affine base = curve::deterministic_point(1);
+  std::vector<engine::SmJob> jobs(kJobs);
+  for (auto& j : jobs) j = engine::SmJob{rng.next_u256(), base};
+
+  engine::CompileCache cache;
+  auto run_cfg = [&](int workers, int lanes) {
+    engine::EngineOptions eopt;
+    eopt.workers = workers;
+    eopt.lanes = lanes;
+    eopt.key = key;
+    eopt.cache = &cache;
+    engine::BatchEngine eng(eopt);
+    eng.program();
+    eng.run(jobs);  // warm-up: arenas sized, cache hot
+    double best = 0.0;
+    std::vector<engine::SmResult> results;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      results = eng.run(jobs);
+      best = std::max(best, kJobs / secs_since(t0));
+    }
+    return std::pair<double, std::vector<engine::SmResult>>(best, std::move(results));
+  };
+
+  std::printf("field kernels: %s  (program: functional single-SM, %d jobs)\n\n",
+              field::lanes::active().name, kJobs);
+  std::printf("%-34s %12s %14s\n", "Configuration", "jobs/s", "vs scalar");
+  bench::print_rule(62);
+
+  // Per-lane bitwise check against the software golden model, shared by
+  // every configuration (the outputs must not depend on W or workers).
+  std::vector<curve::Affine> golden(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i)
+    golden[i] = curve::to_affine(curve::scalar_mul(jobs[i].k, jobs[i].base));
+  int mismatches = 0;
+  auto check = [&](const std::vector<engine::SmResult>& results) {
+    for (size_t i = 0; i < jobs.size(); ++i)
+      if (!(results[i].out.x == golden[i].x) || !(results[i].out.y == golden[i].y))
+        ++mismatches;
+  };
+
+  bench::JsonRecorder rec("lanes");
+  double scalar_jps = 0.0, full_jps = 0.0;
+  for (int w : {1, 2, 4, 8}) {
+    auto [jps, results] = run_cfg(1, w);
+    check(results);
+    if (w == 1) scalar_jps = jps;
+    if (w == 8) full_jps = jps;
+    char label[64];
+    std::snprintf(label, sizeof label, "1 worker, %d lane%s%s", w, w == 1 ? "" : "s",
+                  w == 1 ? " (scalar path)" : "");
+    std::printf("%-34s %12.1f %13.2fx\n", label, jps, jps / scalar_jps);
+    char metric[32];
+    std::snprintf(metric, sizeof metric, "lanes.%d.jobs_per_s", w);
+    rec.record(metric, jps, "jobs/s");
+  }
+
+  auto [jps_8w, results_8w] = run_cfg(8, 8);
+  check(results_8w);
+  std::printf("%-34s %12.1f %13.2fx\n", "8 workers, 8 lanes", jps_8w,
+              jps_8w / scalar_jps);
+
+  const double speedup = full_jps / scalar_jps;
+  const double ratio_8w = jps_8w / full_jps;
+  std::printf("\nfull-wave speedup vs scalar path: %.2fx   8w/1w: %.2f   "
+              "cross-check: %s\n",
+              speedup, ratio_8w, mismatches == 0 ? "all match" : "MISMATCH");
+
+  rec.record("engine.1w.jobs_per_s", full_jps, "jobs/s");
+  rec.record("engine.8w.jobs_per_s", jps_8w, "jobs/s");
+  rec.record("speedup_laned_vs_scalar", speedup, "x");
+  rec.record("ratio_8w_vs_1w", ratio_8w, "x");
+  rec.record("check.mismatches", mismatches);
+
+  std::printf(
+      "\nW = 1 executes jobs one at a time through the scalar interpreter;\n"
+      "wider waves drive W jobs through one pass over the cycle-sorted\n"
+      "issue streams, each field op an up-to-W-lane kernel call. The ratio\n"
+      "is measured in-process so shared-host load cancels out of the gate.\n");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "curve/scalarmul.hpp"
+#include "field/fp_lanes.hpp"
 #include "obs/obs.hpp"
 
 namespace fourq::curve {
@@ -149,6 +150,68 @@ PipPlan pippenger_prepare(const std::vector<ScalarPoint>& terms, int c) {
   return plan;
 }
 
+// Micro-laned bucket insertion: up to 8 add_mixed operations into
+// *distinct* buckets execute as one wave of lane-kernel field ops
+// (field/fp_lanes.hpp), the 7M + 7A mixed-addition formula applied
+// coordinate-wise across SoA arrays. Per-bucket insertion order is
+// preserved (an insertion whose bucket is already claimed by the current
+// wave waits for the next one), so the bucket contents — and therefore the
+// window sum — are bitwise identical to the sequential loop.
+constexpr size_t kBucketLanes = 8;
+
+struct BucketIns {
+  uint32_t bucket;
+  uint32_t term;
+  bool negate;
+};
+
+void apply_bucket_wave(std::vector<PointR1>& buckets, const PipPlan& plan,
+                       const BucketIns* ins, size_t n) {
+  namespace lk = field::lanes;
+  const lk::Kernels& k = lk::active();
+  constexpr size_t W = kBucketLanes;
+  // p = bucket (R1), q = table entry (normalised R2).
+  u128 pX[2][W], pY[2][W], pZ[2][W], pTa[2][W], pTb[2][W];
+  u128 qxpy[2][W], qymx[2][W], qdt2[2][W];
+  u128 t[2][W], a[2][W], b[2][W], e[2][W], f[2][W], g[2][W], h[2][W];
+  for (size_t l = 0; l < n; ++l) {
+    const PointR1& p = buckets[ins[l].bucket];
+    lk::split(p.X, pX[0][l], pX[1][l]);
+    lk::split(p.Y, pY[0][l], pY[1][l]);
+    lk::split(p.Z, pZ[0][l], pZ[1][l]);
+    lk::split(p.Ta, pTa[0][l], pTa[1][l]);
+    lk::split(p.Tb, pTb[0][l], pTb[1][l]);
+    const PointR2Aff& q0 = plan.base[ins[l].term];
+    const PointR2Aff q = ins[l].negate ? neg_r2aff(q0) : q0;
+    lk::split(q.xpy, qxpy[0][l], qxpy[1][l]);
+    lk::split(q.ymx, qymx[0][l], qymx[1][l]);
+    lk::split(q.dt2, qdt2[0][l], qdt2[1][l]);
+  }
+  // add_mixed, lane-parallel (same statement order as the template).
+  k.fp2_mul(pTa[0], pTa[1], pTb[0], pTb[1], t[0], t[1], n);    // t = Ta*Tb
+  k.fp2_sub(pY[0], pY[1], pX[0], pX[1], a[0], a[1], n);        // Y-X
+  k.fp2_mul(a[0], a[1], qymx[0], qymx[1], a[0], a[1], n);      // a
+  k.fp2_add(pY[0], pY[1], pX[0], pX[1], b[0], b[1], n);        // Y+X
+  k.fp2_mul(b[0], b[1], qxpy[0], qxpy[1], b[0], b[1], n);      // b
+  k.fp2_mul(t[0], t[1], qdt2[0], qdt2[1], t[0], t[1], n);      // c = t*dt2
+  k.fp2_add(pZ[0], pZ[1], pZ[0], pZ[1], pZ[0], pZ[1], n);      // d = 2Z
+  k.fp2_sub(b[0], b[1], a[0], a[1], e[0], e[1], n);            // e = b-a
+  k.fp2_sub(pZ[0], pZ[1], t[0], t[1], f[0], f[1], n);          // f = d-c
+  k.fp2_add(pZ[0], pZ[1], t[0], t[1], g[0], g[1], n);          // g = d+c
+  k.fp2_add(b[0], b[1], a[0], a[1], h[0], h[1], n);            // h = b+a
+  k.fp2_mul(e[0], e[1], f[0], f[1], pX[0], pX[1], n);          // X = e*f
+  k.fp2_mul(g[0], g[1], h[0], h[1], pY[0], pY[1], n);          // Y = g*h
+  k.fp2_mul(f[0], f[1], g[0], g[1], pZ[0], pZ[1], n);          // Z = f*g
+  for (size_t l = 0; l < n; ++l) {
+    PointR1& p = buckets[ins[l].bucket];
+    p.X = lk::join(pX[0][l], pX[1][l]);
+    p.Y = lk::join(pY[0][l], pY[1][l]);
+    p.Z = lk::join(pZ[0][l], pZ[1][l]);
+    p.Ta = lk::join(e[0][l], e[1][l]);
+    p.Tb = lk::join(h[0][l], h[1][l]);
+  }
+}
+
 // Sum of window j: sum over buckets v of [v] (sum of points with digit ±v).
 // Deterministic for a fixed plan (insertion follows term order), so the
 // result is bitwise identical no matter which thread runs it.
@@ -157,18 +220,47 @@ PointR1 pippenger_window(const PipPlan& plan, int j, std::vector<PointR1>& bucke
   const size_t half = size_t{1} << (plan.c - 1);
   buckets.resize(half);
   used.assign(half, 0);
+  // First pass: first hits seed their bucket directly (no field ops);
+  // everything else becomes a pending mixed addition.
+  std::vector<BucketIns> pending;
   for (size_t i = 0; i < plan.live.size(); ++i) {
     int d = plan.digits[i * static_cast<size_t>(plan.nwin) + static_cast<size_t>(j)];
     if (d == 0) continue;
     const size_t b = static_cast<size_t>(std::abs(d)) - 1;
     if (used[b]) {
-      buckets[b] = add_mixed(buckets[b],
-                             d > 0 ? plan.base[i] : neg_r2aff(plan.base[i]));
+      pending.push_back(BucketIns{static_cast<uint32_t>(b),
+                                  static_cast<uint32_t>(i), d < 0});
     } else {
       // First hit: the bucket is the (possibly negated) affine input itself.
       const Affine& p = plan.live[i]->p;
       buckets[b] = to_r1(d > 0 ? p : neg(p));
       used[b] = 1;
+    }
+  }
+  // Drain pending insertions in waves of distinct buckets. Small windows
+  // fall through to the scalar adds (one- or two-lane kernel calls would
+  // pay SoA staging for no ILP).
+  if (pending.size() < kBucketLanes) {
+    for (const BucketIns& ins : pending)
+      buckets[ins.bucket] =
+          add_mixed(buckets[ins.bucket], ins.negate ? neg_r2aff(plan.base[ins.term])
+                                                    : plan.base[ins.term]);
+  } else {
+    std::vector<uint8_t> done(pending.size(), 0);
+    size_t remaining = pending.size();
+    std::vector<uint8_t> claimed(half, 0);
+    BucketIns wave[kBucketLanes];
+    while (remaining > 0) {
+      size_t lanes = 0;
+      for (size_t i = 0; i < pending.size() && lanes < kBucketLanes; ++i) {
+        if (done[i] || claimed[pending[i].bucket]) continue;
+        claimed[pending[i].bucket] = 1;
+        wave[lanes++] = pending[i];
+        done[i] = 1;
+      }
+      apply_bucket_wave(buckets, plan, wave, lanes);
+      for (size_t l = 0; l < lanes; ++l) claimed[wave[l].bucket] = 0;
+      remaining -= lanes;
     }
   }
   // Fold: S walks the buckets top-down (S_b = sum_{v >= b} bucket_v),

@@ -1,6 +1,7 @@
 #include "curve/point.hpp"
 
 #include "common/check.hpp"
+#include "field/fp_lanes.hpp"
 #include "obs/obs.hpp"
 
 namespace fourq::curve {
@@ -56,30 +57,89 @@ PointR2Aff to_r2aff(const Affine& p) {
   return PointR2Aff{p.x + p.y, p.y - p.x, t * curve_2d()};
 }
 
+namespace {
+
+// SoA staging for the post-inversion per-point multiplications: the same
+// u128 re/im arrays the lane kernels (field/fp_lanes.hpp) consume. Built
+// once per batch; every subsequent field op runs n lanes per call.
+struct LaneVec {
+  std::vector<u128> re, im;
+  explicit LaneVec(size_t n) : re(n), im(n) {}
+  void set(size_t i, const field::Fp2& v) { field::lanes::split(v, re[i], im[i]); }
+  field::Fp2 get(size_t i) const { return field::lanes::join(re[i], im[i]); }
+};
+
+}  // namespace
+
 std::vector<Affine> batch_to_affine(const std::vector<PointR1>& ps) {
   FOURQ_SPAN("curve.batch_normalize");
-  std::vector<Fp2> zs(ps.size());
-  for (size_t i = 0; i < ps.size(); ++i) {
+  const size_t n = ps.size();
+  std::vector<Fp2> zs(n);
+  for (size_t i = 0; i < n; ++i) {
     FOURQ_CHECK_MSG(!ps[i].Z.is_zero(), "point at infinity has no affine form");
     zs[i] = ps[i].Z;
   }
   field::batch_invert(zs.data(), zs.size());
-  std::vector<Affine> out(ps.size());
-  for (size_t i = 0; i < ps.size(); ++i)
+  std::vector<Affine> out(n);
+  if (n >= 8) {
+    // x = X/Z, y = Y/Z across the whole batch: two lane-kernel passes.
+    const auto& k = field::lanes::active();
+    LaneVec X(n), Y(n), Z(n);
+    for (size_t i = 0; i < n; ++i) {
+      X.set(i, ps[i].X);
+      Y.set(i, ps[i].Y);
+      Z.set(i, zs[i]);
+    }
+    k.fp2_mul(X.re.data(), X.im.data(), Z.re.data(), Z.im.data(), X.re.data(),
+              X.im.data(), n);
+    k.fp2_mul(Y.re.data(), Y.im.data(), Z.re.data(), Z.im.data(), Y.re.data(),
+              Y.im.data(), n);
+    for (size_t i = 0; i < n; ++i) out[i] = Affine{X.get(i), Y.get(i)};
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i)
     out[i] = Affine{ps[i].X * zs[i], ps[i].Y * zs[i]};
   return out;
 }
 
 std::vector<PointR2Aff> batch_to_r2aff(const std::vector<PointR1>& ps) {
   FOURQ_SPAN("curve.batch_normalize");
-  std::vector<Fp2> zs(ps.size());
-  for (size_t i = 0; i < ps.size(); ++i) {
+  const size_t n = ps.size();
+  std::vector<Fp2> zs(n);
+  for (size_t i = 0; i < n; ++i) {
     FOURQ_CHECK_MSG(!ps[i].Z.is_zero(), "point at infinity has no affine form");
     zs[i] = ps[i].Z;
   }
   field::batch_invert(zs.data(), zs.size());
-  std::vector<PointR2Aff> out(ps.size());
-  for (size_t i = 0; i < ps.size(); ++i) {
+  std::vector<PointR2Aff> out(n);
+  if (n >= 8) {
+    // x = X/Z, y = Y/Z, then (x+y, y-x, 2d*x*y) — five lane-kernel passes
+    // over the batch (the 2d multiplier is broadcast into its own lanes).
+    const auto& k = field::lanes::active();
+    LaneVec X(n), Y(n), Z(n), S(n), D(n);
+    for (size_t i = 0; i < n; ++i) {
+      X.set(i, ps[i].X);
+      Y.set(i, ps[i].Y);
+      Z.set(i, zs[i]);
+      D.set(i, curve_2d());
+    }
+    k.fp2_mul(X.re.data(), X.im.data(), Z.re.data(), Z.im.data(), X.re.data(),
+              X.im.data(), n);
+    k.fp2_mul(Y.re.data(), Y.im.data(), Z.re.data(), Z.im.data(), Y.re.data(),
+              Y.im.data(), n);
+    k.fp2_mul(X.re.data(), X.im.data(), Y.re.data(), Y.im.data(), Z.re.data(),
+              Z.im.data(), n);  // Z := x*y
+    k.fp2_mul(Z.re.data(), Z.im.data(), D.re.data(), D.im.data(), D.re.data(),
+              D.im.data(), n);  // D := 2d*x*y
+    k.fp2_add(X.re.data(), X.im.data(), Y.re.data(), Y.im.data(), S.re.data(),
+              S.im.data(), n);  // S := x+y
+    k.fp2_sub(Y.re.data(), Y.im.data(), X.re.data(), X.im.data(), Y.re.data(),
+              Y.im.data(), n);  // Y := y-x
+    for (size_t i = 0; i < n; ++i)
+      out[i] = PointR2Aff{S.get(i), Y.get(i), D.get(i)};
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
     Fp2 x = ps[i].X * zs[i];
     Fp2 y = ps[i].Y * zs[i];
     out[i] = PointR2Aff{x + y, y - x, (x * y) * curve_2d()};

@@ -191,11 +191,13 @@ class BatchEngine::Queue {
 
 BatchEngine::BatchEngine(const EngineOptions& opt) : opt_(opt) {
   FOURQ_CHECK_MSG(opt_.workers >= 1, "engine needs at least one worker");
+  lanes_ = opt_.lanes == 0 ? kMaxLanes : std::clamp(opt_.lanes, 1, kMaxLanes);
   queue_ = std::make_unique<Queue>(opt_.queue_capacity);
   threads_.reserve(static_cast<size_t>(opt_.workers));
   for (int i = 0; i < opt_.workers; ++i)
     threads_.emplace_back([this, i] { worker_main(i); });
   FOURQ_GAUGE_SET("engine.workers", opt_.workers);
+  FOURQ_GAUGE_SET("engine.lanes.width", lanes_);
 }
 
 BatchEngine::~BatchEngine() {
@@ -204,11 +206,10 @@ BatchEngine::~BatchEngine() {
 }
 
 void BatchEngine::worker_main(int worker_id) {
-  // Worker-local arenas: the workspace and binding vector are sized on the
-  // first job and only overwritten afterwards — zero steady-state
+  // Worker-local arena: workspaces and per-lane staging are sized on the
+  // first wave and only overwritten afterwards — zero steady-state
   // allocation on the scalar-mul path.
-  SimWorkspace ws;
-  trace::InputBindings bindings;
+  SmArena arena;
 #if !FOURQ_OBS_ENABLED
   (void)worker_id;
 #else
@@ -257,7 +258,7 @@ void BatchEngine::worker_main(int worker_id) {
 #endif
     switch (t.kind) {
       case Task::Kind::kSm:
-        exec_sm(t, ws, bindings);
+        exec_sm(t, arena);
         break;
       case Task::Kind::kVerify: {
         // Re-seeded per task so verdicts don't depend on which worker or in
@@ -345,26 +346,78 @@ const CompiledProgram& BatchEngine::program() {
   return *program_;
 }
 
-void BatchEngine::exec_sm(const Task& t, SimWorkspace& ws, trace::InputBindings& bindings) {
+namespace {
+
+// Per-job preflight shared by the wave and scalar paths: scalar
+// decomposition + recoding and the input bindings for one job.
+void stage_job(const CompiledProgram& p, const SmJob& job, curve::Decomposition& dec,
+               curve::RecodedScalar& rec, trace::InputBindings& bindings,
+               trace::EvalContext& ctx) {
+  dec = curve::decompose(job.k);
+  rec = curve::recode(dec.a);
+  bindings.clear();  // keeps capacity; no allocation after the first job
+  bindings.emplace_back(p.in_zero, Fp2());
+  bindings.emplace_back(p.in_one, Fp2::from_u64(1));
+  bindings.emplace_back(p.in_two_d, curve::curve_2d());
+  bindings.emplace_back(p.in_px, job.base.x);
+  bindings.emplace_back(p.in_py, job.base.y);
+  for (size_t c = 0; c < p.in_endo_consts.size(); ++c)
+    bindings.emplace_back(p.in_endo_consts[c], Fp2::from_u64(3 + c, 7 + c));
+  ctx = trace::EvalContext{};
+  ctx.recoded = &rec;
+  ctx.k_was_even = dec.k_was_even;
+}
+
+}  // namespace
+
+void BatchEngine::exec_sm(const Task& t, SmArena& ar) {
   const CompiledProgram& p = *program_;
   const DecodedRom& rom = *decoded_;
-  for (size_t i = t.begin; i < t.end; ++i) {
-    const SmJob& job = t.jobs[i];
-    curve::Decomposition dec = curve::decompose(job.k);
-    curve::RecodedScalar rec = curve::recode(dec.a);
-    bindings.clear();  // keeps capacity; no allocation after the first job
-    bindings.emplace_back(p.in_zero, Fp2());
-    bindings.emplace_back(p.in_one, Fp2::from_u64(1));
-    bindings.emplace_back(p.in_two_d, curve::curve_2d());
-    bindings.emplace_back(p.in_px, job.base.x);
-    bindings.emplace_back(p.in_py, job.base.y);
-    for (size_t c = 0; c < p.in_endo_consts.size(); ++c)
-      bindings.emplace_back(p.in_endo_consts[c], Fp2::from_u64(3 + c, 7 + c));
-    trace::EvalContext ctx;
-    ctx.recoded = &rec;
-    ctx.k_was_even = dec.k_was_even;
-    engine::run(rom, bindings, ctx, ws);
-    t.results[i].out = curve::Affine{output_value(rom, ws, "x"), output_value(rom, ws, "y")};
+  const int W = lanes_;
+  size_t i = t.begin;
+
+  if (W > 1) {
+    // Lane-packed waves: W jobs staged, one SoA pass over the decoded
+    // streams for all of them. EvalContexts hold pointers into ar.recs, so
+    // the vectors are sized once and never reallocated mid-wave.
+    const size_t lw = static_cast<size_t>(W);
+    if (ar.bindings.size() < lw) {
+      ar.bindings.resize(lw);
+      ar.ctxs.resize(lw);
+      ar.recs.resize(lw);
+      ar.decs.resize(lw);
+    }
+    size_t waves = 0;
+    for (; i + lw <= t.end; i += lw) {
+      for (int l = 0; l < W; ++l) {
+        const size_t sl = static_cast<size_t>(l);
+        stage_job(p, t.jobs[i + sl], ar.decs[sl], ar.recs[sl], ar.bindings[sl],
+                  ar.ctxs[sl]);
+      }
+      run_lanes(rom, ar.bindings.data(), ar.ctxs.data(), W, ar.lane_ws);
+      for (int l = 0; l < W; ++l) {
+        const size_t sl = static_cast<size_t>(l);
+        t.results[i + sl].out = curve::Affine{lane_output(rom, ar.lane_ws, "x", l),
+                                              lane_output(rom, ar.lane_ws, "y", l)};
+        t.results[i + sl].stats = rom.stats;
+      }
+      ++waves;
+    }
+    FOURQ_COUNTER_ADD("engine.lanes.waves", waves);
+    FOURQ_COUNTER_ADD("engine.lanes.ragged_jobs", t.end - i);
+  }
+
+  // Ragged tail (or W == 1): the scalar executor, job by job.
+  for (; i < t.end; ++i) {
+    if (ar.bindings.empty()) {
+      ar.bindings.resize(1);
+      ar.ctxs.resize(1);
+      ar.recs.resize(1);
+      ar.decs.resize(1);
+    }
+    stage_job(p, t.jobs[i], ar.decs[0], ar.recs[0], ar.bindings[0], ar.ctxs[0]);
+    engine::run(rom, ar.bindings[0], ar.ctxs[0], ar.ws);
+    t.results[i].out = curve::Affine{output_value(rom, ar.ws, "x"), output_value(rom, ar.ws, "y")};
     t.results[i].stats = rom.stats;
   }
   FOURQ_COUNTER_ADD("engine.jobs.sm", t.end - t.begin);
@@ -418,9 +471,19 @@ std::vector<SmResult> BatchEngine::run(const std::vector<SmJob>& jobs) {
   if (jobs.empty()) return results;  // no work: don't even compile
   ensure_program();
 
+  // Chunked-wave submission: ~2 tasks per worker, each wave-aligned. The
+  // previous n/(workers*8) sizing pushed 64 tiny tasks through the queue for
+  // a 256-job batch — on few-core hosts the mutex/condvar traffic made 8
+  // workers *slower* than 1 (BENCH_engine.json: queue-wait p50 36.7 ms vs
+  // 1.7 ms service). One queue op now covers a whole run of waves, and
+  // wave-alignment confines ragged (scalar-path) tails to the final task.
+  const size_t wv = static_cast<size_t>(lanes_);
   size_t chunk = opt_.chunk;
-  if (chunk == 0)
-    chunk = std::max<size_t>(1, jobs.size() / (threads_.size() * 8));
+  if (chunk == 0) {
+    chunk = std::max<size_t>(
+        1, (jobs.size() + threads_.size() * 2 - 1) / (threads_.size() * 2));
+    if (wv > 1 && chunk % wv != 0) chunk += wv - chunk % wv;
+  }  // an explicit opt_.chunk is honored exactly, unaligned or not
 
   auto start = std::chrono::steady_clock::now();
   BatchCtl ctl;
@@ -441,6 +504,15 @@ std::vector<SmResult> BatchEngine::run(const std::vector<SmJob>& jobs) {
   FOURQ_COUNTER_ADD("engine.batches", 1);
   if (secs > 0) FOURQ_GAUGE_SET("engine.jobs_per_s", static_cast<double>(jobs.size()) / secs);
   FOURQ_GAUGE_SET("engine.queue.depth.max", queue_->max_depth());
+  if (wv > 1) {
+    // Packing efficiency of this batch: filled lane slots over the slots of
+    // every wave, counting each task's ragged tail as one partial wave.
+    size_t wave_slots = 0;
+    for (const Task& t : tasks) wave_slots += ((t.end - t.begin + wv - 1) / wv) * wv;
+    if (wave_slots)
+      FOURQ_GAUGE_SET("engine.lanes.occupancy",
+                      static_cast<double>(jobs.size()) / static_cast<double>(wave_slots));
+  }
 #if FOURQ_OBS_ENABLED
   update_perf_gauges("sm", "engine.jobs.sm");
 #endif

@@ -31,9 +31,11 @@
 
 #include "curve/multiscalar.hpp"
 #include "curve/point.hpp"
+#include "curve/scalar.hpp"
 #include "dsa/schnorrq.hpp"
 #include "engine/cache.hpp"
 #include "engine/decoded.hpp"
+#include "engine/lanes.hpp"
 
 namespace fourq::engine {
 
@@ -50,10 +52,17 @@ struct SmResult {
 struct EngineOptions {
   int workers = 1;            // pool size (>= 1)
   size_t queue_capacity = 64; // bounded job-queue length (back-pressure)
-  size_t chunk = 0;           // jobs per task; 0 = max(1, n / (workers * 8))
-                              // for run(), max(1, n / (workers * 2)) for
-                              // verify() (bigger chunks give the bucket MSM
-                              // more terms to amortise over)
+  size_t chunk = 0;           // jobs per task; 0 = wave-aligned chunks sized
+                              // so each worker receives ~2 tasks for run()
+                              // (one queue op per wave, not per job),
+                              // max(1, n / (workers * 2)) for verify()
+                              // (bigger chunks give the bucket MSM more
+                              // terms to amortise over)
+  int lanes = 0;              // wave width W for run(): jobs are packed into
+                              // W-wide waves executed by the lane-parallel
+                              // SoA executor (engine/lanes.hpp); ragged
+                              // tails use the scalar path. 0 = kMaxLanes,
+                              // 1 = scalar execution throughout.
   CompileKey key;             // program compiled/decoded for run()
   CompileCache* cache = nullptr;  // nullptr = CompileCache::process_cache()
   uint64_t verify_seed = 0x5eedf00d;  // BGR small-exponent weight seed
@@ -90,6 +99,7 @@ class BatchEngine {
   // The compiled program run() executes (compiling it on first use).
   const CompiledProgram& program();
   int workers() const { return static_cast<int>(threads_.size()); }
+  int lanes() const { return lanes_; }
 
  private:
   struct Task;
@@ -97,13 +107,26 @@ class BatchEngine {
   struct FanCtl;
   class Queue;
 
+  // Worker-local arenas for the scalar-mul path: the scalar workspace plus
+  // the SoA lane workspace and per-lane binding/context staging. Everything
+  // is sized on the first wave and reused — zero steady-state allocation.
+  struct SmArena {
+    SimWorkspace ws;
+    LaneWorkspace lane_ws;
+    std::vector<trace::InputBindings> bindings;  // [lane]
+    std::vector<trace::EvalContext> ctxs;        // [lane]
+    std::vector<curve::RecodedScalar> recs;      // [lane] (ctxs point here)
+    std::vector<curve::Decomposition> decs;      // [lane]
+  };
+
   void worker_main(int worker_id);
   void ensure_program();
-  void exec_sm(const Task& t, SimWorkspace& ws, trace::InputBindings& bindings);
+  void exec_sm(const Task& t, SmArena& arena);
   void exec_verify(const Task& t, Rng& rng);
   void dispatch(std::vector<Task>& tasks);
 
   EngineOptions opt_;
+  int lanes_ = 1;  // effective wave width W
   std::unique_ptr<Queue> queue_;
   std::vector<std::thread> threads_;
 

@@ -25,6 +25,11 @@ Fp Fp::from_words(uint64_t lo, uint64_t hi) {
 
 Fp Fp::from_u256(const U256& v) { return reduce_wide(v); }
 
+Fp Fp::from_canonical(u128 v) {
+  FOURQ_CHECK_MSG(v < P(), "from_canonical requires a reduced value");
+  return Fp(v);
+}
+
 Fp Fp::from_hex(const std::string& hex) {
   uint64_t w[2];
   hex_to_words(hex, w, 2);

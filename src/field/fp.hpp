@@ -23,6 +23,9 @@ class Fp {
   // Value taken mod p.
   static Fp from_u64(uint64_t v) { return Fp(static_cast<u128>(v)); }
   static Fp from_words(uint64_t lo, uint64_t hi);
+  // Re-wraps a value already known to be canonical (e.g. produced by the
+  // lane kernels in fp_lanes.hpp, which keep their outputs in [0, p)).
+  static Fp from_canonical(u128 v);
   // Reduces an arbitrary 256-bit value mod p.
   static Fp from_u256(const U256& v);
   static Fp from_hex(const std::string& hex);

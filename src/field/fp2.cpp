@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "field/fp_lanes.hpp"
 
 namespace fourq::field {
 
@@ -111,8 +112,92 @@ bool Fp2::sqrt(Fp2& root) const {
   return false;
 }
 
+namespace {
+
+// Montgomery's trick applied strip-parallel: the array is cut into 8
+// contiguous strips, each running its own prefix-product chain, and every
+// chain step is one 8-lane fp2_mul through the dispatched lane kernels
+// (field/fp_lanes.hpp). The chains join only once — the 8 strip totals are
+// folded with the scalar trick, still a single field inversion — and the
+// backward recovery walk is lane-parallel again. Inverses are canonical
+// and unique, so the results are bitwise-identical to the sequential walk.
+void batch_invert_strips(Fp2* xs, size_t n) {
+  namespace lk = lanes;
+  constexpr size_t W = 8;
+  const lk::Kernels& k = lk::active();
+  const size_t len = (n + W - 1) / W;  // strip length (last strip ragged)
+  // pre[i] = strip-local prefix product of the non-zero entries before i.
+  std::vector<u128> pre_re(n), pre_im(n);
+  u128 acc_re[W], acc_im[W], v_re[W], v_im[W], r_re[W], r_im[W];
+  for (size_t s = 0; s < W; ++s) {
+    acc_re[s] = 1;
+    acc_im[s] = 0;
+  }
+  // Out-of-range / zero entries multiply as 1 so every strip runs the same
+  // number of steps (the kernels have no per-lane predication).
+  auto gather = [&](size_t j) {
+    for (size_t s = 0; s < W; ++s) {
+      const size_t i = s * len + j;
+      const bool live = i < n && !xs[i].is_zero();
+      v_re[s] = live ? xs[i].re().raw() : 1;
+      v_im[s] = live ? xs[i].im().raw() : 0;
+    }
+  };
+  for (size_t j = 0; j < len; ++j) {
+    for (size_t s = 0; s < W; ++s) {
+      const size_t i = s * len + j;
+      if (i < n) {
+        pre_re[i] = acc_re[s];
+        pre_im[i] = acc_im[s];
+      }
+    }
+    gather(j);
+    k.fp2_mul(acc_re, acc_im, v_re, v_im, acc_re, acc_im, W);
+  }
+  // Join the strip totals and invert them together: the scalar walk over 8
+  // elements, with the one inversion the whole call pays.
+  Fp2 tot[W], tpre[W];
+  Fp2 t_acc = Fp2::from_u64(1);
+  for (size_t s = 0; s < W; ++s) {
+    tot[s] = lanes::join(acc_re[s], acc_im[s]);
+    tpre[s] = t_acc;
+    t_acc = t_acc * tot[s];  // strip totals are products of units: non-zero
+  }
+  Fp2 t_inv = t_acc.inv();
+  for (size_t s = W; s-- > 0;) {
+    Fp2 ts = t_inv * tpre[s];
+    t_inv = t_inv * tot[s];
+    lanes::split(ts, acc_re[s], acc_im[s]);  // acc := (strip total)^-1
+  }
+  // Backward walk, lane-parallel: xs[i]^-1 = acc_s * pre[i], then fold
+  // xs[i] back into acc_s.
+  for (size_t j = len; j-- > 0;) {
+    for (size_t s = 0; s < W; ++s) {
+      const size_t i = s * len + j;
+      const bool live = i < n && !xs[i].is_zero();
+      r_re[s] = live ? pre_re[i] : 1;
+      r_im[s] = live ? pre_im[i] : 0;
+    }
+    k.fp2_mul(acc_re, acc_im, r_re, r_im, r_re, r_im, W);
+    gather(j);
+    k.fp2_mul(acc_re, acc_im, v_re, v_im, acc_re, acc_im, W);
+    for (size_t s = 0; s < W; ++s) {
+      const size_t i = s * len + j;
+      if (i < n && !xs[i].is_zero()) xs[i] = lanes::join(r_re[s], r_im[s]);
+    }
+  }
+}
+
+}  // namespace
+
 void batch_invert(Fp2* xs, size_t n) {
   if (n == 0) return;
+  if (n >= 32) {
+    // Large batches go through the lane kernels; below that the SoA
+    // staging costs more than the 8-way ILP recovers.
+    batch_invert_strips(xs, n);
+    return;
+  }
   // prefix[i] = product of all non-zero xs[j], j < i.
   std::vector<Fp2> prefix(n);
   Fp2 acc = Fp2::from_u64(1);

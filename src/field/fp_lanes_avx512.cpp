@@ -1,0 +1,441 @@
+// AVX-512 IFMA specialization of the lane kernels: 8 lanes per __m512i on
+// a radix-2^52 representation.
+//
+// vpmadd52luq / vpmadd52huq multiply the low 52 bits of each 64-bit lane
+// pair and accumulate the low/high 52 bits of the 104-bit product. With an
+// F_p element split into 3 limbs of 52/52/23 bits, a full 128x128-bit
+// product is a 3x3 schoolbook: 9 lo + 8 hi instructions (the top-limb hi
+// term is provably zero) accumulating into 5 columns — ~2 multiply
+// instructions per lane where the scalar path retires ~12 mulx/add pairs.
+// That density, times 8 lanes per instruction, is what pushes the lane
+// executor past the ISSUE's 5x bar; the AVX2 kernel (32-bit limbs, 16
+// vpmuludq per 4 lanes) only breaks even with scalar mulx.
+//
+// Column sums stay below 2^55 (at most 5 terms < 2^52 plus a carry), so
+// 64-bit accumulators never overflow before the carry sweep. Conditional
+// steps (the Karatsuba borrow correction, the canonical subtract-p) use
+// AVX-512 mask registers instead of blends. All outputs are canonical and
+// bitwise-equal to the scalar operators; the state arrays stay in the
+// canonical u128 layout and limb-splitting happens at load/store (a few
+// shifts per element, amortized over the 3x3 product).
+//
+// This translation unit is compiled with -mavx512f -mavx512ifma (see
+// field/CMakeLists.txt); nothing here runs unless the dispatcher checked
+// avx512_supported() first.
+#include "field/fp_lanes.hpp"
+
+#if FOURQ_LANES_AVX512_ENABLED
+
+#include <immintrin.h>
+
+namespace fourq::field::lanes {
+
+namespace {
+
+constexpr size_t kVL = 8;  // lanes per vector pass
+
+inline __m512i m52() { return _mm512_set1_epi64(0xfffffffffffffll); }
+inline __m512i m23() { return _mm512_set1_epi64(0x7fffffll); }
+
+// --- representation --------------------------------------------------------
+//
+// One u128 across 8 lanes as 3 radix-2^52 limbs (l2 holds bits 104..127 for
+// canonical values; lazy sums push it to 24 bits). A U256 wide product is 5
+// limbs. unpacklo/hi_epi64 interleave per 128-bit half, giving the fixed
+// lane order (0,4,1,5,2,6,3,7) — self-consistent between loads and stores.
+
+struct V3 {
+  __m512i l[3];
+};
+
+struct V5 {
+  __m512i l[5];
+};
+
+inline V3 load_fp(const u128* p) {
+  const __m512i a = _mm512_loadu_si512(p);      // lanes 0..3 (lo,hi pairs)
+  const __m512i b = _mm512_loadu_si512(p + 4);  // lanes 4..7
+  const __m512i lo = _mm512_unpacklo_epi64(a, b);
+  const __m512i hi = _mm512_unpackhi_epi64(a, b);
+  V3 r;
+  r.l[0] = _mm512_and_si512(lo, m52());
+  r.l[1] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(lo, 52), _mm512_slli_epi64(hi, 12)), m52());
+  r.l[2] = _mm512_srli_epi64(hi, 40);
+  return r;
+}
+
+inline void store_fp(u128* p, const V3& v) {
+  const __m512i lo =
+      _mm512_or_si512(v.l[0], _mm512_slli_epi64(v.l[1], 52));
+  const __m512i hi =
+      _mm512_or_si512(_mm512_srli_epi64(v.l[1], 12), _mm512_slli_epi64(v.l[2], 40));
+  _mm512_storeu_si512(p, _mm512_unpacklo_epi64(lo, hi));
+  _mm512_storeu_si512(p + 4, _mm512_unpackhi_epi64(lo, hi));
+}
+
+// U256 <-> 5 radix-52 limbs. w[0..3] little-endian 64-bit words.
+inline V5 load_wide(const U256* p) {
+  // Gather the four 64-bit words of each of the 8 U256 into word-sliced
+  // vectors, lane order (0,4,1,5,2,6,3,7) to match load_fp.
+  const __m512i a = _mm512_loadu_si512(p);      // lanes 0,1: w0..w3 | w0..w3
+  const __m512i b = _mm512_loadu_si512(p + 2);  // lanes 2,3
+  const __m512i c = _mm512_loadu_si512(p + 4);  // lanes 4,5
+  const __m512i d = _mm512_loadu_si512(p + 6);  // lanes 6,7
+  // 128-bit blocks: a = [L0w01, L0w23, L1w01, L1w23], etc. Build w01/w23
+  // vectors for all 8 lanes with two shuffles, then unpack.
+  const __m512i w01_a = _mm512_shuffle_i64x2(a, b, 0x88);  // L0w01 L1w01 L2w01 L3w01
+  const __m512i w01_b = _mm512_shuffle_i64x2(c, d, 0x88);  // L4..L7 w01
+  const __m512i w23_a = _mm512_shuffle_i64x2(a, b, 0xdd);
+  const __m512i w23_b = _mm512_shuffle_i64x2(c, d, 0xdd);
+  const __m512i w0 = _mm512_unpacklo_epi64(w01_a, w01_b);  // order 0,4,1,5,...
+  const __m512i w1 = _mm512_unpackhi_epi64(w01_a, w01_b);
+  const __m512i w2 = _mm512_unpacklo_epi64(w23_a, w23_b);
+  const __m512i w3 = _mm512_unpackhi_epi64(w23_a, w23_b);
+  V5 r;
+  r.l[0] = _mm512_and_si512(w0, m52());
+  r.l[1] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(w0, 52), _mm512_slli_epi64(w1, 12)), m52());
+  r.l[2] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(w1, 40), _mm512_slli_epi64(w2, 24)), m52());
+  r.l[3] = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(w2, 28), _mm512_slli_epi64(w3, 36)), m52());
+  r.l[4] = _mm512_srli_epi64(w3, 16);  // bits 208..255
+  return r;
+}
+
+inline void store_wide(U256* p, const V5& v) {
+  const __m512i w0 = _mm512_or_si512(v.l[0], _mm512_slli_epi64(v.l[1], 52));
+  const __m512i w1 = _mm512_or_si512(_mm512_srli_epi64(v.l[1], 12),
+                                     _mm512_slli_epi64(v.l[2], 40));
+  const __m512i w2 = _mm512_or_si512(_mm512_srli_epi64(v.l[2], 24),
+                                     _mm512_slli_epi64(v.l[3], 28));
+  const __m512i w3 = _mm512_or_si512(_mm512_srli_epi64(v.l[3], 36),
+                                     _mm512_slli_epi64(v.l[4], 16));
+  const __m512i w01 = _mm512_unpacklo_epi64(w0, w1);   // lanes 0..3: (w0,w1)
+  const __m512i w23 = _mm512_unpacklo_epi64(w2, w3);   // lanes 0..3: (w2,w3)
+  const __m512i w01h = _mm512_unpackhi_epi64(w0, w1);  // lanes 4..7
+  const __m512i w23h = _mm512_unpackhi_epi64(w2, w3);
+  // Reassemble per-lane [w0 w1 w2 w3] blocks: interleave the (w0,w1) and
+  // (w2,w3) qword pairs of two consecutive lanes per 512-bit store.
+  const __m512i idx_lo = _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+  const __m512i idx_hi = _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+  _mm512_storeu_si512(p, _mm512_permutex2var_epi64(w01, idx_lo, w23));  // 0,1
+  _mm512_storeu_si512(p + 2, _mm512_permutex2var_epi64(w01, idx_hi, w23));  // 2,3
+  _mm512_storeu_si512(p + 4, _mm512_permutex2var_epi64(w01h, idx_lo, w23h));
+  _mm512_storeu_si512(p + 6, _mm512_permutex2var_epi64(w01h, idx_hi, w23h));
+}
+
+// --- arithmetic cores ------------------------------------------------------
+
+// 128x128 -> 254/256-bit product as 5 carried radix-52 limbs. Operands must
+// be normalized (l0,l1 < 2^52; l2 < 2^25 suffices — lazy Karatsuba sums
+// have l2 <= 2^24). 9 madd52lo + 8 madd52hi; hi(a2,b2) is identically zero
+// because a2*b2 < 2^50 never reaches bit 52.
+inline V5 mul_core(const V3& a, const V3& b) {
+  const __m512i z = _mm512_setzero_si512();
+  __m512i c0 = _mm512_madd52lo_epu64(z, a.l[0], b.l[0]);
+  __m512i c1 = _mm512_madd52lo_epu64(z, a.l[0], b.l[1]);
+  c1 = _mm512_madd52lo_epu64(c1, a.l[1], b.l[0]);
+  c1 = _mm512_madd52hi_epu64(c1, a.l[0], b.l[0]);
+  __m512i c2 = _mm512_madd52lo_epu64(z, a.l[0], b.l[2]);
+  c2 = _mm512_madd52lo_epu64(c2, a.l[1], b.l[1]);
+  c2 = _mm512_madd52lo_epu64(c2, a.l[2], b.l[0]);
+  c2 = _mm512_madd52hi_epu64(c2, a.l[0], b.l[1]);
+  c2 = _mm512_madd52hi_epu64(c2, a.l[1], b.l[0]);
+  __m512i c3 = _mm512_madd52lo_epu64(z, a.l[1], b.l[2]);
+  c3 = _mm512_madd52lo_epu64(c3, a.l[2], b.l[1]);
+  c3 = _mm512_madd52hi_epu64(c3, a.l[0], b.l[2]);
+  c3 = _mm512_madd52hi_epu64(c3, a.l[1], b.l[1]);
+  c3 = _mm512_madd52hi_epu64(c3, a.l[2], b.l[0]);
+  __m512i c4 = _mm512_madd52lo_epu64(z, a.l[2], b.l[2]);
+  c4 = _mm512_madd52hi_epu64(c4, a.l[1], b.l[2]);
+  c4 = _mm512_madd52hi_epu64(c4, a.l[2], b.l[1]);
+  V5 r;
+  __m512i carry = _mm512_srli_epi64(c0, 52);
+  r.l[0] = _mm512_and_si512(c0, m52());
+  c1 = _mm512_add_epi64(c1, carry);
+  carry = _mm512_srli_epi64(c1, 52);
+  r.l[1] = _mm512_and_si512(c1, m52());
+  c2 = _mm512_add_epi64(c2, carry);
+  carry = _mm512_srli_epi64(c2, 52);
+  r.l[2] = _mm512_and_si512(c2, m52());
+  c3 = _mm512_add_epi64(c3, carry);
+  carry = _mm512_srli_epi64(c3, 52);
+  r.l[3] = _mm512_and_si512(c3, m52());
+  r.l[4] = _mm512_add_epi64(c4, carry);  // < 2^52: product < 2^256
+  return r;
+}
+
+// Canonicalise s (3 limbs, l0/l1 < 2^52, l2 carrying any bits >= 127, so
+// l2 may reach ~2^27): fold bits >= 127 (2^127 === 1 mod p), then one
+// conditional subtract of p — exactly Fp::make_canonical.
+inline V3 fold_canonical(__m512i l0, __m512i l1, __m512i l2) {
+  const __m512i hi = _mm512_srli_epi64(l2, 23);  // value >> 127
+  l2 = _mm512_and_si512(l2, m23());
+  __m512i s0 = _mm512_add_epi64(l0, hi);
+  __m512i c = _mm512_srli_epi64(s0, 52);
+  s0 = _mm512_and_si512(s0, m52());
+  __m512i s1 = _mm512_add_epi64(l1, c);
+  c = _mm512_srli_epi64(s1, 52);
+  s1 = _mm512_and_si512(s1, m52());
+  const __m512i s2 = _mm512_add_epi64(l2, c);  // <= 2^23 + 1: s <= p + small
+  // u = s + 1; bit 127 of u (bit 23 of u2) set iff s >= p.
+  __m512i u0 = _mm512_add_epi64(s0, _mm512_set1_epi64(1));
+  c = _mm512_srli_epi64(u0, 52);
+  u0 = _mm512_and_si512(u0, m52());
+  __m512i u1 = _mm512_add_epi64(s1, c);
+  c = _mm512_srli_epi64(u1, 52);
+  u1 = _mm512_and_si512(u1, m52());
+  const __m512i u2 = _mm512_add_epi64(s2, c);
+  const __mmask8 ge = _mm512_test_epi64_mask(u2, _mm512_set1_epi64(1ll << 23));
+  V3 r;
+  r.l[0] = _mm512_mask_blend_epi64(ge, s0, u0);
+  r.l[1] = _mm512_mask_blend_epi64(ge, s1, u1);
+  r.l[2] = _mm512_mask_blend_epi64(ge, s2, _mm512_and_si512(u2, m23()));
+  return r;
+}
+
+// Mersenne fold of a carried 5-limb value (Fp::reduce_wide): split at bits
+// 127 and 254, add the three parts, canonicalise.
+inline V3 reduce_core(const V5& v) {
+  // A = bits [126:0].
+  const __m512i a0 = v.l[0];
+  const __m512i a1 = v.l[1];
+  const __m512i a2 = _mm512_and_si512(v.l[2], m23());
+  // B = bits [253:127]: bits 23.. of limb 2, then limbs 3, 4.
+  const __m512i b0 = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(v.l[2], 23), _mm512_slli_epi64(v.l[3], 29)),
+      m52());
+  const __m512i b1 = _mm512_and_si512(
+      _mm512_or_si512(_mm512_srli_epi64(v.l[3], 23), _mm512_slli_epi64(v.l[4], 29)),
+      m52());
+  const __m512i b2 = _mm512_and_si512(_mm512_srli_epi64(v.l[4], 23), m23());
+  // C = bits [255:254], < 4.
+  const __m512i cc = _mm512_srli_epi64(v.l[4], 46);
+  __m512i s0 = _mm512_add_epi64(a0, b0);
+  __m512i c = _mm512_srli_epi64(s0, 52);
+  s0 = _mm512_and_si512(s0, m52());
+  __m512i s1 = _mm512_add_epi64(_mm512_add_epi64(a1, b1), c);
+  c = _mm512_srli_epi64(s1, 52);
+  s1 = _mm512_and_si512(s1, m52());
+  const __m512i s2 = _mm512_add_epi64(_mm512_add_epi64(a2, b2), c);
+  const V3 ab = fold_canonical(s0, s1, s2);
+  return fold_canonical(_mm512_add_epi64(ab.l[0], cc), ab.l[1], ab.l[2]);
+}
+
+// r = a + b mod p on canonical inputs (Fp operator+).
+inline V3 add_core(const V3& a, const V3& b) {
+  __m512i s0 = _mm512_add_epi64(a.l[0], b.l[0]);
+  __m512i c = _mm512_srli_epi64(s0, 52);
+  s0 = _mm512_and_si512(s0, m52());
+  __m512i s1 = _mm512_add_epi64(_mm512_add_epi64(a.l[1], b.l[1]), c);
+  c = _mm512_srli_epi64(s1, 52);
+  s1 = _mm512_and_si512(s1, m52());
+  const __m512i s2 = _mm512_add_epi64(_mm512_add_epi64(a.l[2], b.l[2]), c);
+  return fold_canonical(s0, s1, s2);
+}
+
+// r = a - b mod p on canonical inputs, branchlessly as a + p - b (in
+// [1, 2p-1]) followed by the canonical fold — lands on the same value as
+// the scalar operator-. Complement-within-52-bits implements the borrow.
+inline V3 sub_core(const V3& a, const V3& b) {
+  const __m512i nb0 = _mm512_xor_si512(b.l[0], m52());
+  const __m512i nb1 = _mm512_xor_si512(b.l[1], m52());
+  const __m512i nb2 = _mm512_xor_si512(b.l[2], m52());
+  const __m512i p2 = m23();  // p = [m52, m52, 2^23 - 1]
+  __m512i s0 = _mm512_add_epi64(_mm512_add_epi64(a.l[0], m52()),
+                                _mm512_add_epi64(nb0, _mm512_set1_epi64(1)));
+  __m512i c = _mm512_srli_epi64(s0, 52);
+  s0 = _mm512_and_si512(s0, m52());
+  __m512i s1 = _mm512_add_epi64(_mm512_add_epi64(a.l[1], m52()),
+                                _mm512_add_epi64(nb1, c));
+  c = _mm512_srli_epi64(s1, 52);
+  s1 = _mm512_and_si512(s1, m52());
+  __m512i s2 = _mm512_add_epi64(_mm512_add_epi64(a.l[2], p2),
+                                _mm512_add_epi64(nb2, c));
+  // a + p - b < 2^128: keep bits 104..127 of the limb-2 column, dropping
+  // the 2^156-scale complement carry.
+  s2 = _mm512_and_si512(s2, _mm512_set1_epi64(0xffffffll));
+  return fold_canonical(s0, s1, s2);
+}
+
+// Lazy 128-bit sum (Karatsuba t2/t3): no reduction, normalized limbs with
+// l2 <= 2^24 — still valid mul_core input.
+inline V3 add_lazy(const V3& a, const V3& b) {
+  __m512i s0 = _mm512_add_epi64(a.l[0], b.l[0]);
+  __m512i c = _mm512_srli_epi64(s0, 52);
+  s0 = _mm512_and_si512(s0, m52());
+  __m512i s1 = _mm512_add_epi64(_mm512_add_epi64(a.l[1], b.l[1]), c);
+  c = _mm512_srli_epi64(s1, 52);
+  s1 = _mm512_and_si512(s1, m52());
+  V3 r;
+  r.l[0] = s0;
+  r.l[1] = s1;
+  r.l[2] = _mm512_add_epi64(_mm512_add_epi64(a.l[2], b.l[2]), c);
+  return r;
+}
+
+// 5-limb add (t5 = t0 + t1 < 2^255), renormalized.
+inline V5 add_wide(const V5& a, const V5& b) {
+  V5 r;
+  __m512i c = _mm512_setzero_si512();
+  for (int k = 0; k < 5; ++k) {
+    const __m512i s = _mm512_add_epi64(_mm512_add_epi64(a.l[k], b.l[k]), c);
+    r.l[k] = _mm512_and_si512(s, m52());
+    c = _mm512_srli_epi64(s, 52);
+  }
+  return r;  // sum < 2^260: final carry is zero
+}
+
+// 5-limb subtract r = a - b (mod 2^260); borrowed lanes reported in the
+// returned mask.
+inline V5 sub_wide(const V5& a, const V5& b, __mmask8& borrow) {
+  V5 r;
+  __m512i c = _mm512_set1_epi64(1);
+  for (int k = 0; k < 5; ++k) {
+    const __m512i nb = _mm512_xor_si512(b.l[k], m52());
+    const __m512i s = _mm512_add_epi64(_mm512_add_epi64(a.l[k], nb), c);
+    r.l[k] = _mm512_and_si512(s, m52());
+    c = _mm512_srli_epi64(s, 52);
+  }
+  borrow = _mm512_cmpeq_epi64_mask(c, _mm512_setzero_si512());
+  return r;
+}
+
+// Fp2 Karatsuba with lazy reduction (paper Alg. 2), stage for stage the
+// same flow as Fp2::mul_karatsuba.
+inline void fp2_mul_core(const V3& x0, const V3& x1, const V3& y0, const V3& y1,
+                         V3& z0, V3& z1) {
+  const V5 t0 = mul_core(x0, y0);
+  const V5 t1 = mul_core(x1, y1);
+  const V3 t2 = add_lazy(x0, x1);
+  const V3 t3 = add_lazy(y0, y1);
+  const V5 t6 = mul_core(t2, t3);
+  __mmask8 borrow;
+  const V5 t4 = sub_wide(t0, t1, borrow);
+  const V5 t5 = add_wide(t0, t1);
+  // t7 = t4 + (p << 127) in borrowed lanes; the carry-out cancels the
+  // borrow exactly (t1 <= p^2 < p * 2^127). p<<127 = 2^254 - 2^127 in
+  // radix-52: [0, 0, 2^52 - 2^23, 2^52 - 1, 2^46 - 1].
+  const __m512i ps2 = _mm512_set1_epi64(0xfffffff800000ll);
+  const __m512i ps3 = m52();
+  const __m512i ps4 = _mm512_set1_epi64(0x3fffffffffffll);
+  V5 t7;
+  t7.l[0] = t4.l[0];
+  t7.l[1] = t4.l[1];
+  __m512i s = _mm512_mask_add_epi64(t4.l[2], borrow, t4.l[2], ps2);
+  __m512i c = _mm512_srli_epi64(s, 52);
+  t7.l[2] = _mm512_and_si512(s, m52());
+  s = _mm512_add_epi64(_mm512_mask_add_epi64(t4.l[3], borrow, t4.l[3], ps3), c);
+  c = _mm512_srli_epi64(s, 52);
+  t7.l[3] = _mm512_and_si512(s, m52());
+  s = _mm512_add_epi64(_mm512_mask_add_epi64(t4.l[4], borrow, t4.l[4], ps4), c);
+  t7.l[4] = _mm512_and_si512(s, m52());  // drop the borrow-cancelling carry
+  __mmask8 borrow2;  // always clear: t6 >= t0 + t1
+  const V5 t8 = sub_wide(t6, t5, borrow2);
+  z0 = reduce_core(t7);
+  z1 = reduce_core(t8);
+}
+
+// --- kernel entry points ---------------------------------------------------
+
+void v_mul_wide(const u128* a, const u128* b, U256* r, size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL)
+    store_wide(r + i, mul_core(load_fp(a + i), load_fp(b + i)));
+  if (i < n) generic_kernels().mul_wide(a + i, b + i, r + i, n - i);
+}
+
+void v_sqr_wide(const u128* a, U256* r, size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL) {
+    const V3 v = load_fp(a + i);
+    store_wide(r + i, mul_core(v, v));
+  }
+  if (i < n) generic_kernels().sqr_wide(a + i, r + i, n - i);
+}
+
+void v_reduce_wide(const U256* v, u128* r, size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL)
+    store_fp(r + i, reduce_core(load_wide(v + i)));
+  if (i < n) generic_kernels().reduce_wide(v + i, r + i, n - i);
+}
+
+void v_fp_mul(const u128* a, const u128* b, u128* r, size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL)
+    store_fp(r + i, reduce_core(mul_core(load_fp(a + i), load_fp(b + i))));
+  if (i < n) generic_kernels().fp_mul(a + i, b + i, r + i, n - i);
+}
+
+void v_fp2_mul(const u128* are, const u128* aim, const u128* bre,
+               const u128* bim, u128* rre, u128* rim, size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL) {
+    V3 z0, z1;
+    fp2_mul_core(load_fp(are + i), load_fp(aim + i), load_fp(bre + i),
+                 load_fp(bim + i), z0, z1);
+    store_fp(rre + i, z0);
+    store_fp(rim + i, z1);
+  }
+  if (i < n)
+    generic_kernels().fp2_mul(are + i, aim + i, bre + i, bim + i, rre + i,
+                              rim + i, n - i);
+}
+
+void v_fp2_add(const u128* are, const u128* aim, const u128* bre,
+               const u128* bim, u128* rre, u128* rim, size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL) {
+    const V3 re = add_core(load_fp(are + i), load_fp(bre + i));
+    const V3 im = add_core(load_fp(aim + i), load_fp(bim + i));
+    store_fp(rre + i, re);
+    store_fp(rim + i, im);
+  }
+  if (i < n)
+    generic_kernels().fp2_add(are + i, aim + i, bre + i, bim + i, rre + i,
+                              rim + i, n - i);
+}
+
+void v_fp2_sub(const u128* are, const u128* aim, const u128* bre,
+               const u128* bim, u128* rre, u128* rim, size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL) {
+    const V3 re = sub_core(load_fp(are + i), load_fp(bre + i));
+    const V3 im = sub_core(load_fp(aim + i), load_fp(bim + i));
+    store_fp(rre + i, re);
+    store_fp(rim + i, im);
+  }
+  if (i < n)
+    generic_kernels().fp2_sub(are + i, aim + i, bre + i, bim + i, rre + i,
+                              rim + i, n - i);
+}
+
+void v_fp2_conj(const u128* are, const u128* aim, u128* rre, u128* rim,
+                size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL) {
+    V3 zero;
+    for (auto& v : zero.l) v = _mm512_setzero_si512();
+    const V3 re = load_fp(are + i);
+    const V3 im = sub_core(zero, load_fp(aim + i));
+    store_fp(rre + i, re);
+    store_fp(rim + i, im);
+  }
+  if (i < n) generic_kernels().fp2_conj(are + i, aim + i, rre + i, rim + i, n - i);
+}
+
+constexpr Kernels kAvx512 = {
+    "avx512",  v_mul_wide, v_sqr_wide, v_reduce_wide, v_fp_mul,
+    v_fp2_mul, v_fp2_add,  v_fp2_sub,  v_fp2_conj,
+};
+
+}  // namespace
+
+const Kernels& avx512_kernels() { return kAvx512; }
+
+}  // namespace fourq::field::lanes
+
+#endif  // FOURQ_LANES_AVX512_ENABLED

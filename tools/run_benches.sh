@@ -103,6 +103,25 @@ else
   echo "skip  perf_regress (engine baseline)"
 fi
 
+# Lane-executor regression gate: the 8-wide SoA wave path must stay >=5x
+# over the scalar interpreter walk (measured in-process, so the ratio is
+# robust to shared-host load), 8 workers must not regress below 1 worker,
+# and every lane must match the software golden model bitwise
+# (tools/baselines/bench_lanes_baseline.jsonl, docs/ENGINE.md).
+if [ -x "$build_dir/tools/perf_regress" ] && [ -f "$out_dir/BENCH_lanes.json" ] \
+    && [ -f "$script_dir/baselines/bench_lanes_baseline.jsonl" ]; then
+  ran=$((ran + 1))
+  if "$build_dir/tools/perf_regress" "$script_dir/baselines/bench_lanes_baseline.jsonl" \
+      "$out_dir/BENCH_lanes.json" > "$out_dir/perf_regress_lanes.log" 2>&1; then
+    echo "ok    perf_regress (lanes baseline)"
+  else
+    echo "FAIL  perf_regress (lanes baseline) (see $out_dir/perf_regress_lanes.log)" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "skip  perf_regress (lanes baseline)"
+fi
+
 # Observability overhead gate: full telemetry (spans, labeled metrics,
 # flight recorder, perf_event sampling) must add <2% to the engine hot path
 # (tools/baselines/bench_obs_overhead_baseline.jsonl, docs/OBSERVABILITY.md).
