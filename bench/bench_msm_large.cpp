@@ -1,0 +1,243 @@
+// bench_msm_large — the zk-scale MSM gate: one n = 2^20 multi-scalar
+// multiplication, measured three ways at equal n and cross-checked.
+//
+//   serial   — the reference scalar datapath: lane-kernel waves off, no
+//              worker pool. One mixed addition at a time, the way the
+//              pre-streaming backend ran.
+//   single   — the streaming pipeline on one thread: 8-wide SoA lane waves
+//              for bucket insertion, sequential (window, segment) grid.
+//   pool     — the same pipeline with the bucket grid fanned out across an
+//              8-worker engine::BatchEngine pool (pool-parallel).
+//
+// The gate (tools/baselines/bench_msm_large_baseline.jsonl, enforced by
+// tools/run_benches.sh) holds the pool-parallel run >= 4x serial at equal
+// n. Both sides are measured in the same process seconds apart, so the
+// ratio is robust to shared-host load — the same in-process-ratio
+// methodology as the lane-executor gate (bench_lane_throughput). On this
+// one-core host the 4x comes from the IFMA lane kernels; add cores and the
+// pool fan-out stacks on top, so the gate only gets easier on bigger
+// machines.
+//
+// Correctness at scale, also gated: all three configurations must produce
+// bitwise-identical affine results; a 256-term subsample of the exact same
+// term stream must match a naive sum-of-scalar-muls and the vector MSM API
+// bitwise; and the chunked peak-alloc counter must report the same peak
+// working set at 2^20 as at 2^17 — the bounded-memory assertion (peak is
+// O(buckets + chunk), independent of n).
+//
+// Every timing is min-of-N after an untimed warm-up pass at 2^16 (pages
+// the code paths in without paying a full-scale run). n can be overridden
+// with FOURQ_MSM_LARGE_N for local iteration; the gate assumes 2^20.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "curve/multiscalar.hpp"
+#include "curve/scalarmul.hpp"
+#include "engine/batch.hpp"
+
+namespace {
+
+using namespace fourq;
+
+double secs_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// Affine point pool built by an additive walk and one batched
+// normalisation (deterministic_point's square-root search is too slow to
+// call 2^20 times; the walk gives distinct, unrelated-looking points).
+std::vector<curve::Affine> chain_pool(size_t n, uint64_t seed) {
+  curve::PointR1 cur = curve::to_r1(curve::deterministic_point(seed));
+  curve::PointR2 step = curve::to_r2(curve::to_r1(curve::deterministic_point(seed + 1)));
+  std::vector<curve::PointR1> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(cur);
+    cur = curve::add(cur, step);
+  }
+  return curve::batch_to_affine(pts);
+}
+
+// Streaming source: cycles the bounded pool with fresh 256-bit scalars.
+// Deterministic for a given (seed, n), so every configuration sees the
+// exact same term stream.
+struct TiledSource {
+  const std::vector<curve::Affine>* pool;
+  Rng rng;
+  size_t remaining;
+
+  size_t operator()(curve::ScalarPoint* out, size_t max) {
+    size_t n = std::min(max, remaining);
+    for (size_t i = 0; i < n; ++i) {
+      size_t idx = (remaining - i) % pool->size();
+      out[i] = {rng.next_u256(), (*pool)[idx]};
+    }
+    remaining -= n;
+    return n;
+  }
+};
+
+constexpr uint64_t kStreamSeed = 90020;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_bench_args(argc, argv);
+  bench::JsonRecorder rec("msm_large");
+  int mismatches = 0;
+
+  size_t n = size_t{1} << 20;
+  if (const char* env = std::getenv("FOURQ_MSM_LARGE_N"); env && *env)
+    if (unsigned long long v = std::strtoull(env, nullptr, 0); v >= 1024) n = v;
+
+  bench::print_header("MSM at zk scale — n = " + std::to_string(n) +
+                      " streamed terms, one core");
+
+  std::vector<curve::Affine> pool = chain_pool(16384, 77);
+
+  struct Config {
+    const char* name;
+    curve::MsmTri lanes;
+    bool pool_hook;
+    int timed;
+  };
+  // Pool sized to the host: oversubscribing workers on a small machine
+  // only adds scheduling overhead to the very configuration the speedup
+  // gate measures.
+  const int workers = std::max(
+      1, static_cast<int>(std::min(8u, std::thread::hardware_concurrency())));
+  const std::string pool_name =
+      "pool-parallel (" + std::to_string(workers) + " workers)";
+  const Config configs[] = {
+      {"serial (lanes off, no pool)", curve::MsmTri::kOff, false, 2},
+      {"single-thread stream", curve::MsmTri::kAuto, false, 3},
+      {pool_name.c_str(), curve::MsmTri::kAuto, true, 3},
+  };
+
+  engine::EngineOptions eng_opt;
+  eng_opt.workers = workers;
+  engine::BatchEngine eng(eng_opt);
+
+  double best_ms[3] = {0, 0, 0};
+  curve::Affine outs[3];
+  curve::MsmStats stats[3];
+  std::printf("%-32s %12s %12s %10s %10s\n", "configuration", "best ms", "Mterms/s",
+              "waves", "peak MB");
+  bench::print_rule(80);
+  for (int c = 0; c < 3; ++c) {
+    curve::MsmOptions opts;
+    opts.backend = curve::MsmBackend::kPippenger;
+    opts.lanes = configs[c].lanes;
+    if (configs[c].pool_hook) opts.parallel = eng.msm_parallel();
+    opts.stats = &stats[c];
+    auto run_n = [&](size_t terms) {
+      TiledSource src{&pool, Rng(kStreamSeed), terms};
+      return curve::to_affine(curve::multi_scalar_mul_stream(std::ref(src), terms, opts));
+    };
+    (void)run_n(size_t{1} << 16);  // warm-up: pages the code paths in
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < configs[c].timed; ++r) {
+      auto t0 = std::chrono::steady_clock::now();
+      outs[c] = run_n(n);
+      best = std::min(best, secs_since(t0));
+    }
+    best_ms[c] = best * 1e3;
+    if (c > 0 && (!(outs[c].x == outs[0].x) || !(outs[c].y == outs[0].y))) ++mismatches;
+    std::printf("%-32s %12.1f %12.2f %10zu %10.1f\n", configs[c].name, best_ms[c],
+                static_cast<double>(n) / (best_ms[c] * 1e3), stats[c].bucket_waves,
+                static_cast<double>(stats[c].peak_bytes) / (1024.0 * 1024.0));
+  }
+  std::printf("\nAll three configurations bitwise identical: %s\n",
+              mismatches == 0 ? "yes" : "NO — MISMATCH");
+
+  double speedup_vs_serial = best_ms[2] > 0 ? best_ms[0] / best_ms[2] : 0.0;
+  double pool_vs_single = best_ms[2] > 0 ? best_ms[1] / best_ms[2] : 0.0;
+  std::printf("pool-parallel vs serial at n = %zu: %.2fx (gate: >= 4x)\n", n,
+              speedup_vs_serial);
+  std::printf("pool-parallel vs single-thread:     %.2fx (gate: no regression)\n",
+              pool_vs_single);
+
+  // Bounded-memory assertion: the chunked peak-alloc counter must report the
+  // same peak working set at n as at n/8 — peak is O(buckets + chunk), so it
+  // cannot grow with the term count.
+  double peak_ratio = 0.0;
+  {
+    curve::MsmStats small_st{};
+    curve::MsmOptions opts;
+    opts.backend = curve::MsmBackend::kPippenger;
+    // Pin the window so both sizes run the identical bucket configuration
+    // (the auto model may choose differently at n/8).
+    opts.window = stats[2].window;
+    opts.stats = &small_st;
+    TiledSource src{&pool, Rng(kStreamSeed), n / 8};
+    (void)curve::multi_scalar_mul_stream(std::ref(src), n / 8, opts);
+    peak_ratio = small_st.peak_bytes
+                     ? static_cast<double>(stats[2].peak_bytes) /
+                           static_cast<double>(small_st.peak_bytes)
+                     : 0.0;
+    std::printf("peak working set: %.1f MB at n, %.1f MB at n/8 (ratio %.3f, gate: <= 1)\n",
+                static_cast<double>(stats[2].peak_bytes) / (1024.0 * 1024.0),
+                static_cast<double>(small_st.peak_bytes) / (1024.0 * 1024.0), peak_ratio);
+  }
+
+  // Subsampled naive cross-check: 256 terms of the exact stream the timed
+  // runs consumed, summed the slow way ([k_i]P_i one by one) and through the
+  // vector MSM API, must match the streaming pipeline run at the same
+  // operating point (window pinned to the 2^20 choice).
+  {
+    std::vector<curve::ScalarPoint> sampled;
+    const size_t stride = n / 256;
+    std::vector<curve::ScalarPoint> buf(4096);
+    TiledSource src{&pool, Rng(kStreamSeed), n};
+    size_t idx = 0;
+    for (;;) {
+      size_t got = src(buf.data(), buf.size());
+      if (!got) break;
+      for (size_t i = 0; i < got; ++i, ++idx)
+        if (idx % stride == 0) sampled.push_back(buf[i]);
+    }
+    curve::PointR1 naive = curve::identity();
+    for (const auto& t : sampled)
+      naive = curve::add(naive, curve::to_r2(curve::scalar_mul(t.k, t.p)));
+    curve::Affine naive_aff = curve::to_affine(naive);
+
+    curve::MsmOptions opts;
+    opts.backend = curve::MsmBackend::kPippenger;
+    opts.window = stats[2].window;
+    size_t pos = 0;
+    curve::Affine streamed = curve::to_affine(curve::multi_scalar_mul_stream(
+        [&](curve::ScalarPoint* out, size_t max) {
+          size_t k = std::min(max, sampled.size() - pos);
+          std::copy(sampled.begin() + static_cast<ptrdiff_t>(pos),
+                    sampled.begin() + static_cast<ptrdiff_t>(pos + k), out);
+          pos += k;
+          return k;
+        },
+        sampled.size(), opts));
+    curve::Affine vec_api = curve::to_affine(curve::multi_scalar_mul(sampled));
+    bool ok = (streamed.x == naive_aff.x) && (streamed.y == naive_aff.y) &&
+              (vec_api.x == naive_aff.x) && (vec_api.y == naive_aff.y);
+    if (!ok) ++mismatches;
+    std::printf("subsampled naive cross-check (%zu terms): %s\n", sampled.size(),
+                ok ? "streaming == naive == vector API" : "MISMATCH");
+  }
+
+  rec.record("stream.serial_ms", best_ms[0], "ms");
+  rec.record("stream.single_ms", best_ms[1], "ms");
+  rec.record("stream.pool_ms", best_ms[2], "ms");
+  rec.record("stream.speedup_vs_serial", speedup_vs_serial, "x");
+  rec.record("stream.pool_vs_single", pool_vs_single, "x");
+  rec.record("stream.peak_mb",
+             static_cast<double>(stats[2].peak_bytes) / (1024.0 * 1024.0), "MB");
+  rec.record("stream.peak_ratio_n_over_n8", peak_ratio, "x");
+  rec.record("check.mismatches", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

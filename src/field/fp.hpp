@@ -26,6 +26,14 @@ class Fp {
   // Re-wraps a value already known to be canonical (e.g. produced by the
   // lane kernels in fp_lanes.hpp, which keep their outputs in [0, p)).
   static Fp from_canonical(u128 v);
+  // Same without the range check — for per-element hot paths whose inputs
+  // are canonical by construction (and covered by bitwise differential
+  // tests). Everything else should use the checked variant.
+  static Fp from_canonical_unchecked(u128 v) {
+    Fp f;
+    f.v_ = v;
+    return f;
+  }
   // Reduces an arbitrary 256-bit value mod p.
   static Fp from_u256(const U256& v);
   static Fp from_hex(const std::string& hex);

@@ -169,9 +169,37 @@ void g_fp2_conj(const u128* are, const u128* aim, u128* rre, u128* rim, size_t n
   }
 }
 
+// Fused mixed addition, one lane at a time — the curve's 7M + 7A formula
+// (curve/point.hpp add_mixed) restated on raw canonical values. Every
+// intermediate is a full canonical field op, so this is the reference the
+// vector implementations must match bit for bit.
+void g_pt_addmix(u128* const* p, const u128* const* q, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const u128 X0 = p[0][i], X1 = p[1][i], Y0 = p[2][i], Y1 = p[3][i];
+    const u128 Z0 = p[4][i], Z1 = p[5][i];
+    u128 t0, t1, a0, a1, b0, b1, c0, c1;
+    fp2_mul1(p[6][i], p[7][i], p[8][i], p[9][i], t0, t1);      // t = Ta*Tb
+    fp2_mul1(fp_sub1(Y0, X0), fp_sub1(Y1, X1), q[2][i], q[3][i], a0, a1);
+    fp2_mul1(fp_add1(Y0, X0), fp_add1(Y1, X1), q[0][i], q[1][i], b0, b1);
+    fp2_mul1(t0, t1, q[4][i], q[5][i], c0, c1);                // c = t*dt2
+    const u128 d0 = fp_add1(Z0, Z0), d1 = fp_add1(Z1, Z1);
+    const u128 e0 = fp_sub1(b0, a0), e1 = fp_sub1(b1, a1);
+    const u128 f0 = fp_sub1(d0, c0), f1 = fp_sub1(d1, c1);
+    const u128 g0 = fp_add1(d0, c0), g1 = fp_add1(d1, c1);
+    const u128 h0 = fp_add1(b0, a0), h1 = fp_add1(b1, a1);
+    fp2_mul1(e0, e1, f0, f1, p[0][i], p[1][i]);                // X = e*f
+    fp2_mul1(g0, g1, h0, h1, p[2][i], p[3][i]);                // Y = g*h
+    fp2_mul1(f0, f1, g0, g1, p[4][i], p[5][i]);                // Z = f*g
+    p[6][i] = e0;                                              // Ta = e
+    p[7][i] = e1;
+    p[8][i] = h0;                                              // Tb = h
+    p[9][i] = h1;
+  }
+}
+
 constexpr Kernels kGeneric = {
     "generic", g_mul_wide, g_sqr_wide, g_reduce_wide, g_fp_mul,
-    g_fp2_mul, g_fp2_add,  g_fp2_sub,  g_fp2_conj,
+    g_fp2_mul, g_fp2_add,  g_fp2_sub,  g_fp2_conj,   g_pt_addmix, 1,
 };
 
 // ---------------------------------------------------------------------------

@@ -83,6 +83,27 @@ struct Kernels {
                   const u128* bim, u128* rre, u128* rim, size_t n);
   void (*fp2_conj)(const u128* are, const u128* aim, u128* rre, u128* rim,
                    size_t n);
+
+  // Fused twisted-Edwards mixed addition P += Q, lane-parallel — the MSM
+  // bucket-insertion kernel. P is an extended-coordinate point (X, Y, Z,
+  // Ta, Tb), Q a normalised-affine precomputation (x+y, y-x, 2dxy); each
+  // F_{p^2} coordinate is a split re/im SoA pair, so
+  //   p[0..9] = {X.re, X.im, Y.re, Y.im, Z.re, Z.im,
+  //              Ta.re, Ta.im, Tb.re, Tb.im}       (updated in place)
+  //   q[0..5] = {xpy.re, xpy.im, ymx.re, ymx.im, dt2.re, dt2.im}.
+  // Outputs are canonical and bitwise-equal to the 7M + 7A curve formula
+  // applied with scalar field ops. The vector implementations fuse the
+  // whole formula in the limb domain — operands are split once per point
+  // instead of once per field op, and the 7 adds/subs between the muls run
+  // lazily (reduction bounds in fp_lanes_avx512.cpp); uniqueness of the
+  // canonical form is what lets the lazy schedule keep bit-equality.
+  void (*pt_addmix)(u128* const* p, const u128* const* q, size_t n);
+  // Preferred pt_addmix group size: lanes whose n is a multiple of this
+  // stay entirely on the vector path (a remainder falls back to the
+  // per-lane generic loop). Callers with control over the batch shape —
+  // the MSM wave scheduler — pad to a multiple with duplicate lanes and
+  // discard the padded outputs; 1 means padding buys nothing.
+  int pt_group;
 };
 
 // The portable implementation (always available).
@@ -115,6 +136,15 @@ inline void split(const Fp2& v, u128& re, u128& im) {
 // a scalar field op); Fp::from_canonical checks.
 inline Fp2 join(u128 re, u128 im) {
   return Fp2(Fp::from_canonical(re), Fp::from_canonical(im));
+}
+
+// Unchecked join for per-wave hot paths (the MSM bucket pipeline re-joins
+// 80 coordinates per 8-add wave; the checked variant is an out-of-line
+// call each). Kernel outputs are canonical by construction and the
+// differential tests compare them bitwise against the scalar path, so the
+// range check adds no safety here.
+inline Fp2 join_unchecked(u128 re, u128 im) {
+  return Fp2(Fp::from_canonical_unchecked(re), Fp::from_canonical_unchecked(im));
 }
 
 }  // namespace fourq::field::lanes

@@ -423,9 +423,16 @@ void a_fp2_conj(const u128* are, const u128* aim, u128* rre, u128* rim,
   if (i < n) generic_kernels().fp2_conj(are + i, aim + i, rre + i, rim + i, n - i);
 }
 
+// No fused point kernel here: the 32-bit-limb layout gains nothing over
+// composing the existing fp2 kernels, so AVX2 delegates to the generic
+// reference (still lane-batched by the caller, still bitwise-identical).
+void a_pt_addmix(u128* const* p, const u128* const* q, size_t n) {
+  generic_kernels().pt_addmix(p, q, n);
+}
+
 constexpr Kernels kAvx2 = {
     "avx2",    a_mul_wide, a_sqr_wide, a_reduce_wide, a_fp_mul,
-    a_fp2_mul, a_fp2_add,  a_fp2_sub,  a_fp2_conj,
+    a_fp2_mul, a_fp2_add,  a_fp2_sub,  a_fp2_conj,   a_pt_addmix, 1,
 };
 
 }  // namespace

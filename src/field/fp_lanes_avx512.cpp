@@ -28,6 +28,13 @@
 
 #include <immintrin.h>
 
+// GCC's unmasked shift intrinsics expand through _mm512_undefined_epi32,
+// which -Wuninitialized flags (false positive) once they inline deep
+// enough — the deeply-fused pt_addmix path trips it on GCC 12.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
 namespace fourq::field::lanes {
 
 namespace {
@@ -338,6 +345,149 @@ inline void fp2_mul_core(const V3& x0, const V3& x1, const V3& y0, const V3& y1,
   z1 = reduce_core(t8);
 }
 
+// --- fused mixed addition --------------------------------------------------
+//
+// The point kernel keeps all 7 muls and 7 adds of the mixed-addition
+// formula in the limb domain, converting each coordinate exactly once at
+// load/store. The adds between the muls are only *semi*-reduced: one fold
+// of bits >= 127 without the conditional subtract, giving values
+// < 2^127 + 4 with normalized limbs — valid mul_core operands. Two
+// consequences feed the bounds below:
+//  * semi x semi products reach 2^254 + 2^131, so a borrowed Karatsuba
+//    real part is compensated with (2p) << 127 = 2^255 - 2^128 (=== 0
+//    mod p) instead of p << 127; the borrow cancels whenever
+//    t1 < 2^255 - 2^128, which semi operands always satisfy.
+//  * the cross product (x0+x1)(y0+y1) of semi sums reaches 2^256 + 2^133;
+//    limb 4 stays < 2^49 and reduce_core's bits-254+ split covers it.
+// Every stored output passes through reduce_core, so the results are the
+// canonical representatives — the same bits the scalar formula stores,
+// because the canonical form is unique.
+
+// One fold of bits >= 127 (2^127 === 1 mod p), no conditional subtract:
+// value < 2^127 + 4, limbs normalized (l2 <= 2^23 + 1). Input l2 may carry
+// lazy-sum bits up to ~2^26.
+inline V3 fold_semi(__m512i l0, __m512i l1, __m512i l2) {
+  const __m512i hi = _mm512_srli_epi64(l2, 23);  // value >> 127
+  l2 = _mm512_and_si512(l2, m23());
+  __m512i s0 = _mm512_add_epi64(l0, hi);
+  __m512i c = _mm512_srli_epi64(s0, 52);
+  s0 = _mm512_and_si512(s0, m52());
+  __m512i s1 = _mm512_add_epi64(l1, c);
+  c = _mm512_srli_epi64(s1, 52);
+  V3 r;
+  r.l[0] = s0;
+  r.l[1] = _mm512_and_si512(s1, m52());
+  r.l[2] = _mm512_add_epi64(l2, c);
+  return r;
+}
+
+// Semi-reduced sum: a + b folded once. Inputs semi or canonical.
+inline V3 add_semi(const V3& a, const V3& b) {
+  const V3 s = add_lazy(a, b);
+  return fold_semi(s.l[0], s.l[1], s.l[2]);
+}
+
+// Semi-reduced difference a - b mod p, computed branchlessly as
+// a + 2p - b (non-negative for any canonical b, even when a is a lazy
+// 128-bit sum) and folded once. b must have canonical-range limbs;
+// 2p = 2^128 - 2 = [2^52 - 2, 2^52 - 1, 2^24 - 1] in radix 52, and the
+// per-limb complement's 2^156-scale excess is dropped from the top limb
+// exactly like sub_core does.
+inline V3 sub_semi(const V3& a, const V3& b) {
+  const __m512i nb0 = _mm512_xor_si512(b.l[0], m52());
+  const __m512i nb1 = _mm512_xor_si512(b.l[1], m52());
+  const __m512i nb2 = _mm512_xor_si512(b.l[2], m52());
+  // limb0 of 2p plus the complement's +1: (2^52 - 2) + 1 = m52.
+  __m512i s0 = _mm512_add_epi64(_mm512_add_epi64(a.l[0], nb0), m52());
+  __m512i c = _mm512_srli_epi64(s0, 52);
+  s0 = _mm512_and_si512(s0, m52());
+  __m512i s1 = _mm512_add_epi64(_mm512_add_epi64(a.l[1], m52()),
+                                _mm512_add_epi64(nb1, c));
+  c = _mm512_srli_epi64(s1, 52);
+  s1 = _mm512_and_si512(s1, m52());
+  __m512i s2 = _mm512_add_epi64(
+      _mm512_add_epi64(a.l[2], _mm512_set1_epi64(0xffffffll)),
+      _mm512_add_epi64(nb2, c));
+  s2 = _mm512_and_si512(s2, m52());  // drop the complement carry (bit 52)
+  return fold_semi(s0, s1, s2);
+}
+
+// fp2_mul_core for semi-reduced operands: identical flow, but the borrow
+// compensation is (2p) << 127 = 2^255 - 2^128, radix-52 limbs
+// [0, 0, 2^52 - 2^24, 2^52 - 1, 2^47 - 1]. Outputs canonical.
+inline void fp2_mul_semi(const V3& x0, const V3& x1, const V3& y0, const V3& y1,
+                         V3& z0, V3& z1) {
+  const V5 t0 = mul_core(x0, y0);
+  const V5 t1 = mul_core(x1, y1);
+  const V3 t2 = add_lazy(x0, x1);
+  const V3 t3 = add_lazy(y0, y1);
+  const V5 t6 = mul_core(t2, t3);
+  __mmask8 borrow;
+  const V5 t4 = sub_wide(t0, t1, borrow);
+  const V5 t5 = add_wide(t0, t1);
+  const __m512i ps2 = _mm512_set1_epi64(0xfffffff000000ll);
+  const __m512i ps3 = m52();
+  const __m512i ps4 = _mm512_set1_epi64(0x7fffffffffffll);
+  V5 t7;
+  t7.l[0] = t4.l[0];
+  t7.l[1] = t4.l[1];
+  __m512i s = _mm512_mask_add_epi64(t4.l[2], borrow, t4.l[2], ps2);
+  __m512i c = _mm512_srli_epi64(s, 52);
+  t7.l[2] = _mm512_and_si512(s, m52());
+  s = _mm512_add_epi64(_mm512_mask_add_epi64(t4.l[3], borrow, t4.l[3], ps3), c);
+  c = _mm512_srli_epi64(s, 52);
+  t7.l[3] = _mm512_and_si512(s, m52());
+  s = _mm512_add_epi64(_mm512_mask_add_epi64(t4.l[4], borrow, t4.l[4], ps4), c);
+  t7.l[4] = _mm512_and_si512(s, m52());  // drop the borrow-cancelling carry
+  __mmask8 borrow2;  // always clear: t6 >= t0 + t1
+  const V5 t8 = sub_wide(t6, t5, borrow2);
+  z0 = reduce_core(t7);
+  z1 = reduce_core(t8);
+}
+
+void v_pt_addmix(u128* const* p, const u128* const* q, size_t n) {
+  size_t i = 0;
+  for (; i + kVL <= n; i += kVL) {
+    const V3 X0 = load_fp(p[0] + i), X1 = load_fp(p[1] + i);
+    const V3 Y0 = load_fp(p[2] + i), Y1 = load_fp(p[3] + i);
+    const V3 Z0 = load_fp(p[4] + i), Z1 = load_fp(p[5] + i);
+    V3 t0, t1, a0, a1, b0, b1, c0, c1;
+    fp2_mul_semi(load_fp(p[6] + i), load_fp(p[7] + i), load_fp(p[8] + i),
+                 load_fp(p[9] + i), t0, t1);                    // t = Ta*Tb
+    fp2_mul_semi(sub_semi(Y0, X0), sub_semi(Y1, X1), load_fp(q[2] + i),
+                 load_fp(q[3] + i), a0, a1);                    // a = (Y-X)*ymx
+    fp2_mul_semi(add_semi(Y0, X0), add_semi(Y1, X1), load_fp(q[0] + i),
+                 load_fp(q[1] + i), b0, b1);                    // b = (Y+X)*xpy
+    fp2_mul_semi(t0, t1, load_fp(q[4] + i), load_fp(q[5] + i), c0, c1);
+    const V3 d0 = add_lazy(Z0, Z0), d1 = add_lazy(Z1, Z1);      // d = 2Z
+    const V3 e0 = sub_core(b0, a0), e1 = sub_core(b1, a1);      // e = b-a
+    const V3 f0 = sub_semi(d0, c0), f1 = sub_semi(d1, c1);      // f = d-c
+    const V3 g0 = add_semi(d0, c0), g1 = add_semi(d1, c1);      // g = d+c
+    const V3 h0 = add_core(b0, a0), h1 = add_core(b1, a1);      // h = b+a
+    V3 r0, r1;
+    fp2_mul_semi(e0, e1, f0, f1, r0, r1);                       // X = e*f
+    store_fp(p[0] + i, r0);
+    store_fp(p[1] + i, r1);
+    fp2_mul_semi(g0, g1, h0, h1, r0, r1);                       // Y = g*h
+    store_fp(p[2] + i, r0);
+    store_fp(p[3] + i, r1);
+    fp2_mul_semi(f0, f1, g0, g1, r0, r1);                       // Z = f*g
+    store_fp(p[4] + i, r0);
+    store_fp(p[5] + i, r1);
+    store_fp(p[6] + i, e0);                                     // Ta = e
+    store_fp(p[7] + i, e1);
+    store_fp(p[8] + i, h0);                                     // Tb = h
+    store_fp(p[9] + i, h1);
+  }
+  if (i < n) {
+    u128* pt[10];
+    const u128* qt[6];
+    for (int k = 0; k < 10; ++k) pt[k] = p[k] + i;
+    for (int k = 0; k < 6; ++k) qt[k] = q[k] + i;
+    generic_kernels().pt_addmix(pt, qt, n - i);
+  }
+}
+
 // --- kernel entry points ---------------------------------------------------
 
 void v_mul_wide(const u128* a, const u128* b, U256* r, size_t n) {
@@ -429,7 +579,7 @@ void v_fp2_conj(const u128* are, const u128* aim, u128* rre, u128* rim,
 
 constexpr Kernels kAvx512 = {
     "avx512",  v_mul_wide, v_sqr_wide, v_reduce_wide, v_fp_mul,
-    v_fp2_mul, v_fp2_add,  v_fp2_sub,  v_fp2_conj,
+    v_fp2_mul, v_fp2_add,  v_fp2_sub,  v_fp2_conj,   v_pt_addmix, 8,
 };
 
 }  // namespace

@@ -144,6 +144,8 @@ void usage() {
       "  --corrupt i,j,...                 corrupt these signature indices first\n"
       "  --msm-backend NAME                verify-sigs multi-scalar backend:\n"
       "                                    auto|straus|pippenger|endosplit\n"
+      "  --msm-glv on|off|auto             Pippenger GLV 4-way pre-split\n"
+      "                                    (auto = cost-model crossover)\n"
       "  --export-dir DIR                  live telemetry snapshot directory\n"
       "                                    (default $FOURQ_OBS_EXPORT_DIR; off if unset)\n"
       "  --export-interval-ms N            snapshot refresh period (default\n"
@@ -1134,6 +1136,7 @@ struct BatchOptions {
   int verify_sigs = 0;      // also batch-verify N SchnorrQ signatures
   std::vector<int> corrupt; // signature indices to corrupt before verifying
   curve::MsmBackend msm = curve::MsmBackend::kAuto;  // verify-sigs MSM backend
+  curve::MsmTri msm_glv = curve::MsmTri::kAuto;      // GLV pre-split tri-state
   std::string export_dir;   // "" = $FOURQ_OBS_EXPORT_DIR (exporter off if unset too)
   int export_interval_ms = 0;  // 0 = $FOURQ_OBS_EXPORT_INTERVAL_MS / default
   bool hw = false;          // per-worker perf_event counters + perf artifact
@@ -1166,6 +1169,7 @@ int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& co
   eopt.key = key;
   eopt.cache = cache;
   eopt.msm.backend = bopt.msm;
+  eopt.msm.glv = bopt.msm_glv;
   engine::BatchEngine eng(eopt);
 
   // Live telemetry: when an export directory is configured (flag or env),
@@ -1282,6 +1286,27 @@ int run_batch(const trace::SmTraceOptions& topt, const sched::CompileOptions& co
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - s0).count();
     std::printf("  individual verify of the same %zu: %.1f ms -> batch speedup %.2fx\n",
                 items.size(), ind_ms, ver_ms > 0 ? ind_ms / ver_ms : 0.0);
+    if (obs::compiled_in()) {
+      // One-line curve.msm.* summary of every MSM the verification ran
+      // (telemetry was reset at the top of this invocation).
+      obs::Registry& mreg = obs::global().metrics;
+      std::printf("  msm: calls=%llu (glv on/off %llu/%llu) terms=%llu chunks=%llu "
+                  "waves=%llu inversion-batches=%llu peak=%.0f KB\n",
+                  static_cast<unsigned long long>(mreg.counter("curve.msm.calls").value()),
+                  static_cast<unsigned long long>(
+                      mreg.counter("curve.msm.calls", obs::Labels{{"glv", "on"}}).value()),
+                  static_cast<unsigned long long>(
+                      mreg.counter("curve.msm.calls", obs::Labels{{"glv", "off"}}).value()),
+                  static_cast<unsigned long long>(
+                      mreg.counter("curve.msm.terms", obs::Labels{{"backend", "pippenger"}})
+                          .value()),
+                  static_cast<unsigned long long>(mreg.counter("curve.msm.chunks").value()),
+                  static_cast<unsigned long long>(
+                      mreg.counter("curve.msm.bucket_waves").value()),
+                  static_cast<unsigned long long>(
+                      mreg.counter("curve.msm.inversion_batches").value()),
+                  mreg.gauge("curve.msm.peak_kb").value());
+    }
   }
 
   obs::Registry& reg = obs::global().metrics;
@@ -1786,6 +1811,17 @@ int main(int argc, char** argv) {
       else if (b == "endosplit") bopt.msm = curve::MsmBackend::kEndoSplit;
       else {
         std::fprintf(stderr, "unknown MSM backend: %s\n", b.c_str());
+        return 2;
+      }
+    } else if (batch_mode && a == "--msm-glv") {
+      need(1);
+      std::string g = argv[++i];
+      if (g == "auto") bopt.msm_glv = curve::MsmTri::kAuto;
+      else if (g == "on") bopt.msm_glv = curve::MsmTri::kOn;
+      else if (g == "off") bopt.msm_glv = curve::MsmTri::kOff;
+      else {
+        std::fprintf(stderr, "unknown --msm-glv value: %s (want on|off|auto)\n",
+                     g.c_str());
         return 2;
       }
     } else if (batch_mode && a == "--export-dir") {

@@ -156,6 +156,24 @@ else
   echo "skip  perf_regress (msm baseline)"
 fi
 
+# zk-scale MSM gate: the pool-parallel streaming Pippenger at n = 2^20 must
+# stay >=4x over the truly-serial (lanes off, no pool) reference at equal n,
+# with zero cross-check mismatches and a peak working set that does not grow
+# with the term count (tools/baselines/bench_msm_large_baseline.jsonl).
+if [ -x "$build_dir/tools/perf_regress" ] && [ -f "$out_dir/BENCH_msm_large.json" ] \
+    && [ -f "$script_dir/baselines/bench_msm_large_baseline.jsonl" ]; then
+  ran=$((ran + 1))
+  if "$build_dir/tools/perf_regress" "$script_dir/baselines/bench_msm_large_baseline.jsonl" \
+      "$out_dir/BENCH_msm_large.json" > "$out_dir/perf_regress_msm_large.log" 2>&1; then
+    echo "ok    perf_regress (msm large baseline)"
+  else
+    echo "FAIL  perf_regress (msm large baseline) (see $out_dir/perf_regress_msm_large.log)" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "skip  perf_regress (msm large baseline)"
+fi
+
 # Range-analysis wall-time gate: the overflow-freedom proof must stay
 # within its per-program budget (tools/baselines/lint_ranges_baseline.jsonl)
 # so it can run on every CI build.
